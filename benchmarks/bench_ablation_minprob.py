@@ -1,0 +1,17 @@
+"""Benchmark / regeneration of the MIN_PROB sensitivity ablation."""
+
+from benchmarks.conftest import emit
+from repro.experiments import ablation
+
+
+def test_ablation_min_prob(benchmark, runner):
+    rows = benchmark.pedantic(
+        ablation.compute_min_prob, args=(runner,), rounds=1, iterations=1
+    )
+    text = ablation.render_min_prob(rows)
+    emit("ablation_minprob", text)
+    for row in rows:
+        # The paper's 0.7 sits in a flat region: varying MIN_PROB should
+        # not change the miss ratio by more than a small factor.
+        values = list(row.miss_by_min_prob.values())
+        assert max(values) <= min(values) * 2 + 0.002

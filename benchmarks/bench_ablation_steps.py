@@ -1,0 +1,18 @@
+"""Benchmark / regeneration of the pipeline-step ablation."""
+
+from benchmarks.conftest import emit
+from repro.experiments import ablation
+
+
+def test_ablation_steps(benchmark, runner):
+    rows = benchmark.pedantic(
+        ablation.compute_steps, args=(runner,), rounds=1, iterations=1
+    )
+    text = ablation.render_steps(rows)
+    emit("ablation_steps", text)
+    for row in rows:
+        # The full pipeline is never meaningfully worse than the random
+        # baseline, and usually much better.
+        assert row.miss_by_variant["full"] <= (
+            row.miss_by_variant["random"] + 0.02
+        )

@@ -1,0 +1,20 @@
+"""Benchmark / regeneration of the associativity study (the Przybylski
+argument: placement already harvests associativity's benefit)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import associativity
+
+
+def test_associativity_ladder(benchmark, runner):
+    rows = benchmark.pedantic(
+        associativity.compute, args=(runner,), rounds=1, iterations=1
+    )
+    text = associativity.render(rows)
+    emit("associativity", text)
+    for row in rows:
+        # Optimized direct-mapped sits within a small factor of optimized
+        # fully associative...
+        assert row.direct <= row.fully * 3 + 0.002, row
+        # ...and at or below fully associative on the natural layout (the
+        # paper's central claim, per benchmark).
+        assert row.direct <= row.fully_natural + 0.002, row

@@ -1,0 +1,33 @@
+"""Benchmark / regeneration of the extended-suite cache sweep
+(paper Section 5 future work: a broader UNIX/CAD benchmark set).
+
+This sweep produced the reproduction's one honest negative result: on
+awk — whose twelve action handlers are uniformly hot and together exceed
+the 2K cache — the pipeline's global DFS function ordering *loses* to
+declaration order (and to Pettis-Hansen).  The ablation confirms the DFS
+step is the cause; with hot sets larger than the cache, 1989-era greedy
+function ordering is luck-dependent.  See EXPERIMENTS.md.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import extended
+
+
+def test_extended_suite(benchmark, runner):
+    rows = benchmark.pedantic(
+        extended.compute, args=(runner,), rounds=1, iterations=1
+    )
+    text = extended.render(rows)
+    emit("extended", text)
+    assert {row.name for row in rows} == {"sort", "diff", "awk", "espresso"}
+    regressions = 0
+    for row in rows:
+        for cache_bytes, optimized_miss in row.optimized.items():
+            if optimized_miss > row.natural[cache_bytes] + 0.005:
+                regressions += 1
+                assert row.name == "awk", (
+                    "only awk's over-capacity dispatch set is a known "
+                    f"regression, not {row.name}"
+                )
+    # The known awk regression affects a minority of the grid.
+    assert regressions <= 3

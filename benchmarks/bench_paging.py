@@ -1,0 +1,19 @@
+"""Benchmark / regeneration of the instruction paging study
+(paper Section 5 future work: working set size, page size, sectoring)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import paging
+
+
+def test_paging_study(benchmark, runner):
+    rows = benchmark.pedantic(
+        paging.compute, args=(runner,), rounds=1, iterations=1
+    )
+    text = paging.render(rows)
+    emit("paging", text)
+    for row in rows:
+        # The region split packs effective code: the optimized layout
+        # never needs more pages than the natural one.
+        assert row.optimized_ws <= row.natural_ws + 0.5
+        # Page sectoring never transfers more bytes than whole pages.
+        assert row.sectored_bytes <= row.optimized_bytes

@@ -1,0 +1,21 @@
+"""Benchmark / regeneration of the prefetch-vs-placement study."""
+
+from benchmarks.conftest import emit
+from repro.experiments import prefetch_study
+
+
+def test_prefetch_vs_placement(benchmark, runner):
+    rows = benchmark.pedantic(
+        prefetch_study.compute, args=(runner,), rounds=1, iterations=1
+    )
+    text = prefetch_study.render(rows)
+    emit("prefetch", text)
+    for row in rows:
+        # Prefetch helps on top of placement (sequential streams)...
+        assert row.optimized_prefetch <= row.optimized_plain + 1e-9
+        # ...and placement-optimized streams prefetch accurately.
+        assert row.optimized_accuracy > 0.5
+        # Placement alone already beats natural+prefetch or comes close
+        # on the layout-sensitive benchmarks (lex, yacc).
+        if row.name in ("lex", "yacc"):
+            assert row.optimized_plain <= row.natural_prefetch + 0.002

@@ -1,0 +1,15 @@
+"""Benchmark / regeneration of Table 2 (benchmark characteristics)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import table2
+
+
+def test_table2_profiles(benchmark, runner):
+    rows = benchmark.pedantic(
+        table2.compute, args=(runner,), rounds=1, iterations=1
+    )
+    text = table2.render(rows)
+    emit("table2", text)
+    assert len(rows) == 10
+    for row in rows:
+        assert row.instructions > 0 and row.runs >= 4

@@ -1,0 +1,20 @@
+"""Benchmark / regeneration of Table 3 (inline expansion results)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import table3
+
+
+def test_table3_inline(benchmark, runner):
+    rows = benchmark.pedantic(
+        table3.compute, args=(runner,), rounds=1, iterations=1
+    )
+    text = table3.render(rows)
+    emit("table3", text)
+    by_name = {row.name: row for row in rows}
+    # The paper's signature cases: tee and wc inline nothing.
+    assert by_name["tee"].code_increase_pct == 0.0
+    assert by_name["wc"].code_increase_pct == 0.0
+    # tee keeps an extremely high call frequency (paper: ~15 DI/call).
+    assert by_name["tee"].instructions_per_call < 30
+    # Everyone else eliminates most dynamic calls.
+    assert by_name["compress"].call_decrease_pct > 50.0

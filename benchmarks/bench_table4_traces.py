@@ -1,0 +1,23 @@
+"""Benchmark / regeneration of Table 4 (trace selection results)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import table4
+
+
+def test_table4_traces(benchmark, runner):
+    rows = benchmark.pedantic(
+        table4.compute, args=(runner,), rounds=1, iterations=1
+    )
+    text = table4.render(rows)
+    emit("table4", text)
+    for row in rows:
+        assert row.neutral_pct + row.undesirable_pct + row.desirable_pct == (
+            pytest.approx(100.0)
+        )
+    # Paper: undesirable transfers average about 3%; desirable dominate.
+    average_undesirable = sum(r.undesirable_pct for r in rows) / len(rows)
+    assert average_undesirable < 15.0
+    average_desirable = sum(r.desirable_pct for r in rows) / len(rows)
+    assert average_desirable > 35.0

@@ -1,0 +1,20 @@
+"""Benchmark / regeneration of Table 5 (static and dynamic code sizes)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import table5
+
+
+def test_table5_sizes(benchmark, runner):
+    rows = benchmark.pedantic(
+        table5.compute, args=(runner,), rounds=1, iterations=1
+    )
+    text = table5.render(rows)
+    emit("table5", text)
+    by_name = {row.name: row for row in rows}
+    for row in rows:
+        assert 0 < row.effective_static_bytes <= row.total_static_bytes
+    # Region split visibly shrinks the effective footprint of the
+    # large, partially-exercised programs.
+    assert by_name["lex"].effective_static_bytes < (
+        by_name["lex"].total_static_bytes
+    )

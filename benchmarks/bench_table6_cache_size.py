@@ -1,0 +1,24 @@
+"""Benchmark / regeneration of Table 6 (cache-size sweep, 64B blocks)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import table6
+
+
+def test_table6_cache_size(benchmark, runner):
+    rows = benchmark.pedantic(
+        table6.compute, args=(runner,), rounds=1, iterations=1
+    )
+    text = table6.render(rows)
+    emit("table6", text)
+    by_name = {row.name: row for row in rows}
+
+    # Paper headline: a 2K cache gives a low average miss ratio...
+    average_2k = sum(r.results[2048][0] for r in rows) / len(rows)
+    assert average_2k < 0.02
+    # ...with the traffic ratio 16x the miss ratio by construction.
+    # cccp and make are the worst cases, as in the paper.
+    worst_two = sorted(rows, key=lambda r: -r.results[2048][0])[:2]
+    assert {w.name for w in worst_two} <= {"cccp", "make", "yacc"}
+    # Tiny benchmarks never miss meaningfully, even at 0.5K.
+    for name in ("wc", "cmp", "tee"):
+        assert by_name[name].results[512][0] < 0.005

@@ -1,0 +1,18 @@
+"""Benchmark / regeneration of Table 7 (block-size sweep, 2K cache)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import table7
+
+
+def test_table7_block_size(benchmark, runner):
+    rows = benchmark.pedantic(
+        table7.compute, args=(runner,), rounds=1, iterations=1
+    )
+    text = table7.render(rows)
+    emit("table7", text)
+    # The paper's trend: miss ratios fall and traffic ratios rise with
+    # block size, for the programs that miss at all.
+    for row in rows:
+        if row.results[16][0] > 0.005:
+            assert row.results[128][0] < row.results[16][0]
+            assert row.results[128][1] > row.results[16][1]

@@ -1,0 +1,26 @@
+"""Benchmark / regeneration of Table 8 (sectoring and partial loading)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import table8
+
+
+def test_table8_traffic(benchmark, runner):
+    rows = benchmark.pedantic(
+        table8.compute, args=(runner,), rounds=1, iterations=1
+    )
+    text = table8.render(rows)
+    emit("table8", text)
+    for row in rows:
+        # Sector traffic = 2 words per miss.
+        assert row.sector_traffic == pytest.approx(2 * row.sector_miss)
+        # Partial traffic = avg.fetch words per miss.
+        assert row.partial_traffic == pytest.approx(
+            row.partial_miss * row.avg_fetch, rel=1e-6, abs=1e-9
+        )
+    by_name = {row.name: row for row in rows}
+    # Paper: sectoring cuts cccp's traffic but balloons its miss ratio;
+    # partial loading cuts traffic with only a slight miss increase.
+    assert by_name["cccp"].sector_miss > 2 * by_name["cccp"].partial_miss
+    assert by_name["cccp"].partial_traffic < 0.45

@@ -1,0 +1,22 @@
+"""Benchmark / regeneration of Table 9 (code scaling stability)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import table9
+
+
+def test_table9_scaling(benchmark, runner):
+    rows = benchmark.pedantic(
+        table9.compute, args=(runner,), rounds=1, iterations=1
+    )
+    text = table9.render(rows)
+    emit("table9", text)
+    # The paper's claim: cache performance is stable across encodings.
+    # No benchmark should change category — ones that fit keep fitting,
+    # and the stressed ones stay within a small factor.
+    for row in rows:
+        baseline = row.results[1.0][0]
+        for factor, (miss, _traffic) in row.results.items():
+            if baseline < 0.001:
+                assert miss < 0.02, (row.name, factor)
+            else:
+                assert miss < baseline * 3 + 0.002, (row.name, factor)

@@ -1,0 +1,30 @@
+"""Shared state for the benchmark suite.
+
+The session-scoped ``runner`` fixture builds, profiles, places, and traces
+all ten workloads once (the expensive part); each benchmark then measures
+its own table's computation and persists the rendered table under
+``results/`` so EXPERIMENTS.md can cite the regenerated numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def runner():
+    from repro.experiments.runner import default_runner
+
+    shared = default_runner()
+    for name in shared.names():
+        shared.artifacts(name)
+        shared.addresses(name, "optimized")
+    return shared
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under results/."""
+    from repro.experiments.report import save_result
+
+    save_result(name, text)
+    print("\n" + text)

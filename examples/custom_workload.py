@@ -1,0 +1,173 @@
+"""Author a custom benchmark and push it through the whole methodology.
+
+Shows the full user workflow on a program written from scratch: a small
+"spell checker" that builds a hash set of dictionary words, then streams
+text against it, with a rarely-taken suggestion path.  The script profiles
+it, runs placement, and prints the paper-style statistics (inline report,
+trace-selection quality, effective vs total footprint, cache ratios).
+
+Run:  python examples/custom_workload.py
+"""
+
+import random
+
+from repro import ProgramBuilder, optimize_program, run_program
+from repro.cache import simulate_direct_vectorized
+from repro.experiments.report import fmt_pct
+from repro.interp import BlockTrace
+from repro.placement import natural_image, trace_selection_stats
+
+DICT_BASE = 0x1000
+DICT_SLOTS = 509
+
+
+def build_spellcheck():
+    """A hash-set membership checker over word hashes."""
+    pb = ProgramBuilder()
+
+    # hash_word(h=r1) -> r1: slot index.
+    f = pb.function("hash_word")
+    b = f.block("entry")
+    b.mul("r8", "r1", 2654435761)
+    b.shr("r9", "r8", 11)
+    b.xor("r8", "r8", "r9")
+    b.and_("r8", "r8", 0xFFFF)
+    b.rem("r1", "r8", DICT_SLOTS)
+    b.ret()
+
+    # insert(word=r2): add a word hash to the set (linear probing).
+    f = pb.function("insert")
+    b = f.block("entry")
+    b.mov("r1", "r2")
+    b.call("hash_word", cont="probe")
+    b = f.block("probe")
+    b.add("r8", "r1", DICT_BASE)
+    b.ld("r9", "r8", 0)
+    b.beq("r9", 0, taken="store", fall="next")
+    b = f.block("next")
+    b.add("r1", "r1", 1)
+    b.rem("r1", "r1", DICT_SLOTS)
+    b.jmp("probe")
+    b = f.block("store")
+    b.st("r2", "r8", 0)
+    b.ret()
+
+    # lookup(word=r2) -> r1: 1 if present.
+    f = pb.function("lookup")
+    b = f.block("entry")
+    b.mov("r1", "r2")
+    b.call("hash_word", cont="probe")
+    b = f.block("probe")
+    b.add("r8", "r1", DICT_BASE)
+    b.ld("r9", "r8", 0)
+    b.beq("r9", 0, taken="missing", fall="check")
+    b = f.block("check")
+    b.beq("r9", "r2", taken="found", fall="next")
+    b = f.block("next")
+    b.add("r1", "r1", 1)
+    b.rem("r1", "r1", DICT_SLOTS)
+    b.jmp("probe")
+    b = f.block("found")
+    b.li("r1", 1)
+    b.ret()
+    b = f.block("missing")
+    b.li("r1", 0)
+    b.ret()
+
+    # suggest(word=r2): the cold path — "compute" a suggestion.
+    f = pb.function("suggest")
+    b = f.block("entry")
+    b.xor("r8", "r2", 0x55)
+    b.add("r8", "r8", 13)
+    b.out("r8")
+    b.ret()
+
+    f = pb.function("main")
+    b = f.block("entry")
+    b.in_("r20")                 # dictionary size
+    b.li("r21", 0)
+    b.jmp("load")
+    b = f.block("load")
+    b.bge("r21", "r20", taken="scan", fall="load_one")
+    b = f.block("load_one")
+    b.in_("r2")
+    b.call("insert", cont="load_next")
+    b = f.block("load_next")
+    b.add("r21", "r21", 1)
+    b.jmp("load")
+
+    b = f.block("scan")
+    b.li("r22", 0)               # misspellings
+    b.jmp("scan_loop")
+    b = f.block("scan_loop")
+    b.in_("r2")
+    b.beq("r2", -1, taken="report", fall="check_word")
+    b = f.block("check_word")
+    b.call("lookup", cont="verdict")
+    b = f.block("verdict")
+    b.bne("r1", 0, taken="scan_loop", fall="misspelled")
+    b = f.block("misspelled")
+    b.add("r22", "r22", 1)
+    b.call("suggest", cont="scan_loop")
+    b = f.block("report")
+    b.out("r22")
+    b.halt()
+
+    return pb.build()
+
+
+def make_input(seed, words=3000, dictionary=200, misspell_rate=0.03):
+    rng = random.Random(seed)
+    vocabulary = [rng.randrange(1, 1 << 15) for _ in range(dictionary)]
+    stream = [dictionary] + vocabulary
+    for _ in range(words):
+        if rng.random() < misspell_rate:
+            stream.append(rng.randrange(1 << 15, 1 << 16))  # unknown word
+        else:
+            stream.append(rng.choice(vocabulary))
+    return stream
+
+
+def main() -> None:
+    program = build_spellcheck()
+    result = optimize_program(program, [make_input(s) for s in (1, 2, 3)])
+
+    report = result.inline_report
+    print(f"inline: +{report.code_increase_pct:.0f}% code, "
+          f"-{report.call_decrease_pct:.0f}% dynamic calls "
+          f"({len(report.inlined_sites)} sites)")
+
+    stats = trace_selection_stats(
+        result.program, result.profile, result.selections
+    )
+    print(f"trace selection: {stats.desirable_pct:.1f}% desirable / "
+          f"{stats.neutral_pct:.1f}% neutral / "
+          f"{stats.undesirable_pct:.1f}% undesirable transfers; "
+          f"avg trace length {stats.avg_trace_length:.1f} blocks")
+
+    mask = result.profile.effective_blocks()
+    print(f"footprint: {result.image.total_bytes}B total, "
+          f"{result.image.static_bytes(mask)}B effective")
+
+    evaluation = make_input(99)
+    optimized = run_program(result.program, evaluation)
+    original = run_program(program, evaluation)
+    assert optimized.output == original.output
+    print(f"misspellings found: {optimized.output[-1]}")
+
+    opt_addresses = BlockTrace.from_execution(optimized).addresses(
+        result.image
+    )
+    nat_addresses = BlockTrace.from_execution(original).addresses(
+        natural_image(program)
+    )
+    for cache_bytes in (128, 256, 512):
+        opt = simulate_direct_vectorized(opt_addresses, cache_bytes, 64)
+        nat = simulate_direct_vectorized(nat_addresses, cache_bytes, 64)
+        print(f"{cache_bytes:5d}B cache: natural "
+              f"{fmt_pct(nat.miss_ratio)} -> optimized "
+              f"{fmt_pct(opt.miss_ratio)} miss ratio")
+
+
+if __name__ == "__main__":
+    main()

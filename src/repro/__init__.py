@@ -1,0 +1,96 @@
+"""repro: a reproduction of Hwu & Chang (ISCA 1989),
+"Achieving High Instruction Cache Performance with an Optimizing Compiler".
+
+The package implements the IMPACT-I instruction placement pipeline —
+execution profiling, function inline expansion, trace selection, function
+body layout, and global layout — on top of a mini RISC-like IR, plus the
+trace-driven instruction cache simulators and the ten synthetic workloads
+used to regenerate every table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import optimize_program, simulate_direct_vectorized
+    from repro.workloads import get_workload
+
+    workload = get_workload("wc")
+    program = workload.build()
+    result = optimize_program(program, workload.profiling_inputs())
+    trace = workload.trace(program=result.program)
+    stats = simulate_direct_vectorized(
+        trace.addresses(result.image), cache_bytes=2048, block_bytes=64
+    )
+    print(stats.describe())
+"""
+
+from repro.cache import (
+    CacheStats,
+    simulate_direct,
+    simulate_direct_vectorized,
+    simulate_fully_associative,
+    simulate_partial,
+    simulate_sectored,
+    simulate_set_associative,
+)
+from repro.interp import (
+    BlockTrace,
+    Interpreter,
+    profile_program,
+    run_program,
+)
+from repro.ir import (
+    EOF_SENTINEL,
+    Instruction,
+    Opcode,
+    Program,
+    ProgramBuilder,
+    validate_program,
+)
+from repro.placement import (
+    InlinePolicy,
+    MemoryImage,
+    PlacementOptions,
+    PlacementResult,
+    ProfileData,
+    inline_expand,
+    natural_image,
+    optimize_program,
+    place,
+    random_image,
+    scaled_sizes,
+    select_traces,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockTrace",
+    "CacheStats",
+    "EOF_SENTINEL",
+    "InlinePolicy",
+    "Instruction",
+    "Interpreter",
+    "MemoryImage",
+    "Opcode",
+    "PlacementOptions",
+    "PlacementResult",
+    "ProfileData",
+    "Program",
+    "ProgramBuilder",
+    "__version__",
+    "inline_expand",
+    "natural_image",
+    "optimize_program",
+    "place",
+    "profile_program",
+    "random_image",
+    "run_program",
+    "scaled_sizes",
+    "select_traces",
+    "simulate_direct",
+    "simulate_direct_vectorized",
+    "simulate_fully_associative",
+    "simulate_partial",
+    "simulate_sectored",
+    "simulate_set_associative",
+    "validate_program",
+]

@@ -1,0 +1,56 @@
+"""Common result types and helpers of the cache simulators.
+
+Metric definitions are pinned by the paper's own numbers (see DESIGN.md):
+
+* **miss ratio** — misses / instruction accesses (one access per 4-byte
+  instruction fetch);
+* **memory traffic ratio** — 4-byte bus words transferred from memory /
+  instruction accesses.  A 2K-byte cache with 64-byte blocks at the
+  paper's average 0.5% miss ratio transfers 16 words per miss, giving the
+  abstract's 8% traffic ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats", "require_power_of_two", "BUS_WORD_BYTES"]
+
+#: Width of the memory bus in bytes (paper Section 4.2.1: "a 4-byte
+#: memory bus").
+BUS_WORD_BYTES = 4
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Outcome of simulating one address trace through one cache."""
+
+    accesses: int
+    misses: int
+    words_transferred: int
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per instruction access."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def traffic_ratio(self) -> float:
+        """Memory bus words transferred per instruction access."""
+        return self.words_transferred / self.accesses if self.accesses else 0.0
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.accesses} accesses, {self.misses} misses "
+            f"(miss {100 * self.miss_ratio:.2f}%, "
+            f"traffic {100 * self.traffic_ratio:.2f}%)"
+        )
+
+
+def require_power_of_two(value: int, name: str) -> int:
+    """Validate a cache geometry parameter."""
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+    return value

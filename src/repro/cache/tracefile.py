@@ -1,0 +1,74 @@
+"""Reading and writing instruction-fetch trace files.
+
+Lets the cache simulators consume traces produced outside this package
+(and lets our traces feed other tools).  Two formats:
+
+* **text** — one hexadecimal fetch address per line, ``#`` comments
+  allowed: the lowest-common-denominator exchange format of classic
+  trace-driven studies (a fetch-only cousin of the old "din" format);
+* **binary** — a little-endian ``int64`` array with a 16-byte header
+  (magic + count), loadable back as a numpy array without parsing.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = [
+    "save_trace_text", "load_trace_text",
+    "save_trace_binary", "load_trace_binary",
+]
+
+_MAGIC = b"RPTRACE1"
+
+
+def save_trace_text(addresses: np.ndarray, path: str,
+                    comment: str | None = None) -> None:
+    """Write one hex address per line."""
+    with open(path, "w") as handle:
+        if comment:
+            for line in comment.splitlines():
+                handle.write(f"# {line}\n")
+        for address in np.asarray(addresses, dtype=np.int64):
+            handle.write(f"{int(address):x}\n")
+
+
+def load_trace_text(path: str) -> np.ndarray:
+    """Read a text trace (hex addresses, ``#`` comments skipped)."""
+    values = []
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                values.append(int(line, 16))
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: not a hex address: {line!r}"
+                ) from None
+    return np.asarray(values, dtype=np.int64)
+
+
+def save_trace_binary(addresses: np.ndarray, path: str) -> None:
+    """Write the compact binary format (magic, count, int64 payload)."""
+    data = np.ascontiguousarray(addresses, dtype="<i8")
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<q", len(data)))
+        handle.write(data.tobytes())
+
+
+def load_trace_binary(path: str) -> np.ndarray:
+    """Read the compact binary format."""
+    with open(path, "rb") as handle:
+        magic = handle.read(8)
+        if magic != _MAGIC:
+            raise ValueError(f"{path}: not a repro trace file")
+        (count,) = struct.unpack("<q", handle.read(8))
+        payload = handle.read(8 * count)
+    if len(payload) != 8 * count:
+        raise ValueError(f"{path}: truncated trace (expected {count} entries)")
+    return np.frombuffer(payload, dtype="<i8").astype(np.int64)

@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show the bundled benchmarks.
+``table NAME``
+    Regenerate a paper table (``table1``..``table9``), the Section 4.2.4
+    ``comparison``, an extension study (``ablation``, ``paging``,
+    ``estimator``, ``associativity``), or ``all``.
+``optimize``
+    Run the placement pipeline on one benchmark and report inline /
+    trace-selection / footprint statistics plus cache ratios for a chosen
+    geometry and layout.
+``disasm``
+    Print a benchmark's IR, or its placed linker map (``--map``).
+
+All commands accept ``--scale small`` for quick runs on the test-sized
+inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+#: Table names accepted by ``table``.
+TABLE_CHOICES = (
+    "table1", "table2", "table3", "table4", "table5",
+    "table6", "table7", "table8", "table9",
+    "comparison", "ablation", "paging", "estimator", "associativity",
+    "extended", "prefetch_study", "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Hwu & Chang (ISCA 1989): profile-guided "
+            "instruction placement for high instruction cache performance."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the bundled benchmarks")
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("name", choices=TABLE_CHOICES)
+    table.add_argument("--scale", default="default",
+                       choices=("default", "small"))
+
+    optimize = sub.add_parser(
+        "optimize", help="run the placement pipeline on one benchmark"
+    )
+    optimize.add_argument("workload")
+    optimize.add_argument("--scale", default="default",
+                          choices=("default", "small"))
+    optimize.add_argument("--cache", type=int, default=2048,
+                          help="cache size in bytes (default 2048)")
+    optimize.add_argument("--block", type=int, default=64,
+                          help="block size in bytes (default 64)")
+    optimize.add_argument(
+        "--layout", default="optimized",
+        choices=("optimized", "natural", "random", "pettis_hansen"),
+    )
+
+    disasm = sub.add_parser(
+        "disasm", help="print a benchmark's IR or its placed linker map"
+    )
+    disasm.add_argument("workload")
+    disasm.add_argument("--function", default=None,
+                        help="restrict to one function")
+    disasm.add_argument("--map", action="store_true",
+                        help="print the optimized linker map instead")
+    disasm.add_argument("--scale", default="small",
+                        choices=("default", "small"),
+                        help="profiling scale for --map (default small)")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.report import render_table
+    from repro.workloads import all_workloads
+
+    rows = []
+    for suite in ("paper", "extended"):
+        for workload in all_workloads(suite):
+            program = workload.build()
+            rows.append([
+                workload.name,
+                suite,
+                program.num_instructions,
+                len(program.functions),
+                workload.num_runs,
+                workload.description,
+            ])
+    print(render_table(
+        "Bundled benchmarks (paper Table 2 suite + extended suite)",
+        ["name", "suite", "static instrs", "functions", "runs",
+         "input description"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_table(name: str, scale: str) -> int:
+    from repro import experiments
+    from repro.experiments.runner import ExperimentRunner
+
+    runner = ExperimentRunner(scale=scale)
+    if name == "all":
+        print(experiments.run_all(runner))
+        return 0
+    if name == "table1":
+        print(experiments.table1.run())
+        return 0
+    module = getattr(experiments, name)
+    print(module.run(runner))
+    return 0
+
+
+def _cmd_optimize(
+    workload_name: str, scale: str, cache: int, block: int, layout: str
+) -> int:
+    from repro.cache.vectorized import simulate_direct_vectorized
+    from repro.experiments.report import fmt_pct
+    from repro.experiments.runner import ExperimentRunner
+    from repro.placement.stats import trace_selection_stats
+
+    runner = ExperimentRunner(scale=scale)
+    art = runner.artifacts(workload_name)
+    placement = art.placement
+
+    report = placement.inline_report
+    print(f"benchmark:        {workload_name} ({scale} scale)")
+    print(f"inline expansion: +{report.code_increase_pct:.0f}% code, "
+          f"-{report.call_decrease_pct:.0f}% dynamic calls "
+          f"({len(report.inlined_sites)} sites)")
+    stats = trace_selection_stats(
+        placement.program, placement.profile, placement.selections
+    )
+    print(f"trace selection:  {stats.desirable_pct:.1f}% desirable, "
+          f"{stats.neutral_pct:.1f}% neutral, "
+          f"{stats.undesirable_pct:.1f}% undesirable; "
+          f"avg trace {stats.avg_trace_length:.1f} blocks")
+    mask = placement.profile.effective_blocks()
+    print(f"footprint:        {placement.image.total_bytes}B total, "
+          f"{placement.image.static_bytes(mask)}B effective")
+
+    addresses = runner.addresses(workload_name, layout)
+    cache_stats = simulate_direct_vectorized(addresses, cache, block)
+    print(f"{layout} layout on {cache}B/{block}B direct-mapped: "
+          f"miss {fmt_pct(cache_stats.miss_ratio)}, "
+          f"traffic {fmt_pct(cache_stats.traffic_ratio)} "
+          f"({cache_stats.accesses} fetches)")
+    return 0
+
+
+def _cmd_disasm(
+    workload_name: str, function: str | None, as_map: bool, scale: str
+) -> int:
+    from repro.ir.printer import format_function, format_image, format_program
+    from repro.workloads import get_workload
+
+    workload = get_workload(workload_name)
+    if as_map:
+        from repro.experiments.runner import ExperimentRunner
+
+        runner = ExperimentRunner(scale=scale)
+        art = runner.artifacts(workload_name)
+        print(format_image(
+            art.image, art.placement.profile, function=function
+        ))
+        return 0
+    program = workload.build()
+    if function is not None:
+        print(format_function(program.function(function)))
+    else:
+        print(format_program(program))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "table":
+        return _cmd_table(args.name, args.scale)
+    if args.command == "optimize":
+        return _cmd_optimize(
+            args.workload, args.scale, args.cache, args.block, args.layout
+        )
+    if args.command == "disasm":
+        return _cmd_disasm(args.workload, args.function, args.map, args.scale)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Experiment harness: one module per table of the paper's evaluation.
+
+Regenerate everything::
+
+    from repro.experiments import run_all
+    print(run_all())
+
+or one table::
+
+    from repro.experiments import table6
+    print(table6.run())
+"""
+
+from repro.experiments import (
+    ablation,
+    associativity,
+    comparison,
+    estimator,
+    extended,
+    paging,
+    prefetch_study,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+from repro.experiments.runner import ExperimentRunner, default_runner
+from repro.experiments.smith import SMITH_TARGETS, smith_target
+
+__all__ = [
+    "ExperimentRunner",
+    "SMITH_TARGETS",
+    "ablation",
+    "associativity",
+    "comparison",
+    "estimator",
+    "extended",
+    "paging",
+    "prefetch_study",
+    "default_runner",
+    "run_all",
+    "smith_target",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+]
+
+#: The table modules in presentation order.
+ALL_TABLES = (
+    table1, table2, table3, table4, table5,
+    table6, table7, table8, table9, comparison, ablation,
+    associativity, estimator, paging, extended, prefetch_study,
+)
+
+
+def run_all(runner: ExperimentRunner | None = None) -> str:
+    """Regenerate every table and the comparison, as one text report."""
+    runner = runner or default_runner()
+    sections = [table1.run()]
+    for module in ALL_TABLES[1:]:
+        sections.append(module.run(runner))
+    return "\n".join(sections)

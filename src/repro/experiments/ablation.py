@@ -1,0 +1,167 @@
+"""Ablations of the placement pipeline (not in the paper; see DESIGN.md
+"key design choices").
+
+Two studies:
+
+* :func:`compute_steps` — contribution of each pipeline step: full
+  pipeline vs. no-inline, no-trace-selection, no-region-split,
+  no-global-DFS, and the natural / random baselines, measured as the
+  2K/64B direct-mapped miss ratio on the cache-stressing benchmarks.
+* :func:`compute_min_prob` — sensitivity to the appendix's
+  ``MIN_PROB = 0.7`` constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cache.vectorized import simulate_direct_vectorized
+from repro.experiments.report import fmt_pct, render_table
+from repro.experiments.runner import ExperimentRunner, default_runner
+from repro.placement.pipeline import PlacementOptions, place
+
+__all__ = [
+    "STRESS_BENCHMARKS", "MIN_PROB_VALUES",
+    "StepRow", "compute_steps", "render_steps",
+    "MinProbRow", "compute_min_prob", "render_min_prob",
+]
+
+#: The benchmarks whose miss ratios are big enough to ablate meaningfully.
+STRESS_BENCHMARKS = ("cccp", "lex", "make", "yacc")
+
+#: MIN_PROB settings swept by the sensitivity study.
+MIN_PROB_VALUES = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+CACHE_BYTES = 2048
+BLOCK_BYTES = 64
+
+#: Ablation variants: label -> PlacementOptions overrides (None marks the
+#: non-pipeline baselines handled specially).
+VARIANTS: dict[str, dict | None] = {
+    "full": {},
+    "no-inline": {"inline": None},
+    "no-traces": {"select_traces": False},
+    "no-split": {"split_regions": False},
+    "no-global-dfs": {"global_dfs": False},
+    "natural": None,
+    "random": None,
+    "pettis-hansen": None,
+    "conflict-aware": None,
+}
+
+
+@dataclass(frozen=True)
+class StepRow:
+    """Miss ratio of every pipeline variant for one benchmark."""
+
+    name: str
+    miss_by_variant: dict[str, float]
+
+
+def _miss(addresses) -> float:
+    return simulate_direct_vectorized(
+        addresses, CACHE_BYTES, BLOCK_BYTES
+    ).miss_ratio
+
+
+def compute_steps(runner: ExperimentRunner) -> list[StepRow]:
+    """Measure each ablation variant on the stress benchmarks.
+
+    Variants that change only steps 3-5 re-place the already-inlined
+    program; ``no-inline`` re-runs the whole pipeline without step 2
+    (which requires re-tracing the uninlined program — the runner's
+    original trace covers that).
+    """
+    rows = []
+    for name in STRESS_BENCHMARKS:
+        art = runner.artifacts(name)
+        miss: dict[str, float] = {}
+        miss["full"] = _miss(runner.addresses(name, "optimized"))
+        miss["natural"] = _miss(runner.addresses(name, "natural"))
+        miss["random"] = _miss(runner.addresses(name, "random"))
+        miss["pettis-hansen"] = _miss(
+            runner.addresses(name, "pettis_hansen")
+        )
+        miss["conflict-aware"] = _miss(
+            runner.addresses(name, "conflict_aware")
+        )
+
+        for label, overrides in VARIANTS.items():
+            if overrides is None or label == "full":
+                continue
+            if label == "no-inline":
+                options = replace(PlacementOptions(), inline=None)
+                result = place(
+                    art.original_program,
+                    art.placement.pre_inline_profile,
+                    options,
+                )
+                addresses = art.original_trace.addresses(result.image)
+            else:
+                options = replace(PlacementOptions(), **overrides)
+                result = place(art.program, art.placement.profile, options)
+                addresses = art.trace.addresses(result.image)
+            miss[label] = _miss(addresses)
+        rows.append(StepRow(name=name, miss_by_variant=miss))
+    return rows
+
+
+def render_steps(rows: list[StepRow]) -> str:
+    """Render the step-ablation table."""
+    labels = list(VARIANTS)
+    return render_table(
+        f"Ablation: placement pipeline steps ({CACHE_BYTES}B/"
+        f"{BLOCK_BYTES}B direct-mapped miss ratio)",
+        ["name"] + labels,
+        [
+            [row.name] + [fmt_pct(row.miss_by_variant[label])
+                          for label in labels]
+            for row in rows
+        ],
+    )
+
+
+@dataclass(frozen=True)
+class MinProbRow:
+    """Miss ratio per MIN_PROB value for one benchmark."""
+
+    name: str
+    miss_by_min_prob: dict[float, float]
+
+
+def compute_min_prob(runner: ExperimentRunner) -> list[MinProbRow]:
+    """Sweep MIN_PROB on the stress benchmarks (steps 3-5 re-run)."""
+    rows = []
+    for name in STRESS_BENCHMARKS:
+        art = runner.artifacts(name)
+        miss = {}
+        for value in MIN_PROB_VALUES:
+            options = replace(PlacementOptions(), min_prob=value)
+            result = place(art.program, art.placement.profile, options)
+            miss[value] = _miss(art.trace.addresses(result.image))
+        rows.append(MinProbRow(name=name, miss_by_min_prob=miss))
+    return rows
+
+
+def render_min_prob(rows: list[MinProbRow]) -> str:
+    """Render the MIN_PROB sensitivity table."""
+    return render_table(
+        f"Ablation: MIN_PROB sensitivity ({CACHE_BYTES}B/{BLOCK_BYTES}B "
+        "direct-mapped miss ratio)",
+        ["name"] + [str(v) for v in MIN_PROB_VALUES],
+        [
+            [row.name] + [fmt_pct(row.miss_by_min_prob[v])
+                          for v in MIN_PROB_VALUES]
+            for row in rows
+        ],
+    )
+
+
+def run(runner: ExperimentRunner | None = None) -> str:
+    """Regenerate both ablation tables."""
+    runner = runner or default_runner()
+    return (
+        render_steps(compute_steps(runner))
+        + "\n"
+        + render_min_prob(compute_min_prob(runner))
+    )

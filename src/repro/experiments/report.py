@@ -1,0 +1,72 @@
+"""Plain-text table rendering and result persistence.
+
+Every experiment renders through :func:`render_table` so all regenerated
+tables share one look, and benchmarks persist their output with
+:func:`save_result` so EXPERIMENTS.md can reference the measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+
+__all__ = ["render_table", "fmt_pct", "fmt_count", "save_result", "results_dir"]
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str | None = None,
+) -> str:
+    """Render a monospace table with a title rule and aligned columns."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(
+            value.rjust(widths[i]) if i else value.ljust(widths[i])
+            for i, value in enumerate(values)
+        ).rstrip()
+
+    rule = "-" * max(len(title), sum(widths) + 2 * (len(widths) - 1))
+    out = [title, rule, line(list(headers)), rule]
+    out.extend(line(row) for row in cells)
+    out.append(rule)
+    if note:
+        out.append(note)
+    return "\n".join(out) + "\n"
+
+
+def fmt_pct(fraction: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string, e.g. ``0.0153 -> 1.53%``."""
+    return f"{100.0 * fraction:.{digits}f}%"
+
+
+def fmt_count(value: float) -> str:
+    """Format a large count compactly (K/M suffixes)."""
+    if value >= 10_000_000:
+        return f"{value / 1_000_000:.1f}M"
+    if value >= 10_000:
+        return f"{value / 1_000:.1f}K"
+    return f"{value:.0f}" if isinstance(value, float) else str(value)
+
+
+def results_dir() -> str:
+    """Directory where regenerated tables are written (repo ``results/``)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.abspath(os.path.join(here, os.pardir, os.pardir, os.pardir))
+    path = os.path.join(root, "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def save_result(name: str, text: str) -> str:
+    """Persist a rendered table under ``results/<name>.txt``."""
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path

@@ -1,0 +1,174 @@
+"""Shared experiment state: build, profile, place, and trace each workload
+once, then let every table reuse the artifacts.
+
+This mirrors the paper's methodology exactly: placement comes from the
+profiling runs, the evaluation trace comes from one randomly-selected
+input, and the same trace is replayed against every cache configuration
+(and, via :meth:`addresses`, every layout and code-scaling factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.interp.interpreter import Interpreter
+from repro.interp.trace import BlockTrace
+from repro.ir.program import Program
+from repro.placement.baselines import natural_order, random_order
+from repro.placement.conflict_aware import conflict_aware_order
+from repro.placement.pettis_hansen import pettis_hansen_order
+from repro.placement.image import MemoryImage
+from repro.placement.pipeline import (
+    PlacementOptions,
+    PlacementResult,
+    optimize_program,
+)
+from repro.placement.scaling import scaled_sizes
+from repro.workloads.registry import Workload, get_workload, workload_names
+
+__all__ = ["WorkloadArtifacts", "ExperimentRunner", "default_runner"]
+
+#: Safety net for runaway workloads during experiments.
+MAX_TRACE_INSTRUCTIONS = 200_000_000
+
+
+@dataclass
+class WorkloadArtifacts:
+    """Everything the experiment tables need for one benchmark."""
+
+    workload: Workload
+    original_program: Program
+    placement: PlacementResult
+    trace: BlockTrace             # on the post-inline program
+    original_trace: BlockTrace    # on the original (uninlined) program
+
+    @property
+    def program(self) -> Program:
+        """The post-inline program the placed image was linked from."""
+        return self.placement.program
+
+    @property
+    def image(self) -> MemoryImage:
+        """The optimized memory image."""
+        return self.placement.image
+
+
+class ExperimentRunner:
+    """Caches per-workload artifacts and derived address traces."""
+
+    def __init__(
+        self,
+        scale: str = "default",
+        options: PlacementOptions | None = None,
+    ) -> None:
+        self.scale = scale
+        self.options = options or PlacementOptions()
+        self._artifacts: dict[str, WorkloadArtifacts] = {}
+        self._addresses: dict[tuple, np.ndarray] = {}
+
+    def names(self) -> list[str]:
+        """The benchmark names, in paper table order."""
+        return workload_names()
+
+    def artifacts(self, name: str) -> WorkloadArtifacts:
+        """Build+profile+place+trace one workload (cached)."""
+        if name not in self._artifacts:
+            workload = get_workload(name)
+            program = workload.build()
+            placement = optimize_program(
+                program, workload.profiling_inputs(self.scale), self.options
+            )
+            trace_input = workload.trace_input(self.scale)
+            result = Interpreter(placement.program).run(
+                trace_input, max_instructions=MAX_TRACE_INSTRUCTIONS
+            )
+            original_result = Interpreter(program).run(
+                trace_input, max_instructions=MAX_TRACE_INSTRUCTIONS
+            )
+            self._artifacts[name] = WorkloadArtifacts(
+                workload=workload,
+                original_program=program,
+                placement=placement,
+                trace=BlockTrace.from_execution(result),
+                original_trace=BlockTrace.from_execution(original_result),
+            )
+        return self._artifacts[name]
+
+    # -- derived images and address traces ---------------------------------
+
+    def image_for(
+        self, name: str, layout: str = "optimized",
+        scaling: float = 1.0, seed: int = 0,
+    ) -> MemoryImage:
+        """A linked image of the workload under a named layout.
+
+        ``layout`` is ``"optimized"`` (the IMPACT-I pipeline output),
+        ``"natural"`` (declaration order of the *original*, uninlined
+        program — the no-optimization baseline), ``"random"``, or
+        ``"pettis_hansen"`` (the PLDI'90 follow-on's layout policy).
+        """
+        art = self.artifacts(name)
+        if layout == "optimized":
+            program = art.program
+            order = art.placement.order
+        elif layout == "natural":
+            program = art.original_program
+            order = natural_order(program)
+        elif layout == "random":
+            program = art.original_program
+            order = random_order(program, seed)
+        elif layout == "conflict_aware":
+            # Steps 1-4 as usual; step 5 replaced by the conflict-aware
+            # greedy placement (post-paper refinement, see
+            # placement.conflict_aware).
+            program = art.program
+            order = conflict_aware_order(
+                program, art.placement.profile,
+                art.placement.function_layouts,
+            )
+        elif layout == "pettis_hansen":
+            # PH is applied to the original program with the same profile
+            # information the IMPACT-I pipeline consumed, isolating the
+            # layout policy itself.
+            program = art.original_program
+            order = pettis_hansen_order(
+                program, art.placement.pre_inline_profile
+            )
+        else:
+            raise ValueError(f"unknown layout {layout!r}")
+        sizes = scaled_sizes(program, scaling) if scaling != 1.0 else None
+        return MemoryImage.build(program, order, sizes=sizes)
+
+    def addresses(
+        self, name: str, layout: str = "optimized",
+        scaling: float = 1.0, seed: int = 0,
+    ) -> np.ndarray:
+        """The instruction-fetch address trace under a layout (cached for
+        the unscaled optimized and natural layouts, which every cache table
+        replays)."""
+        key = (name, layout, scaling, seed)
+        if key in self._addresses:
+            return self._addresses[key]
+        art = self.artifacts(name)
+        image = self.image_for(name, layout, scaling, seed)
+        trace = (
+            art.trace if layout in ("optimized", "conflict_aware")
+            else art.original_trace
+        )
+        addresses = trace.addresses(image)
+        if scaling == 1.0 and layout in ("optimized", "natural"):
+            self._addresses[key] = addresses
+        return addresses
+
+
+_DEFAULT_RUNNER: ExperimentRunner | None = None
+
+
+def default_runner() -> ExperimentRunner:
+    """The process-wide runner the benchmark suite shares."""
+    global _DEFAULT_RUNNER
+    if _DEFAULT_RUNNER is None:
+        _DEFAULT_RUNNER = ExperimentRunner()
+    return _DEFAULT_RUNNER

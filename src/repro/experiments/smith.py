@@ -1,0 +1,49 @@
+"""A. J. Smith's design-target miss ratios (the paper's Table 1).
+
+"Table 1 lists a small subset of the design target miss ratios reported
+by Smith for fully associative instruction cache [Line (Block) Size
+Choice for CPU Cache Memories, IEEE ToC 1987].  We will use the miss
+ratios in Table 1 as the basis for evaluating the effectiveness of our
+instruction placement optimization."
+
+These are published constants, reproduced verbatim; the executable
+counterpart (a fully associative LRU simulation of *our* unoptimized
+traces) lives in :mod:`repro.experiments.comparison`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SMITH_TARGETS",
+    "SMITH_CACHE_SIZES",
+    "SMITH_BLOCK_SIZES",
+    "smith_target",
+]
+
+#: Cache sizes (bytes) covered by the paper's Table 1.
+SMITH_CACHE_SIZES = (512, 1024, 2048, 4096)
+
+#: Block sizes (bytes) covered by the paper's Table 1.
+SMITH_BLOCK_SIZES = (16, 32, 64, 128)
+
+#: (cache_bytes, block_bytes) -> design-target miss ratio (fraction).
+SMITH_TARGETS: dict[tuple[int, int], float] = {
+    (512, 16): 0.230, (512, 32): 0.159, (512, 64): 0.119, (512, 128): 0.108,
+    (1024, 16): 0.200, (1024, 32): 0.134, (1024, 64): 0.098,
+    (1024, 128): 0.084,
+    (2048, 16): 0.150, (2048, 32): 0.098, (2048, 64): 0.068,
+    (2048, 128): 0.057,
+    (4096, 16): 0.100, (4096, 32): 0.063, (4096, 64): 0.043,
+    (4096, 128): 0.032,
+}
+
+
+def smith_target(cache_bytes: int, block_bytes: int) -> float:
+    """Design-target miss ratio for a (cache, block) pair in Table 1."""
+    try:
+        return SMITH_TARGETS[(cache_bytes, block_bytes)]
+    except KeyError:
+        raise KeyError(
+            f"Smith's table covers caches {SMITH_CACHE_SIZES} x blocks "
+            f"{SMITH_BLOCK_SIZES}; got ({cache_bytes}, {block_bytes})"
+        ) from None

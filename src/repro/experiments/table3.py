@@ -1,0 +1,67 @@
+"""Table 3 — inline expansion results.
+
+Columns, as in the paper: static code increase, dynamic calls eliminated,
+and the average dynamic instructions ("DI's") / non-call control transfers
+("CT's") between dynamic function calls *after* inline expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import ExperimentRunner, default_runner
+from repro.placement.stats import inline_stats
+
+__all__ = ["Row", "compute", "render", "run"]
+
+
+@dataclass(frozen=True)
+class Row:
+    """One benchmark's inline-expansion summary."""
+
+    name: str
+    code_increase_pct: float
+    call_decrease_pct: float
+    instructions_per_call: float
+    control_transfers_per_call: float
+
+
+def compute(runner: ExperimentRunner) -> list[Row]:
+    """Inline statistics per benchmark."""
+    rows = []
+    for name in runner.names():
+        art = runner.artifacts(name)
+        stats = inline_stats(
+            art.placement.inline_report, art.placement.profile
+        )
+        rows.append(
+            Row(
+                name=name,
+                code_increase_pct=stats.code_increase_pct,
+                call_decrease_pct=stats.call_decrease_pct,
+                instructions_per_call=stats.instructions_per_call,
+                control_transfers_per_call=stats.control_transfers_per_call,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Row]) -> str:
+    """Render Table 3."""
+    return render_table(
+        "Table 3. Inline Expansion Results",
+        ["name", "code inc", "call dec", "DI's per call", "CT's per call"],
+        [
+            [r.name, f"{r.code_increase_pct:.0f}%",
+             f"{r.call_decrease_pct:.0f}%",
+             f"{r.instructions_per_call:.0f}",
+             f"{r.control_transfers_per_call:.0f}"]
+            for r in rows
+        ],
+    )
+
+
+def run(runner: ExperimentRunner | None = None) -> str:
+    """Regenerate Table 3."""
+    return render(compute(runner or default_runner()))

@@ -1,0 +1,66 @@
+"""Table 4 — trace selection results.
+
+For every dynamic intra-function control transfer: is it *desirable*
+(stays sequential within a trace), *neutral* (trace tail to trace head,
+fixable by trace ordering), or *undesirable* (enters/exits a trace at a
+non-terminal block)?  Plus the average trace length in basic blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import ExperimentRunner, default_runner
+from repro.placement.stats import trace_selection_stats
+
+__all__ = ["Row", "compute", "render", "run"]
+
+
+@dataclass(frozen=True)
+class Row:
+    """One benchmark's trace-selection quality summary."""
+
+    name: str
+    neutral_pct: float
+    undesirable_pct: float
+    desirable_pct: float
+    trace_length: float
+
+
+def compute(runner: ExperimentRunner) -> list[Row]:
+    """Trace statistics per benchmark (post-inline program and profile)."""
+    rows = []
+    for name in runner.names():
+        art = runner.artifacts(name)
+        stats = trace_selection_stats(
+            art.program, art.placement.profile, art.placement.selections
+        )
+        rows.append(
+            Row(
+                name=name,
+                neutral_pct=stats.neutral_pct,
+                undesirable_pct=stats.undesirable_pct,
+                desirable_pct=stats.desirable_pct,
+                trace_length=stats.avg_trace_length,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Row]) -> str:
+    """Render Table 4."""
+    return render_table(
+        "Table 4. Trace Selection Results",
+        ["name", "neutral", "undesirable", "desirable", "trace length"],
+        [
+            [r.name, f"{r.neutral_pct:.2f}%", f"{r.undesirable_pct:.2f}%",
+             f"{r.desirable_pct:.2f}%", f"{r.trace_length:.1f}"]
+            for r in rows
+        ],
+    )
+
+
+def run(runner: ExperimentRunner | None = None) -> str:
+    """Regenerate Table 4."""
+    return render(compute(runner or default_runner()))

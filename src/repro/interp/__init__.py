@@ -1,0 +1,31 @@
+"""Execution substrate: interpreter, profiler, and dynamic traces."""
+
+from repro.interp.interpreter import (
+    ExecutionError,
+    ExecutionLimitExceeded,
+    ExecutionResult,
+    Interpreter,
+    VIA_FALL,
+    VIA_TAKEN,
+    VIA_TERM,
+    run_program,
+)
+from repro.interp.machine import MachineState
+from repro.interp.profiler import Profiler, profile_program
+from repro.interp.trace import BlockTrace, expand_addresses
+
+__all__ = [
+    "BlockTrace",
+    "ExecutionError",
+    "ExecutionLimitExceeded",
+    "ExecutionResult",
+    "Interpreter",
+    "MachineState",
+    "Profiler",
+    "VIA_FALL",
+    "VIA_TAKEN",
+    "VIA_TERM",
+    "expand_addresses",
+    "profile_program",
+    "run_program",
+]

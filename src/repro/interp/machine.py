@@ -1,0 +1,46 @@
+"""Architected machine state snapshots.
+
+The interpreter keeps its working state in local variables for speed; this
+module defines the boundary objects: the initial state a caller may supply
+and the final state returned in an :class:`~repro.interp.interpreter.ExecutionResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import NUM_REGISTERS
+
+
+@dataclass
+class MachineState:
+    """Registers and data memory of the mini machine.
+
+    ``memory`` is word-addressed and sparse (a dict); unwritten words read
+    as 0, mirroring zero-initialised data segments.
+    """
+
+    registers: list[int] = field(
+        default_factory=lambda: [0] * NUM_REGISTERS
+    )
+    memory: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.registers) != NUM_REGISTERS:
+            raise ValueError(
+                f"expected {NUM_REGISTERS} registers, got {len(self.registers)}"
+            )
+        if self.registers[0] != 0:
+            raise ValueError("r0 must be 0")
+
+    def read(self, address: int) -> int:
+        """Read a data word (0 if never written)."""
+        return self.memory.get(address, 0)
+
+    def write(self, address: int, value: int) -> None:
+        """Write a data word."""
+        self.memory[address] = value
+
+    def copy(self) -> "MachineState":
+        """Deep-enough copy (registers and memory are fresh containers)."""
+        return MachineState(list(self.registers), dict(self.memory))

@@ -1,0 +1,45 @@
+"""IR substrate: the mini RISC-like target machine's program representation.
+
+Public surface::
+
+    from repro.ir import (
+        Program, Function, BasicBlock, Instruction, Opcode,
+        ProgramBuilder, validate_program,
+        INSTRUCTION_BYTES, EOF_SENTINEL,
+    )
+"""
+
+from repro.ir.block import BasicBlock
+from repro.ir.builder import BlockBuilder, FunctionBuilder, ProgramBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BRANCH_OPCODES,
+    EOF_SENTINEL,
+    INSTRUCTION_BYTES,
+    NUM_REGISTERS,
+    TERMINATOR_OPCODES,
+    Instruction,
+    Opcode,
+    parse_register,
+)
+from repro.ir.program import Program
+from repro.ir.validate import ValidationError, validate_program
+
+__all__ = [
+    "BasicBlock",
+    "BlockBuilder",
+    "BRANCH_OPCODES",
+    "EOF_SENTINEL",
+    "Function",
+    "FunctionBuilder",
+    "INSTRUCTION_BYTES",
+    "Instruction",
+    "NUM_REGISTERS",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "TERMINATOR_OPCODES",
+    "ValidationError",
+    "parse_register",
+    "validate_program",
+]

@@ -1,0 +1,118 @@
+"""Basic blocks: the nodes of the weighted control graph.
+
+A basic block is a maximal straight-line instruction sequence ending in
+exactly one control-transfer instruction.  Calls terminate blocks too
+(design choice #2 in DESIGN.md): the block after a call site is a distinct
+node reached by the call's *fall* successor, which is what makes inline
+expansion a pure CFG splice and matches the paper's control-graph
+definition.
+
+Successor labels are stored on the block (by name, resolved to integer ids
+when the program is finalized) so that layout and inlining can rewire edges
+without rewriting instruction operands.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.ir.instructions import (
+    INSTRUCTION_BYTES,
+    Instruction,
+    Opcode,
+)
+
+
+class BasicBlock:
+    """A basic block inside a function.
+
+    Parameters
+    ----------
+    name:
+        Label unique within the enclosing function.
+    instructions:
+        Non-empty list whose last element is a terminator and which contains
+        no other terminator.
+    taken:
+        Label of the taken successor (for ``JMP`` and conditional branches).
+    fall:
+        Label of the fall-through successor (for conditional branches) or of
+        the continuation block (for ``CALL``).
+    callee:
+        Name of the called function (for ``CALL`` blocks).
+    """
+
+    __slots__ = (
+        "name", "instructions", "taken", "fall", "callee",
+        "bid", "function_name",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        instructions: list[Instruction],
+        taken: str | None = None,
+        fall: str | None = None,
+        callee: str | None = None,
+    ) -> None:
+        self.name = name
+        self.instructions = instructions
+        self.taken = taken
+        self.fall = fall
+        self.callee = callee
+        #: Global integer id, assigned by ``Program.finalize``.
+        self.bid: int | None = None
+        #: Enclosing function name, assigned by ``Function.__init__``.
+        self.function_name: str | None = None
+
+    @property
+    def terminator(self) -> Instruction:
+        """The block's final, control-transfer instruction."""
+        return self.instructions[-1]
+
+    @property
+    def kind(self) -> Opcode:
+        """Opcode of the terminator (``JMP``, ``CALL``, ``RET``, ...)."""
+        return self.terminator.op
+
+    @property
+    def num_instructions(self) -> int:
+        """Number of instructions, including the terminator."""
+        return len(self.instructions)
+
+    @property
+    def size_bytes(self) -> int:
+        """Unlinked code size in bytes (before jump elision/insertion)."""
+        return len(self.instructions) * INSTRUCTION_BYTES
+
+    def successors(self) -> Iterator[str]:
+        """Yield intra-function successor labels (taken first, then fall).
+
+        Call blocks yield their continuation; the inter-function call edge
+        is reported separately via :attr:`callee`.
+        """
+        if self.taken is not None:
+            yield self.taken
+        if self.fall is not None:
+            yield self.fall
+
+    def clone(self, rename: dict[str, str], callee: str | None = None) -> "BasicBlock":
+        """Copy this block, renaming the label and successors via ``rename``.
+
+        Instructions are immutable and shared.  ``callee`` overrides the
+        clone's callee (used when the inliner retargets nothing but needs
+        a fresh identity).
+        """
+        return BasicBlock(
+            name=rename.get(self.name, self.name),
+            instructions=list(self.instructions),
+            taken=rename.get(self.taken, self.taken) if self.taken else None,
+            fall=rename.get(self.fall, self.fall) if self.fall else None,
+            callee=callee if callee is not None else self.callee,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BasicBlock({self.name!r}, {self.num_instructions} instrs, "
+            f"kind={self.kind.name})"
+        )

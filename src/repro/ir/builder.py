@@ -1,0 +1,283 @@
+"""A small assembler-like DSL for writing IR programs.
+
+The ten synthetic workloads are ordinary programs written against this
+builder.  Usage::
+
+    pb = ProgramBuilder()
+    main = pb.function("main")
+    b = main.block("entry")
+    b.li("r1", 0)
+    b.jmp("loop")
+    b = main.block("loop")
+    b.in_("r2")
+    b.beq("r2", EOF_SENTINEL, taken="done", fall="body")
+    ...
+    pb.build()  # -> validated Program
+
+Register operands are written ``"rN"``; a bare ``int`` in an ALU or branch
+source-2 position is an immediate.  Every block must end with exactly one
+terminator (``jmp``/``b..``/``call``/``ret``/``halt``); the builder raises
+if a terminator is missing or duplicated.
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    EOF_SENTINEL,
+    Instruction,
+    Opcode,
+    parse_register,
+)
+from repro.ir.program import Program
+from repro.ir.validate import validate_program
+
+__all__ = ["ProgramBuilder", "FunctionBuilder", "BlockBuilder", "EOF_SENTINEL"]
+
+
+class BlockBuilder:
+    """Accumulates the instructions of one basic block."""
+
+    def __init__(self, function: "FunctionBuilder", name: str) -> None:
+        self._function = function
+        self.name = name
+        self._instructions: list[Instruction] = []
+        self._taken: str | None = None
+        self._fall: str | None = None
+        self._callee: str | None = None
+        self._terminated = False
+
+    # -- straight-line instructions ------------------------------------
+
+    def _emit(self, instruction: Instruction) -> "BlockBuilder":
+        if self._terminated:
+            raise ValueError(
+                f"block {self.name!r}: instruction after terminator"
+            )
+        self._instructions.append(instruction)
+        return self
+
+    def _alu(self, op: Opcode, rd: str, rs1: str, op2: str | int) -> "BlockBuilder":
+        rs2, imm = _source2(op2)
+        return self._emit(
+            Instruction(op, rd=parse_register(rd), rs1=parse_register(rs1),
+                        rs2=rs2, imm=imm)
+        )
+
+    def add(self, rd: str, rs1: str, op2: str | int) -> "BlockBuilder":
+        """rd = rs1 + op2."""
+        return self._alu(Opcode.ADD, rd, rs1, op2)
+
+    def sub(self, rd: str, rs1: str, op2: str | int) -> "BlockBuilder":
+        """rd = rs1 - op2."""
+        return self._alu(Opcode.SUB, rd, rs1, op2)
+
+    def mul(self, rd: str, rs1: str, op2: str | int) -> "BlockBuilder":
+        """rd = rs1 * op2."""
+        return self._alu(Opcode.MUL, rd, rs1, op2)
+
+    def div(self, rd: str, rs1: str, op2: str | int) -> "BlockBuilder":
+        """rd = rs1 // op2 (0 when op2 == 0)."""
+        return self._alu(Opcode.DIV, rd, rs1, op2)
+
+    def rem(self, rd: str, rs1: str, op2: str | int) -> "BlockBuilder":
+        """rd = rs1 % op2 (0 when op2 == 0)."""
+        return self._alu(Opcode.REM, rd, rs1, op2)
+
+    def and_(self, rd: str, rs1: str, op2: str | int) -> "BlockBuilder":
+        """rd = rs1 & op2."""
+        return self._alu(Opcode.AND, rd, rs1, op2)
+
+    def or_(self, rd: str, rs1: str, op2: str | int) -> "BlockBuilder":
+        """rd = rs1 | op2."""
+        return self._alu(Opcode.OR, rd, rs1, op2)
+
+    def xor(self, rd: str, rs1: str, op2: str | int) -> "BlockBuilder":
+        """rd = rs1 ^ op2."""
+        return self._alu(Opcode.XOR, rd, rs1, op2)
+
+    def shl(self, rd: str, rs1: str, op2: str | int) -> "BlockBuilder":
+        """rd = rs1 << op2."""
+        return self._alu(Opcode.SHL, rd, rs1, op2)
+
+    def shr(self, rd: str, rs1: str, op2: str | int) -> "BlockBuilder":
+        """rd = rs1 >> op2."""
+        return self._alu(Opcode.SHR, rd, rs1, op2)
+
+    def slt(self, rd: str, rs1: str, op2: str | int) -> "BlockBuilder":
+        """rd = 1 if rs1 < op2 else 0."""
+        return self._alu(Opcode.SLT, rd, rs1, op2)
+
+    def li(self, rd: str, imm: int) -> "BlockBuilder":
+        """rd = imm."""
+        return self._emit(Instruction(Opcode.LI, rd=parse_register(rd), imm=imm))
+
+    def mov(self, rd: str, rs1: str) -> "BlockBuilder":
+        """rd = rs1."""
+        return self._emit(
+            Instruction(Opcode.MOV, rd=parse_register(rd), rs1=parse_register(rs1))
+        )
+
+    def ld(self, rd: str, base: str, offset: int = 0) -> "BlockBuilder":
+        """rd = memory[base + offset]."""
+        return self._emit(
+            Instruction(Opcode.LD, rd=parse_register(rd),
+                        rs1=parse_register(base), imm=offset)
+        )
+
+    def st(self, src: str, base: str, offset: int = 0) -> "BlockBuilder":
+        """memory[base + offset] = src."""
+        return self._emit(
+            Instruction(Opcode.ST, rs1=parse_register(base),
+                        rs2=parse_register(src), imm=offset)
+        )
+
+    def in_(self, rd: str) -> "BlockBuilder":
+        """rd = next input value (EOF_SENTINEL when exhausted)."""
+        return self._emit(Instruction(Opcode.IN, rd=parse_register(rd)))
+
+    def out(self, rs: str) -> "BlockBuilder":
+        """Emit rs to the output stream."""
+        return self._emit(Instruction(Opcode.OUT, rs1=parse_register(rs)))
+
+    def nop(self, count: int = 1) -> "BlockBuilder":
+        """Insert ``count`` no-ops (footprint padding)."""
+        for _ in range(count):
+            self._emit(Instruction(Opcode.NOP))
+        return self
+
+    # -- terminators -----------------------------------------------------
+
+    def _terminate(self, instruction: Instruction) -> None:
+        self._emit(instruction)
+        self._terminated = True
+
+    def jmp(self, target: str) -> None:
+        """Unconditional jump to ``target`` (label in this function)."""
+        self._taken = target
+        self._terminate(Instruction(Opcode.JMP))
+
+    def _branch(self, op: Opcode, rs1: str, op2: str | int,
+                taken: str, fall: str) -> None:
+        rs2, imm = _source2(op2)
+        self._taken = taken
+        self._fall = fall
+        self._terminate(
+            Instruction(op, rs1=parse_register(rs1), rs2=rs2, imm=imm)
+        )
+
+    def beq(self, rs1: str, op2: str | int, taken: str, fall: str) -> None:
+        """Branch to ``taken`` if rs1 == op2, else fall through to ``fall``."""
+        self._branch(Opcode.BEQ, rs1, op2, taken, fall)
+
+    def bne(self, rs1: str, op2: str | int, taken: str, fall: str) -> None:
+        """Branch to ``taken`` if rs1 != op2."""
+        self._branch(Opcode.BNE, rs1, op2, taken, fall)
+
+    def blt(self, rs1: str, op2: str | int, taken: str, fall: str) -> None:
+        """Branch to ``taken`` if rs1 < op2."""
+        self._branch(Opcode.BLT, rs1, op2, taken, fall)
+
+    def bge(self, rs1: str, op2: str | int, taken: str, fall: str) -> None:
+        """Branch to ``taken`` if rs1 >= op2."""
+        self._branch(Opcode.BGE, rs1, op2, taken, fall)
+
+    def ble(self, rs1: str, op2: str | int, taken: str, fall: str) -> None:
+        """Branch to ``taken`` if rs1 <= op2."""
+        self._branch(Opcode.BLE, rs1, op2, taken, fall)
+
+    def bgt(self, rs1: str, op2: str | int, taken: str, fall: str) -> None:
+        """Branch to ``taken`` if rs1 > op2."""
+        self._branch(Opcode.BGT, rs1, op2, taken, fall)
+
+    def call(self, callee: str, cont: str) -> None:
+        """Call function ``callee``; execution resumes at block ``cont``."""
+        self._callee = callee
+        self._fall = cont
+        self._terminate(Instruction(Opcode.CALL))
+
+    def ret(self) -> None:
+        """Return to the continuation block of the most recent call."""
+        self._terminate(Instruction(Opcode.RET))
+
+    def halt(self) -> None:
+        """Stop the machine."""
+        self._terminate(Instruction(Opcode.HALT))
+
+    # -- assembly --------------------------------------------------------
+
+    def _finish(self) -> BasicBlock:
+        if not self._terminated:
+            raise ValueError(f"block {self.name!r} has no terminator")
+        return BasicBlock(
+            name=self.name,
+            instructions=self._instructions,
+            taken=self._taken,
+            fall=self._fall,
+            callee=self._callee,
+        )
+
+
+class FunctionBuilder:
+    """Accumulates the basic blocks of one function, in layout order."""
+
+    def __init__(self, program: "ProgramBuilder", name: str,
+                 is_syscall: bool) -> None:
+        self._program = program
+        self.name = name
+        self.is_syscall = is_syscall
+        self._blocks: list[BlockBuilder] = []
+        self._names: set[str] = set()
+
+    def block(self, name: str) -> BlockBuilder:
+        """Start a new basic block labelled ``name`` (first block = entry)."""
+        if name in self._names:
+            raise ValueError(f"duplicate block {name!r} in {self.name!r}")
+        self._names.add(name)
+        builder = BlockBuilder(self, name)
+        self._blocks.append(builder)
+        return builder
+
+    def _finish(self) -> Function:
+        if not self._blocks:
+            raise ValueError(f"function {self.name!r} has no blocks")
+        return Function(
+            name=self.name,
+            blocks=[block._finish() for block in self._blocks],
+            is_syscall=self.is_syscall,
+        )
+
+
+class ProgramBuilder:
+    """Top-level builder; call :meth:`function` then :meth:`build`."""
+
+    def __init__(self) -> None:
+        self._functions: list[FunctionBuilder] = []
+        self._names: set[str] = set()
+
+    def function(self, name: str, is_syscall: bool = False) -> FunctionBuilder:
+        """Start a new function (declaration order = natural layout order)."""
+        if name in self._names:
+            raise ValueError(f"duplicate function {name!r}")
+        self._names.add(name)
+        builder = FunctionBuilder(self, name, is_syscall)
+        self._functions.append(builder)
+        return builder
+
+    def build(self, entry: str = "main", validate: bool = True) -> Program:
+        """Assemble and (by default) validate the program."""
+        program = Program(
+            [function._finish() for function in self._functions],
+            entry=entry,
+        )
+        if validate:
+            validate_program(program)
+        return program
+
+
+def _source2(op2: str | int) -> tuple[int | None, int | None]:
+    """Split a source-2 operand into (rs2, imm)."""
+    if isinstance(op2, str):
+        return parse_register(op2), None
+    return None, int(op2)

@@ -1,0 +1,88 @@
+"""Functions: the nodes of the weighted call graph.
+
+Each function owns an ordered list of basic blocks; the first block is the
+entry.  The block order as written is the *natural* (declaration) layout,
+which serves as the unoptimized baseline the paper's placement algorithm is
+measured against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.ir.block import BasicBlock
+
+
+class Function:
+    """A function of the target program.
+
+    Parameters
+    ----------
+    name:
+        Program-unique function name.
+    blocks:
+        Ordered, non-empty list of basic blocks; ``blocks[0]`` is the entry.
+    is_syscall:
+        Marks operating-system entry points.  The paper notes that system
+        calls cannot be inline expanded (their ``tee`` benchmark); the
+        inliner honours this flag.
+    """
+
+    __slots__ = ("name", "blocks", "is_syscall", "_by_name")
+
+    def __init__(
+        self,
+        name: str,
+        blocks: list[BasicBlock],
+        is_syscall: bool = False,
+    ) -> None:
+        if not blocks:
+            raise ValueError(f"function {name!r} has no blocks")
+        self.name = name
+        self.blocks = blocks
+        self.is_syscall = is_syscall
+        self._by_name: dict[str, BasicBlock] = {}
+        for block in blocks:
+            if block.name in self._by_name:
+                raise ValueError(
+                    f"duplicate block {block.name!r} in function {name!r}"
+                )
+            block.function_name = name
+            self._by_name[block.name] = block
+
+    @property
+    def entry(self) -> BasicBlock:
+        """The entry block (first in declaration order)."""
+        return self.blocks[0]
+
+    def block(self, label: str) -> BasicBlock:
+        """Look up a block by label; raises ``KeyError`` if absent."""
+        return self._by_name[label]
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._by_name
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_instructions(self) -> int:
+        """Total instruction count across all blocks."""
+        return sum(block.num_instructions for block in self.blocks)
+
+    @property
+    def size_bytes(self) -> int:
+        """Unlinked code size in bytes."""
+        return sum(block.size_bytes for block in self.blocks)
+
+    def callees(self) -> Iterator[tuple[str, str]]:
+        """Yield ``(call_block_label, callee_name)`` for every call site."""
+        for block in self.blocks:
+            if block.callee is not None:
+                yield block.name, block.callee
+
+    def __repr__(self) -> str:
+        return f"Function({self.name!r}, {len(self.blocks)} blocks)"

@@ -1,0 +1,81 @@
+"""Human-readable listings of IR programs and linked images.
+
+Two views:
+
+* :func:`format_program` — a source-level listing in declaration order,
+  with labels, successors, and call targets;
+* :func:`format_image` — a linker-map-style listing in *placed* order,
+  with byte addresses, placed sizes, jump elision/insertion markers, and
+  (optionally) profile weights, so one can see exactly what the placement
+  pipeline did to a function.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.ir.program import Program
+from repro.placement.image import MemoryImage
+from repro.placement.profile_data import ProfileData
+
+__all__ = ["format_program", "format_function", "format_image"]
+
+
+def format_function(function: Function) -> str:
+    """Source-order listing of one function."""
+    lines = [f"function {function.name}"
+             + (" [syscall]" if function.is_syscall else "") + ":"]
+    for block in function.blocks:
+        suffix = ""
+        if block.callee is not None:
+            suffix = f" -> call {block.callee}, resume {block.fall}"
+        elif block.terminator.is_branch:
+            suffix = f" -> taken {block.taken}, fall {block.fall}"
+        elif block.kind is Opcode.JMP:
+            suffix = f" -> {block.taken}"
+        lines.append(f"  {block.name}:{suffix}")
+        for instruction in block.instructions:
+            lines.append(f"    {instruction}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Source-order listing of a whole program."""
+    return "\n\n".join(format_function(f) for f in program) + "\n"
+
+
+def format_image(
+    image: MemoryImage,
+    profile: ProfileData | None = None,
+    function: str | None = None,
+) -> str:
+    """Linker-map listing in placed order.
+
+    One line per placed block: address, placed size, function/block name,
+    what the linker did to the terminator (``jmp elided`` / ``jmp
+    inserted``), and the block's execution weight when a profile is
+    given.  Restrict to one function's blocks with ``function``.
+    """
+    program = image.program
+    lines = [f"{'address':>8}  {'size':>5}  weight      block"]
+    for bid in image.order:
+        block = program.blocks[bid]
+        if function is not None and block.function_name != function:
+            continue
+        placed = int(image.placed_bytes[bid])
+        natural = block.num_instructions * 4
+        note = ""
+        if placed < natural:
+            note = "  [jmp elided]"
+        elif placed > natural:
+            note = "  [jmp inserted]"
+        weight = (
+            f"{profile.block_weight(bid):>10}" if profile is not None
+            else " " * 10
+        )
+        lines.append(
+            f"{image.block_address(bid):>8x}  {placed:>5}  {weight}  "
+            f"{block.function_name}/{block.name}{note}"
+        )
+    lines.append(f"total: {image.total_bytes} bytes")
+    return "\n".join(lines) + "\n"

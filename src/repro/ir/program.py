@@ -1,0 +1,223 @@
+"""Whole programs: functions, the static call graph, and the flat block index.
+
+``Program.finalize`` assigns every basic block a dense global integer id
+(*bid*) and resolves successor labels and callee names to bids.  All the
+downstream machinery — interpreter, profiler, layout, trace expansion —
+works in terms of bids and the flat tables built here, which is what keeps
+trace-driven simulation tractable in Python.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+
+
+class Program:
+    """A complete target program.
+
+    Parameters
+    ----------
+    functions:
+        Ordered list; order defines the natural (unoptimized) global layout.
+    entry:
+        Name of the function where execution starts (default ``"main"``).
+    """
+
+    def __init__(self, functions: list[Function], entry: str = "main") -> None:
+        self.functions = functions
+        self.entry = entry
+        self._by_name: dict[str, Function] = {}
+        for function in functions:
+            if function.name in self._by_name:
+                raise ValueError(f"duplicate function {function.name!r}")
+            self._by_name[function.name] = function
+        if entry not in self._by_name:
+            raise ValueError(f"entry function {entry!r} not defined")
+
+        # Populated by finalize().
+        self.blocks: list[BasicBlock] = []
+        self.block_taken: list[int] = []      # bid of taken successor or -1
+        self.block_fall: list[int] = []       # bid of fall successor or -1
+        self.block_callee_entry: list[int] = []  # bid of callee entry or -1
+        self.block_function: list[str] = []   # enclosing function name
+        self.block_num_instructions: list[int] = []
+        self.function_entry_bid: dict[str, int] = {}
+        self._finalized = False
+        self.finalize()
+
+    def function(self, name: str) -> Function:
+        """Look up a function by name; raises ``KeyError`` if absent."""
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions)
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of basic blocks across all functions."""
+        return len(self.blocks)
+
+    @property
+    def num_instructions(self) -> int:
+        """Total static instruction count."""
+        return sum(function.num_instructions for function in self.functions)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total unlinked static code size in bytes."""
+        return sum(function.size_bytes for function in self.functions)
+
+    def finalize(self) -> None:
+        """(Re)build the flat bid-indexed tables.
+
+        Must be called again after any structural mutation; the placement
+        transforms construct fresh ``Program`` objects instead of mutating,
+        so user code rarely needs this.
+        """
+        self.blocks = []
+        for function in self.functions:
+            for block in function.blocks:
+                block.bid = len(self.blocks)
+                self.blocks.append(block)
+
+        n = len(self.blocks)
+        self.block_taken = [-1] * n
+        self.block_fall = [-1] * n
+        self.block_callee_entry = [-1] * n
+        self.block_function = [""] * n
+        self.block_num_instructions = [0] * n
+        self.function_entry_bid = {
+            function.name: function.entry.bid  # type: ignore[misc]
+            for function in self.functions
+        }
+
+        for function in self.functions:
+            for block in function.blocks:
+                bid = block.bid
+                assert bid is not None
+                self.block_function[bid] = function.name
+                self.block_num_instructions[bid] = block.num_instructions
+                if block.taken is not None:
+                    self.block_taken[bid] = self._resolve(
+                        function, block, block.taken
+                    )
+                if block.fall is not None:
+                    self.block_fall[bid] = self._resolve(
+                        function, block, block.fall
+                    )
+                if block.callee is not None:
+                    callee = self._by_name.get(block.callee)
+                    if callee is None:
+                        raise ValueError(
+                            f"{function.name}/{block.name}: unknown callee "
+                            f"{block.callee!r}"
+                        )
+                    self.block_callee_entry[bid] = callee.entry.bid
+        self._finalized = True
+
+    @staticmethod
+    def _resolve(function: Function, block: BasicBlock, label: str) -> int:
+        try:
+            return function.block(label).bid  # type: ignore[return-value]
+        except KeyError:
+            raise ValueError(
+                f"{function.name}/{block.name}: successor {label!r} "
+                "not in function"
+            ) from None
+
+    def static_call_graph(self) -> dict[str, dict[str, int]]:
+        """Static call multigraph: caller -> callee -> number of call sites."""
+        graph: dict[str, dict[str, int]] = {f.name: {} for f in self.functions}
+        for function in self.functions:
+            for _site, callee in function.callees():
+                graph[function.name][callee] = (
+                    graph[function.name].get(callee, 0) + 1
+                )
+        return graph
+
+    def recursive_functions(self) -> set[str]:
+        """Names of functions on a cycle of the static call graph.
+
+        These are the functions the inliner must never expand (inlining a
+        recursive callee would not terminate).
+        """
+        graph = self.static_call_graph()
+        index_counter = [0]
+        stack: list[str] = []
+        on_stack: set[str] = set()
+        index: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        recursive: set[str] = set()
+
+        def strongconnect(node: str) -> None:
+            # Iterative Tarjan SCC to survive deep call chains.
+            work = [(node, iter(graph[node]))]
+            index[node] = lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            while work:
+                current, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in index:
+                        index[child] = lowlink[child] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(graph[child])))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[current] = min(lowlink[current], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[current])
+                if lowlink[current] == index[current]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == current:
+                            break
+                    if len(component) > 1:
+                        recursive.update(component)
+                    elif component and component[0] in graph[component[0]]:
+                        recursive.add(component[0])  # direct self-recursion
+
+        for name in graph:
+            if name not in index:
+                strongconnect(name)
+        return recursive
+
+    def control_arcs(self, function: Function) -> Iterator[tuple[int, int, str]]:
+        """Yield intra-function arcs ``(src_bid, dst_bid, kind)``.
+
+        ``kind`` is ``"taken"``, ``"fall"`` or ``"call_fall"`` (continuation
+        after a call returns).
+        """
+        for block in function.blocks:
+            bid = block.bid
+            assert bid is not None
+            if self.block_taken[bid] >= 0:
+                yield bid, self.block_taken[bid], "taken"
+            if self.block_fall[bid] >= 0:
+                kind = "call_fall" if block.kind is Opcode.CALL else "fall"
+                yield bid, self.block_fall[bid], kind
+
+    def __repr__(self) -> str:
+        return (
+            f"Program({len(self.functions)} functions, "
+            f"{self.num_blocks} blocks, {self.size_bytes} bytes)"
+        )

@@ -1,0 +1,108 @@
+"""Structural validation of IR programs.
+
+These checks enforce the invariants every downstream pass assumes:
+well-formed terminators, resolvable labels, a read-only ``r0``, and
+successor fields consistent with the terminator opcode.  The placement
+transforms re-validate their outputs, so a bug in (say) the inliner
+surfaces here rather than as a silent mis-simulation.
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.ir.program import Program
+
+__all__ = ["ValidationError", "validate_program", "validate_function"]
+
+
+class ValidationError(Exception):
+    """An IR structural invariant was violated."""
+
+
+def validate_program(program: Program) -> None:
+    """Validate every function plus inter-function references."""
+    for function in program:
+        validate_function(function, program)
+    if program.entry not in program:
+        raise ValidationError(f"missing entry function {program.entry!r}")
+
+
+def validate_function(function: Function, program: Program | None = None) -> None:
+    """Validate one function's blocks, labels, and terminators."""
+    for block in function.blocks:
+        _validate_block(block, function, program)
+
+
+def _validate_block(
+    block: BasicBlock, function: Function, program: Program | None
+) -> None:
+    where = f"{function.name}/{block.name}"
+    if not block.instructions:
+        raise ValidationError(f"{where}: empty block")
+
+    terminator = block.instructions[-1]
+    if not terminator.is_terminator:
+        raise ValidationError(
+            f"{where}: last instruction {terminator.op.name} is not a "
+            "terminator"
+        )
+    for instruction in block.instructions[:-1]:
+        if instruction.is_terminator:
+            raise ValidationError(
+                f"{where}: terminator {instruction.op.name} in block middle"
+            )
+        if instruction.rd == 0:
+            raise ValidationError(f"{where}: write to r0")
+    if terminator.rd == 0:
+        raise ValidationError(f"{where}: write to r0")
+
+    _validate_successors(block, function, program, where)
+
+
+def _validate_successors(
+    block: BasicBlock, function: Function, program: Program | None, where: str
+) -> None:
+    op = block.kind
+    if op is Opcode.JMP:
+        _expect(block, where, taken=True, fall=False, callee=False)
+    elif block.terminator.is_branch:
+        _expect(block, where, taken=True, fall=True, callee=False)
+    elif op is Opcode.CALL:
+        _expect(block, where, taken=False, fall=True, callee=True)
+    elif op in (Opcode.RET, Opcode.HALT):
+        _expect(block, where, taken=False, fall=False, callee=False)
+    else:  # pragma: no cover - terminator set is closed
+        raise ValidationError(f"{where}: unknown terminator {op.name}")
+
+    for label in block.successors():
+        if label not in function:
+            raise ValidationError(
+                f"{where}: successor {label!r} not in function"
+            )
+    if block.callee is not None and program is not None:
+        if block.callee not in program:
+            raise ValidationError(
+                f"{where}: unknown callee {block.callee!r}"
+            )
+
+
+def _expect(
+    block: BasicBlock, where: str, taken: bool, fall: bool, callee: bool
+) -> None:
+    if (block.taken is not None) != taken:
+        raise ValidationError(
+            f"{where}: {block.kind.name} {'requires' if taken else 'forbids'} "
+            "a taken successor"
+        )
+    if (block.fall is not None) != fall:
+        raise ValidationError(
+            f"{where}: {block.kind.name} {'requires' if fall else 'forbids'} "
+            "a fall successor"
+        )
+    if (block.callee is not None) != callee:
+        raise ValidationError(
+            f"{where}: {block.kind.name} {'requires' if callee else 'forbids'} "
+            "a callee"
+        )

@@ -1,0 +1,119 @@
+"""Function body layout (paper Section 3 Step 4, Appendix
+``FunctionBodyLayout``).
+
+Traces are placed in a sequential order that preserves spatial locality:
+start from the function-entry trace, repeatedly chain to the trace whose
+*head* receives the heaviest arc from the current trace's *tail*
+(terminal-to-terminal connections only, non-zero-weight traces only);
+when no such connection exists, restart from the most important
+not-yet-placed trace.  Traces with zero execution count are moved to the
+bottom of the function, splitting the body into an *effective* region and
+a *non-executed* region — "this results in smaller effective function body,
+and allows more effective parts of functions to be packed into each page".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.function import Function
+from repro.placement.profile_data import ProfileData
+from repro.placement.trace_selection import Trace, TraceSelection
+
+__all__ = ["FunctionLayout", "layout_function"]
+
+
+@dataclass(frozen=True)
+class FunctionLayout:
+    """The placed block order of one function body.
+
+    ``blocks[:effective_end]`` is the effective region (traces with
+    non-zero profiled weight, in chained order); ``blocks[effective_end:]``
+    is the non-executed region.
+    """
+
+    function_name: str
+    blocks: tuple[int, ...]
+    effective_end: int
+
+    @property
+    def effective_blocks(self) -> tuple[int, ...]:
+        """bids of the effective region, in placed order."""
+        return self.blocks[: self.effective_end]
+
+    @property
+    def non_executed_blocks(self) -> tuple[int, ...]:
+        """bids of the non-executed region, in placed order."""
+        return self.blocks[self.effective_end:]
+
+
+def layout_function(
+    function: Function,
+    selection: TraceSelection,
+    profile: ProfileData,
+) -> FunctionLayout:
+    """Run the appendix ``FunctionBodyLayout`` algorithm on one function."""
+    entry_bid = function.entry.bid
+    assert entry_bid is not None
+
+    # Arc weights from a block to a block, for tail->head connections.
+    arc_weight: dict[tuple[int, int], int] = {}
+    for arc in profile.control_arcs(function):
+        key = (arc.src, arc.dst)
+        arc_weight[key] = arc_weight.get(key, 0) + arc.weight
+
+    traces = selection.traces
+    entry_trace = traces[selection.trace_of[entry_bid]]
+    visited: set[int] = set()
+    placed: list[Trace] = []
+
+    current: Trace | None = entry_trace
+    while current is not None:
+        visited.add(current.tid)
+        placed.append(current)
+
+        # Best trace connected tail-to-head (non-zero-weight traces only).
+        tail = current.tail
+        best: Trace | None = None
+        best_weight = 0
+        for candidate in traces:
+            if candidate.tid in visited or candidate.weight == 0:
+                continue
+            weight = arc_weight.get((tail, candidate.head), 0)
+            if weight > best_weight:
+                best = candidate
+                best_weight = weight
+        if best is not None:
+            current = best
+            continue
+
+        # No sequential locality: restart from the most important
+        # not-yet-placed non-zero-weight trace.
+        best = None
+        best_weight = -1
+        for candidate in traces:
+            if candidate.tid in visited or candidate.weight == 0:
+                continue
+            if candidate.weight > best_weight:
+                best = candidate
+                best_weight = candidate.weight
+        current = best
+
+    # The entry trace is placed even when the whole function never ran;
+    # a zero-weight entry trace belongs to the non-executed region.
+    effective_end = sum(len(t) for t in placed if t.weight > 0)
+
+    cold: list[int] = []
+    for trace in traces:
+        if trace.tid not in visited:
+            cold.extend(trace.blocks)
+
+    blocks = tuple(b for t in placed if t.weight > 0 for b in t.blocks)
+    blocks += tuple(b for t in placed if t.weight == 0 for b in t.blocks)
+    blocks += tuple(cold)
+
+    return FunctionLayout(
+        function_name=function.name,
+        blocks=blocks,
+        effective_end=effective_end,
+    )

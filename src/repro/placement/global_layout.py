@@ -1,0 +1,113 @@
+"""Global layout (paper Section 3 Step 5, Appendix ``GlobalLayout``).
+
+Functions executed close to each other in time are placed together: the
+weighted call graph (self-arcs zeroed) is walked depth-first starting from
+the functions at the top of the call-graph hierarchy (``main`` first),
+visiting callees in decreasing call-arc weight; functions are then placed
+in DFS order — all *effective* regions first, then all *non-executed*
+regions in the same order.  Separating the two regions is what packs the
+executed parts of interacting functions into the same pages and keeps them
+from conflicting in the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.program import Program
+from repro.placement.function_layout import FunctionLayout
+from repro.placement.profile_data import ProfileData
+
+__all__ = ["GlobalLayout", "layout_globally", "assemble_block_order"]
+
+
+@dataclass(frozen=True)
+class GlobalLayout:
+    """DFS placement order over the program's functions."""
+
+    order: tuple[str, ...]
+
+    def __iter__(self):
+        return iter(self.order)
+
+
+def layout_globally(program: Program, profile: ProfileData) -> GlobalLayout:
+    """Run the appendix ``GlobalLayout`` DFS over the weighted call graph."""
+    weights = profile.call_graph_weights()
+    static_graph = program.static_call_graph()
+
+    # Callees of each function, heaviest call arc first (ties: first
+    # declaration order, for determinism).
+    callee_order: dict[str, list[str]] = {}
+    for function in program:
+        callees = list(static_graph[function.name])
+        callees.sort(
+            key=lambda callee: -weights.get((function.name, callee), 0)
+        )
+        callee_order[function.name] = callees
+
+    visited: set[str] = set()
+    order: list[str] = []
+
+    def visit(name: str) -> None:
+        # Iterative DFS preserving recursive visit order.
+        stack: list[tuple[str, int]] = [(name, 0)]
+        visited.add(name)
+        order.append(name)
+        while stack:
+            current, child_index = stack[-1]
+            children = callee_order[current]
+            advanced = False
+            for i in range(child_index, len(children)):
+                child = children[i]
+                stack[-1] = (current, i + 1)
+                if child not in visited:
+                    visited.add(child)
+                    order.append(child)
+                    stack.append((child, 0))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+
+    # Roots: functions at the top of the call-graph hierarchy.  The program
+    # entry goes first; then any other function that is never statically
+    # called; finally whatever remains (e.g. members of call cycles not
+    # reached from any root), in declaration order.
+    called: set[str] = set()
+    for callees in static_graph.values():
+        called.update(callees)
+    visit(program.entry)
+    for function in program:
+        if function.name not in visited and function.name not in called:
+            visit(function.name)
+    for function in program:
+        if function.name not in visited:
+            visit(function.name)
+
+    return GlobalLayout(order=tuple(order))
+
+
+def assemble_block_order(
+    program: Program,
+    layouts: dict[str, FunctionLayout],
+    global_layout: GlobalLayout,
+) -> list[int]:
+    """Produce the final placed block order for the whole program.
+
+    Phase 1 places every function's effective region in DFS order; phase 2
+    appends every function's non-executed region in the same order.  The
+    result is a permutation of all bids, ready for
+    :meth:`repro.placement.image.MemoryImage.build`.
+    """
+    order: list[int] = []
+    for name in global_layout:
+        order.extend(layouts[name].effective_blocks)
+    for name in global_layout:
+        order.extend(layouts[name].non_executed_blocks)
+    if len(order) != program.num_blocks:
+        raise ValueError(
+            "assembled order does not cover the program "
+            f"({len(order)} of {program.num_blocks} blocks)"
+        )
+    return order

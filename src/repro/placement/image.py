@@ -1,0 +1,194 @@
+"""Linked memory images: block addresses and fetch-length tables.
+
+This is the reproduction's linker.  Given a placed block order (from the
+IMPACT-I pipeline, a baseline, or anything else) it assigns every basic
+block a byte address and materialises the layout-dependent control glue:
+
+* a block ending in an unconditional ``JMP`` whose target is placed
+  immediately after it has the jump *elided* (the block shrinks by one
+  instruction);
+* a block ending in a conditional branch whose fall-through successor is
+  *not* placed immediately after it grows by one appended unconditional
+  jump, fetched and executed only on the not-taken path.
+
+Those two rules are why code layout changes both the program's footprint
+and its fetch stream, exactly as in a real code-placement pass.  The image
+also implements the :class:`repro.interp.trace.FetchModel` protocol:
+``fetch_base`` and ``fetch_lengths`` drive the vectorised trace expansion.
+
+Code scaling (Section 4.2.3) plugs in through the ``sizes`` parameter: an
+alternative per-block instruction count replaces the natural one, and the
+same elision/insertion rules apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.interp.interpreter import VIA_FALL, VIA_TAKEN, VIA_TERM
+from repro.ir.instructions import INSTRUCTION_BYTES, Opcode
+from repro.ir.program import Program
+
+__all__ = ["MemoryImage"]
+
+
+@dataclass
+class MemoryImage:
+    """A fully linked program image.
+
+    Build with :meth:`build`; do not construct directly.
+    """
+
+    program: Program
+    order: tuple[int, ...]
+    fetch_base: np.ndarray        # int64[num_blocks], byte address per block
+    fetch_lengths: np.ndarray     # int64[3, num_blocks], instructions fetched
+    placed_bytes: np.ndarray      # int64[num_blocks], placed size in bytes
+    total_bytes: int
+    function_align: int = INSTRUCTION_BYTES
+    _position: dict[int, int] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def build(
+        cls,
+        program: Program,
+        order: list[int] | tuple[int, ...],
+        sizes: np.ndarray | None = None,
+        base_address: int = 0,
+        function_align: int = INSTRUCTION_BYTES,
+    ) -> "MemoryImage":
+        """Link ``program`` with blocks placed in ``order``.
+
+        Parameters
+        ----------
+        order:
+            A permutation of all global block ids.
+        sizes:
+            Per-block instruction counts (terminator included).  Defaults
+            to the natural sizes; the code-scaling experiment passes scaled
+            counts here.
+        base_address:
+            Byte address of the first placed block.
+        function_align:
+            Alignment (bytes, power of two) applied whenever placement
+            crosses into a different function; the padding breaks physical
+            adjacency, which the elision/insertion rules account for.
+        """
+        n = program.num_blocks
+        order = tuple(order)
+        if sorted(order) != list(range(n)):
+            raise ValueError("order must be a permutation of all block ids")
+        if function_align < INSTRUCTION_BYTES or (
+            function_align & (function_align - 1)
+        ):
+            raise ValueError("function_align must be a power of two >= 4")
+
+        if sizes is None:
+            sizes = np.asarray(program.block_num_instructions, dtype=np.int64)
+        else:
+            sizes = np.asarray(sizes, dtype=np.int64)
+            if len(sizes) != n or (sizes < 1).any():
+                raise ValueError("sizes must be positive, one per block")
+
+        taken = program.block_taken
+        fall = program.block_fall
+        kinds = [block.kind for block in program.blocks]
+        is_branch = [block.terminator.is_branch for block in program.blocks]
+
+        # Physical adjacency: order[i+1] follows order[i] contiguously
+        # unless an alignment gap is inserted between them.
+        next_in_order = [-1] * n
+        gap_after = [False] * n
+        for i, bid in enumerate(order[:-1]):
+            successor = order[i + 1]
+            next_in_order[bid] = successor
+            if function_align > INSTRUCTION_BYTES:
+                crosses = (
+                    program.block_function[bid]
+                    != program.block_function[successor]
+                )
+                gap_after[bid] = crosses
+
+        placed_instructions = np.zeros(n, dtype=np.int64)
+        fetch_lengths = np.zeros((3, n), dtype=np.int64)
+        for bid in range(n):
+            body = int(sizes[bid])
+            kind = kinds[bid]
+            adjacent_taken = (
+                next_in_order[bid] == taken[bid] and not gap_after[bid]
+            )
+            adjacent_fall = (
+                next_in_order[bid] == fall[bid] and not gap_after[bid]
+            )
+            if kind is Opcode.JMP and adjacent_taken:
+                placed = body - 1          # jump elided
+                fetched = max(placed, 0)
+                fetch_lengths[:, bid] = fetched
+                placed_instructions[bid] = placed
+            elif is_branch[bid]:
+                if adjacent_fall:
+                    placed = body
+                    fall_fetch = body
+                else:
+                    placed = body + 1      # appended unconditional jump
+                    fall_fetch = body + 1
+                placed_instructions[bid] = placed
+                fetch_lengths[VIA_TAKEN, bid] = body
+                fetch_lengths[VIA_FALL, bid] = fall_fetch
+                fetch_lengths[VIA_TERM, bid] = body  # unused for branches
+            else:
+                placed_instructions[bid] = body
+                fetch_lengths[:, bid] = body
+
+        placed_bytes = placed_instructions * INSTRUCTION_BYTES
+        fetch_base = np.zeros(n, dtype=np.int64)
+        address = base_address
+        position: dict[int, int] = {}
+        for i, bid in enumerate(order):
+            fetch_base[bid] = address
+            position[bid] = i
+            address += int(placed_bytes[bid])
+            if gap_after[bid]:
+                address = -(-address // function_align) * function_align
+
+        return cls(
+            program=program,
+            order=order,
+            fetch_base=fetch_base,
+            fetch_lengths=fetch_lengths,
+            placed_bytes=placed_bytes,
+            total_bytes=address - base_address,
+            function_align=function_align,
+            _position=position,
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def position(self, bid: int) -> int:
+        """Index of a block in the placed order."""
+        return self._position[bid]
+
+    def block_address(self, bid: int) -> int:
+        """Byte address of a block's first instruction."""
+        return int(self.fetch_base[bid])
+
+    def function_entry_address(self, name: str) -> int:
+        """Byte address of a function's entry block (the symbol table)."""
+        return self.block_address(self.program.function_entry_bid[name])
+
+    def static_bytes(self, mask: np.ndarray | None = None) -> int:
+        """Placed code size in bytes, optionally restricted to a bid mask.
+
+        With ``mask = profile.effective_blocks()`` this is the paper's
+        "effective static bytes" (Table 5); without a mask it is the total.
+        """
+        if mask is None:
+            return self.total_bytes
+        return int(self.placed_bytes[mask].sum())
+
+    def span(self) -> tuple[int, int]:
+        """(lowest, one-past-highest) byte addresses of placed code."""
+        low = int(self.fetch_base[list(self.order)[0]])
+        return low, low + self.total_bytes

@@ -1,0 +1,197 @@
+"""The five-step IMPACT-I instruction placement pipeline (paper Section 3).
+
+    1. execution profiling            -> repro.interp.profiler
+    2. function inline expansion      -> repro.placement.inline
+    3. trace selection                -> repro.placement.trace_selection
+    4. function layout                -> repro.placement.function_layout
+    5. global layout                  -> repro.placement.global_layout
+
+:func:`optimize_program` runs all five and links the result into a
+:class:`~repro.placement.image.MemoryImage`.  After inlining, the program
+is re-profiled over the same inputs — the probe-based equivalent of the
+paper carrying weights through the transformation — so trace selection and
+the layouts see weights for the post-inline control graphs.
+
+Steps can be disabled individually through :class:`PlacementOptions`,
+which is what the ablation benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+from repro.ir.program import Program
+from repro.placement.function_layout import FunctionLayout, layout_function
+from repro.placement.global_layout import (
+    GlobalLayout,
+    assemble_block_order,
+    layout_globally,
+)
+from repro.placement.image import MemoryImage
+from repro.placement.inline import InlinePolicy, InlineReport, inline_expand
+from repro.placement.profile_data import ProfileData
+from repro.placement.trace_selection import (
+    MIN_PROB,
+    TraceSelection,
+    select_traces,
+)
+
+__all__ = ["PlacementOptions", "PlacementResult", "optimize_program", "place"]
+
+
+@dataclass(frozen=True)
+class PlacementOptions:
+    """Configuration of the placement pipeline.
+
+    Disabling a step degrades gracefully:
+
+    * ``inline=None`` skips Step 2 (the pre-inline profile is reused);
+    * ``select_traces=False`` makes every block its own trace, so Step 4
+      reduces to chaining individual blocks;
+    * ``split_regions=False`` keeps zero-weight traces in place instead of
+      moving them behind the effective region;
+    * ``global_dfs=False`` keeps functions in declaration order.
+    """
+
+    min_prob: float = MIN_PROB
+    inline: InlinePolicy | None = field(default_factory=InlinePolicy)
+    select_traces: bool = True
+    split_regions: bool = True
+    global_dfs: bool = True
+    base_address: int = 0
+    function_align: int = 4
+
+
+@dataclass
+class PlacementResult:
+    """Everything the pipeline produced, for inspection and experiments."""
+
+    original_program: Program
+    program: Program                      # post-inline
+    pre_inline_profile: ProfileData
+    profile: ProfileData                  # post-inline
+    inline_report: InlineReport
+    selections: dict[str, TraceSelection]
+    function_layouts: dict[str, FunctionLayout]
+    global_layout: GlobalLayout
+    order: list[int]
+    image: MemoryImage
+
+
+def optimize_program(
+    program: Program,
+    profiling_inputs: Sequence[Iterable[int]],
+    options: PlacementOptions = PlacementOptions(),
+) -> PlacementResult:
+    """Run profiling plus the full placement pipeline on ``program``."""
+    # Imported here to avoid a circular import: repro.interp.profiler
+    # depends on repro.placement.profile_data.
+    from repro.interp.profiler import profile_program
+
+    pre_profile = profile_program(program, profiling_inputs)
+
+    if options.inline is not None:
+        inlined, report = inline_expand(program, pre_profile, options.inline)
+        profile = profile_program(inlined, profiling_inputs)
+    else:
+        inlined = program
+        profile = pre_profile
+        report = InlineReport(
+            original_instructions=program.num_instructions,
+            final_instructions=program.num_instructions,
+            total_dynamic_calls=pre_profile.dynamic_calls,
+            eliminated_dynamic_calls=0,
+        )
+
+    result = place(inlined, profile, options)
+    return PlacementResult(
+        original_program=program,
+        program=inlined,
+        pre_inline_profile=pre_profile,
+        profile=profile,
+        inline_report=report,
+        selections=result.selections,
+        function_layouts=result.function_layouts,
+        global_layout=result.global_layout,
+        order=result.order,
+        image=result.image,
+    )
+
+
+@dataclass
+class _PlaceResult:
+    selections: dict[str, TraceSelection]
+    function_layouts: dict[str, FunctionLayout]
+    global_layout: GlobalLayout
+    order: list[int]
+    image: MemoryImage
+
+
+def place(
+    program: Program,
+    profile: ProfileData,
+    options: PlacementOptions = PlacementOptions(),
+) -> _PlaceResult:
+    """Steps 3-5 only: lay out an already-profiled (and inlined) program."""
+    selections: dict[str, TraceSelection] = {}
+    for function in program:
+        if options.select_traces:
+            selections[function.name] = select_traces(
+                function, profile, options.min_prob
+            )
+        else:
+            selections[function.name] = _singleton_traces(function, profile)
+
+    layouts: dict[str, FunctionLayout] = {}
+    for function in program:
+        layout = layout_function(function, selections[function.name], profile)
+        if not options.split_regions:
+            layout = FunctionLayout(
+                function_name=layout.function_name,
+                blocks=layout.blocks,
+                effective_end=len(layout.blocks),
+            )
+        layouts[function.name] = layout
+
+    if options.global_dfs:
+        global_layout = layout_globally(program, profile)
+    else:
+        global_layout = GlobalLayout(
+            order=tuple(function.name for function in program)
+        )
+
+    order = assemble_block_order(program, layouts, global_layout)
+    image = MemoryImage.build(
+        program,
+        order,
+        base_address=options.base_address,
+        function_align=options.function_align,
+    )
+    return _PlaceResult(
+        selections=selections,
+        function_layouts=layouts,
+        global_layout=global_layout,
+        order=order,
+        image=image,
+    )
+
+
+def _singleton_traces(program_function, profile: ProfileData) -> TraceSelection:
+    """Degenerate selection used when trace selection is ablated away."""
+    from repro.placement.trace_selection import Trace
+
+    weights = profile.block_weights
+    traces = []
+    trace_of = {}
+    for index, block in enumerate(program_function.blocks):
+        bid = block.bid
+        traces.append(
+            Trace(tid=index, blocks=(bid,), weight=int(weights[bid]))
+        )
+        trace_of[bid] = index
+    return TraceSelection(
+        function_name=program_function.name,
+        traces=tuple(traces),
+        trace_of=trace_of,
+    )

@@ -1,0 +1,179 @@
+"""Trace selection (paper Section 3 Step 3 and Appendix ``TraceSelection``).
+
+Basic blocks that tend to execute in sequence are grouped into *traces*,
+the paper's unit of instruction placement.  This is a direct transcription
+of the appendix pseudo-code:
+
+* ``MIN_PROB = 0.7``;
+* for a never-executed function, every block forms its own trace;
+* otherwise, repeatedly seed a trace with the hottest unselected block and
+  grow it forward through ``best_successor`` and backward through
+  ``best_predecessor``;
+* an arc extends a trace only if it is the heaviest arc out of (into) the
+  current block, carries non-zero weight, accounts for at least
+  ``MIN_PROB`` of both endpoint weights, and its far endpoint is not yet in
+  any trace; forward growth never absorbs the function entry block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.function import Function
+from repro.placement.profile_data import ControlArc, ProfileData
+
+__all__ = ["MIN_PROB", "Trace", "TraceSelection", "select_traces"]
+
+#: The appendix's arc-probability threshold.
+MIN_PROB = 0.7
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered sequence of basic blocks placed contiguously."""
+
+    tid: int
+    blocks: tuple[int, ...]       # bids, in placement order
+    weight: int                   # sum of member block weights
+
+    @property
+    def head(self) -> int:
+        """bid of the first block."""
+        return self.blocks[0]
+
+    @property
+    def tail(self) -> int:
+        """bid of the last block."""
+        return self.blocks[-1]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+@dataclass(frozen=True)
+class TraceSelection:
+    """All traces of one function plus the block -> trace index."""
+
+    function_name: str
+    traces: tuple[Trace, ...]
+    trace_of: dict[int, int]      # bid -> tid
+
+    def trace_containing(self, bid: int) -> Trace:
+        """The trace a block belongs to."""
+        return self.traces[self.trace_of[bid]]
+
+    def position_in_trace(self, bid: int) -> int:
+        """Index of ``bid`` within its trace."""
+        return self.trace_containing(bid).blocks.index(bid)
+
+
+def select_traces(
+    function: Function,
+    profile: ProfileData,
+    min_prob: float = MIN_PROB,
+) -> TraceSelection:
+    """Run the appendix ``TraceSelection`` algorithm on one function."""
+    weights = profile.block_weights
+    entry_bid = function.entry.bid
+    assert entry_bid is not None
+    bids = [block.bid for block in function.blocks]
+
+    if profile.function_weight(function.name) == 0:
+        # Never-executed function: each block forms its own trace.
+        traces = tuple(
+            Trace(tid=i, blocks=(bid,), weight=0)
+            for i, bid in enumerate(bids)
+        )
+        return TraceSelection(
+            function_name=function.name,
+            traces=traces,
+            trace_of={bid: i for i, bid in enumerate(bids)},
+        )
+
+    outgoing: dict[int, list[ControlArc]] = {bid: [] for bid in bids}
+    incoming: dict[int, list[ControlArc]] = {bid: [] for bid in bids}
+    for arc in profile.control_arcs(function):
+        outgoing[arc.src].append(arc)
+        incoming[arc.dst].append(arc)
+
+    selected: set[int] = set()
+
+    def best_successor(bb: int) -> ControlArc | None:
+        arcs = outgoing[bb]
+        if not arcs:
+            return None
+        ln = max(arcs, key=lambda a: a.weight)
+        if ln.weight == 0:
+            return None
+        if ln.weight / max(int(weights[bb]), 1) < min_prob:
+            return None
+        if ln.weight / max(int(weights[ln.dst]), 1) < min_prob:
+            return None
+        if ln.dst in selected:
+            return None
+        return ln
+
+    def best_predecessor(bb: int) -> ControlArc | None:
+        arcs = incoming[bb]
+        if not arcs:
+            return None
+        ln = max(arcs, key=lambda a: a.weight)
+        if ln.weight == 0:
+            return None
+        if ln.weight / max(int(weights[bb]), 1) < min_prob:
+            return None
+        if ln.weight / max(int(weights[ln.src]), 1) < min_prob:
+            return None
+        if ln.src in selected:
+            return None
+        return ln
+
+    # Seeds in decreasing weight (ties broken by declaration order, for
+    # determinism).
+    seed_order = sorted(bids, key=lambda b: (-int(weights[b]), b))
+    traces: list[Trace] = []
+    trace_of: dict[int, int] = {}
+
+    for seed in seed_order:
+        if seed in selected:
+            continue
+        tid = len(traces)
+        selected.add(seed)
+        chain: list[int] = [seed]
+
+        # Grow the trace forward.
+        current = seed
+        while True:
+            ln = best_successor(current)
+            if ln is None or ln.dst == entry_bid:
+                break
+            selected.add(ln.dst)
+            chain.append(ln.dst)
+            current = ln.dst
+
+        # Grow the trace backward.
+        current = seed
+        while True:
+            if current == entry_bid:
+                break
+            ln = best_predecessor(current)
+            if ln is None:
+                break
+            selected.add(ln.src)
+            chain.insert(0, ln.src)
+            current = ln.src
+
+        trace = Trace(
+            tid=tid,
+            blocks=tuple(chain),
+            weight=int(sum(int(weights[b]) for b in chain)),
+        )
+        traces.append(trace)
+        for bid in chain:
+            trace_of[bid] = tid
+
+    return TraceSelection(
+        function_name=function.name,
+        traces=tuple(traces),
+        trace_of=trace_of,
+    )

@@ -1,0 +1,29 @@
+"""The ten synthetic benchmark programs (the paper's Table 2 suite).
+
+Each module builds a real program in the mini-ISA whose algorithmic shape
+and cache behaviour mirror one of the paper's UNIX benchmarks; see
+DESIGN.md for the substitution rationale.  Access them through the
+registry::
+
+    from repro.workloads import get_workload, workload_names
+    wc = get_workload("wc")
+    program = wc.build()
+"""
+
+from repro.workloads.registry import (
+    Workload,
+    all_workloads,
+    extended_workload_names,
+    get_workload,
+    register,
+    workload_names,
+)
+
+__all__ = [
+    "Workload",
+    "all_workloads",
+    "extended_workload_names",
+    "get_workload",
+    "register",
+    "workload_names",
+]

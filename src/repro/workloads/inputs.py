@@ -1,0 +1,155 @@
+"""Seeded synthetic input streams for the ten workloads.
+
+The paper profiles each benchmark over several "typical" input files (text
+files, C programs, makefiles, grammars, archives...).  We cannot ship
+those, so each generator below produces an integer stream with the same
+*statistical* shape: text with word/line structure, file pairs with
+controlled similarity, dependency graphs, token streams.  All generators
+are deterministic in their seed, which is what makes profiling runs and
+the final trace run reproducible.
+
+Values are small non-negative integers (character codes, token ids,
+lengths); the IR's ``IN`` instruction yields them one at a time and
+returns ``EOF_SENTINEL`` (-1) at the end of the stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "text_stream",
+    "csource_stream",
+    "file_pair_stream",
+    "token_stream",
+    "dependency_graph_stream",
+    "archive_stream",
+]
+
+#: Code used for a space within synthetic text.
+SPACE = 32
+#: Code used for a newline within synthetic text.
+NEWLINE = 10
+
+
+def text_stream(
+    seed: int,
+    length: int,
+    avg_word_len: int = 5,
+    avg_line_words: int = 9,
+    alphabet: int = 26,
+) -> list[int]:
+    """Character codes resembling prose: words, spaces, newlines."""
+    rng = random.Random(repr(("text", seed)))
+    out: list[int] = []
+    words_on_line = 0
+    while len(out) < length:
+        word_len = max(1, int(rng.gauss(avg_word_len, 2)))
+        for _ in range(word_len):
+            out.append(97 + rng.randrange(alphabet))
+        words_on_line += 1
+        if words_on_line >= max(1, int(rng.gauss(avg_line_words, 3))):
+            out.append(NEWLINE)
+            words_on_line = 0
+        else:
+            out.append(SPACE)
+    return out[:length]
+
+
+def csource_stream(seed: int, length: int) -> list[int]:
+    """Text with C-source statistics: denser punctuation, shorter lines,
+    a heavier tail of repeated identifiers (drives macro/dictionary hits)."""
+    rng = random.Random(repr(("csource", seed)))
+    identifiers = [
+        [97 + rng.randrange(26) for _ in range(rng.randint(2, 8))]
+        for _ in range(40)
+    ]
+    punctuation = [40, 41, 59, 123, 125, 42, 61, 44]  # ()v;{}*=,
+    out: list[int] = []
+    while len(out) < length:
+        roll = rng.random()
+        if roll < 0.55:
+            out.extend(rng.choice(identifiers))
+        elif roll < 0.8:
+            out.append(rng.choice(punctuation))
+        elif roll < 0.92:
+            out.append(SPACE)
+        else:
+            out.append(NEWLINE)
+    return out[:length]
+
+
+def file_pair_stream(
+    seed: int, length: int, similarity: float = 0.9
+) -> list[int]:
+    """Two "files" for cmp: ``[len(A)] + A + B`` with controlled similarity.
+
+    ``similarity`` is the per-character probability that B matches A; the
+    paper's cmp inputs are "similar/dissimilar text files".
+    """
+    rng = random.Random(repr(("pair", seed)))
+    a = text_stream(seed * 7 + 1, length)
+    b = [
+        c if rng.random() < similarity else 97 + rng.randrange(26)
+        for c in a
+    ]
+    return [len(a)] + a + b
+
+
+def token_stream(
+    seed: int,
+    length: int,
+    num_kinds: int,
+    hot_fraction: float = 0.8,
+    hot_kinds: int | None = None,
+) -> list[int]:
+    """Token ids with a hot head: ``hot_fraction`` of tokens come from the
+    first ``hot_kinds`` ids.  Drives dispatch-heavy workloads (cccp, yacc,
+    lex actions) with realistic skew."""
+    rng = random.Random(repr(("tokens", seed)))
+    if hot_kinds is None:
+        hot_kinds = max(1, num_kinds // 4)
+    out: list[int] = []
+    for _ in range(length):
+        if rng.random() < hot_fraction:
+            out.append(rng.randrange(hot_kinds))
+        else:
+            out.append(hot_kinds + rng.randrange(num_kinds - hot_kinds))
+    return out
+
+
+def dependency_graph_stream(
+    seed: int, num_targets: int, max_deps: int = 4
+) -> list[int]:
+    """A makefile-like DAG: for each target, ``[target, ndeps, deps...,
+    timestamp]``, terminated by -2.  Dependencies point at earlier targets
+    only, so the graph is acyclic; timestamps decide which rules "run"."""
+    rng = random.Random(repr(("deps", seed)))
+    out: list[int] = []
+    for target in range(num_targets):
+        deps = []
+        if target > 0:
+            count = rng.randint(0, min(max_deps, target))
+            deps = rng.sample(range(target), count)
+        out.append(target)
+        out.append(len(deps))
+        out.extend(deps)
+        out.append(rng.randrange(100))  # timestamp
+    out.append(-2)
+    return out
+
+
+def archive_stream(
+    seed: int, num_files: int, avg_file_len: int = 120
+) -> list[int]:
+    """A tar-like archive: ``[mode]`` then per file ``[name_hash, length,
+    data...]``, terminated by -2.  ``mode`` 0 = create, 1 = extract."""
+    rng = random.Random(repr(("archive", seed)))
+    out: list[int] = [rng.randrange(2)]
+    for _ in range(num_files):
+        out.append(rng.randrange(1 << 16))          # name hash
+        length = max(4, int(rng.gauss(avg_file_len, avg_file_len // 3)))
+        out.append(length)
+        out.extend(rng.randrange(256) for _ in range(length))
+    out.append(-2)
+    return out

@@ -1,0 +1,159 @@
+"""The workload registry: ten benchmarks mirroring the paper's Table 2.
+
+Each :class:`Workload` bundles a program builder, an input generator, the
+profiling seeds (the paper's "runs" column), and the seed of the single
+randomly-selected input used for the final dynamic trace ("we randomly
+select one input for each benchmark to take the traces").
+
+``scale`` selects input sizes (and nothing about program structure):
+``"default"`` for the experiment harness, ``"small"`` for fast tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+from repro.ir.program import Program
+
+__all__ = [
+    "Workload",
+    "register",
+    "get_workload",
+    "workload_names",
+    "all_workloads",
+    "extended_workload_names",
+]
+
+SCALES = ("default", "small")
+SUITES = ("paper", "extended")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program plus its inputs."""
+
+    name: str
+    description: str          # the paper's "input description" column
+    builder: Callable[[], Program]
+    input_maker: Callable[[int, str], list[int]]
+    profile_seeds: tuple[int, ...]
+    trace_seed: int
+
+    def build(self) -> Program:
+        """Construct (and validate) the benchmark program."""
+        return self.builder()
+
+    def profiling_inputs(self, scale: str = "default") -> list[list[int]]:
+        """One input stream per profiling run."""
+        _check_scale(scale)
+        return [self.input_maker(seed, scale) for seed in self.profile_seeds]
+
+    def trace_input(self, scale: str = "default") -> list[int]:
+        """The randomly-selected input used for the dynamic trace."""
+        _check_scale(scale)
+        return self.input_maker(self.trace_seed, scale)
+
+    @property
+    def num_runs(self) -> int:
+        """Number of profiling runs (Table 2 "runs")."""
+        return len(self.profile_seeds)
+
+
+def _check_scale(scale: str) -> None:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+
+
+_REGISTRY: dict[str, Workload] = {}
+_SUITE_OF: dict[str, str] = {}
+_LOADED = False
+
+
+def register(workload: Workload, suite: str = "paper") -> Workload:
+    """Add a workload to a suite (module import side effect).
+
+    The ``"paper"`` suite is the ten benchmarks of the paper's Table 2;
+    the ``"extended"`` suite holds the additional UNIX/CAD programs the
+    paper's conclusion announces.
+    """
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; expected one of {SUITES}")
+    if workload.name in _REGISTRY:
+        raise ValueError(f"workload {workload.name!r} already registered")
+    _REGISTRY[workload.name] = workload
+    _SUITE_OF[workload.name] = suite
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by benchmark name (any suite)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+#: Canonical presentation order (the paper's tables; then our extension).
+_CANONICAL_ORDER = (
+    "cccp", "cmp", "compress", "grep", "lex",
+    "make", "tee", "tar", "wc", "yacc",
+    "sort", "diff", "awk", "espresso",
+)
+
+
+def workload_names(suite: str = "paper") -> list[str]:
+    """Benchmark names of one suite, in the paper's table order.
+
+    Names outside the canonical order (user-registered workloads) follow
+    in registration order.
+    """
+    _ensure_loaded()
+    names = [n for n in _REGISTRY if _SUITE_OF[n] == suite]
+    rank = {name: i for i, name in enumerate(_CANONICAL_ORDER)}
+    names.sort(key=lambda n: rank.get(n, len(rank)))
+    return names
+
+
+def extended_workload_names() -> list[str]:
+    """Names of the extended (post-paper) suite."""
+    return workload_names("extended")
+
+
+def all_workloads(suite: str = "paper") -> list[Workload]:
+    """Workloads of one suite, in registration (table) order."""
+    _ensure_loaded()
+    return [_REGISTRY[n] for n in workload_names(suite)]
+
+
+def _ensure_loaded() -> None:
+    """Import the workload modules (they register themselves).
+
+    Guarded by an explicit flag, not registry truthiness: importing one
+    workload module directly would otherwise mark the whole suite loaded.
+    """
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    # Imported in the paper's table order; each module registers itself.
+    from repro.workloads import wl_cccp  # noqa: F401
+    from repro.workloads import wl_cmp  # noqa: F401
+    from repro.workloads import wl_compress  # noqa: F401
+    from repro.workloads import wl_grep  # noqa: F401
+    from repro.workloads import wl_lex  # noqa: F401
+    from repro.workloads import wl_make  # noqa: F401
+    from repro.workloads import wl_tee  # noqa: F401
+    from repro.workloads import wl_tar  # noqa: F401
+    from repro.workloads import wl_wc  # noqa: F401
+    from repro.workloads import wl_yacc  # noqa: F401
+
+    # The extended suite (conclusion's "more than 30 UNIX and CAD
+    # programs" direction) registers afterwards, under its own suite tag.
+    from repro.workloads import wl_awk  # noqa: F401
+    from repro.workloads import wl_diff  # noqa: F401
+    from repro.workloads import wl_espresso  # noqa: F401
+    from repro.workloads import wl_sort  # noqa: F401

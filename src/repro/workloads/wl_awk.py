@@ -1,0 +1,179 @@
+"""``awk`` — a pattern/action record processor (extended suite).
+
+The shape of awk's main loop: split each input record into fields, test
+every rule's pattern against it (field comparisons with several
+operators), and dispatch matching rules to their actions — a family of
+generated action bodies plus built-in sum/count accumulators.
+
+Input encoding: ``[nrules, (field, op, value, action)..., records...]``
+where each record is ``[nfields, fields...]`` and -2 terminates.  Ops:
+0 ``==``, 1 ``>``, 2 ``<``, 3 ``!=``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.registry import Workload, register
+from repro.workloads.synth import handler_family
+
+RULE_BASE = 0x50000      # stride 4: field, op, value, action
+FIELD_BASE = 0x51000
+
+NUM_ACTIONS = 12
+MAX_RULES = 16
+
+_NUM_RECORDS = {"default": 500, "small": 30}
+
+
+def build() -> Program:
+    """Build the awk program."""
+    pb = ProgramBuilder()
+
+    actions = handler_family(
+        pb, "awk_action", count=NUM_ACTIONS, seed=13,
+        diamonds_range=(1, 3), body_range=(5, 9), loop_mod_range=(2, 3),
+        memory_base=0x52000,
+    )
+
+    f = pb.function("main")
+    b = f.block("entry")
+    b.in_("r20")                     # number of rules
+    b.li("r21", 0)
+    b.jmp("read_rules")
+
+    b = f.block("read_rules")
+    b.bge("r21", "r20", taken="records_init", fall="read_rule")
+    b = f.block("read_rule")
+    b.mul("r8", "r21", 4)
+    b.add("r8", "r8", RULE_BASE)
+    b.in_("r9")
+    b.st("r9", "r8", 0)              # field index
+    b.in_("r9")
+    b.st("r9", "r8", 1)              # operator
+    b.in_("r9")
+    b.st("r9", "r8", 2)              # comparison value
+    b.in_("r9")
+    b.st("r9", "r8", 3)              # action id
+    b.add("r21", "r21", 1)
+    b.jmp("read_rules")
+
+    b = f.block("records_init")
+    b.li("r26", 0)                   # records processed
+    b.li("r27", 0)                   # matches
+    b.li("r28", 0)                   # action accumulator
+    b.jmp("record")
+
+    # Split one record into the field buffer.
+    b = f.block("record")
+    b.in_("r22")                     # nfields (or -2)
+    b.beq("r22", -2, taken="finish", fall="split")
+    b = f.block("split")
+    b.li("r21", 0)
+    b.jmp("split_head")
+    b = f.block("split_head")
+    b.bge("r21", "r22", taken="rules_init", fall="split_body")
+    b = f.block("split_body")
+    b.in_("r8")
+    b.add("r9", "r21", FIELD_BASE)
+    b.st("r8", "r9", 0)
+    b.add("r21", "r21", 1)
+    b.jmp("split_head")
+
+    # Test every rule against the record.
+    b = f.block("rules_init")
+    b.add("r26", "r26", 1)
+    b.li("r23", 0)                   # rule index
+    b.jmp("rule_head")
+
+    b = f.block("rule_head")
+    b.bge("r23", "r20", taken="record", fall="rule_load")
+    b = f.block("rule_load")
+    b.mul("r8", "r23", 4)
+    b.add("r8", "r8", RULE_BASE)
+    b.ld("r9", "r8", 0)              # field index
+    b.bge("r9", "r22", taken="rule_next", fall="rule_field")
+    b = f.block("rule_field")
+    b.add("r10", "r9", FIELD_BASE)
+    b.ld("r11", "r10", 0)            # field value
+    b.ld("r12", "r8", 1)             # operator
+    b.ld("r13", "r8", 2)             # comparison value
+    b.beq("r12", 0, taken="op_eq", fall="op1")
+    b = f.block("op1")
+    b.beq("r12", 1, taken="op_gt", fall="op2")
+    b = f.block("op2")
+    b.beq("r12", 2, taken="op_lt", fall="op_ne")
+
+    b = f.block("op_eq")
+    b.beq("r11", "r13", taken="matched", fall="rule_next")
+    b = f.block("op_gt")
+    b.bgt("r11", "r13", taken="matched", fall="rule_next")
+    b = f.block("op_lt")
+    b.blt("r11", "r13", taken="matched", fall="rule_next")
+    b = f.block("op_ne")
+    b.bne("r11", "r13", taken="matched", fall="rule_next")
+
+    b = f.block("matched")
+    b.add("r27", "r27", 1)
+    b.ld("r24", "r8", 3)             # action id
+    b.mov("r1", "r11")               # pass the field value
+    b.jmp("adispatch_c0")
+
+    for i, action in enumerate(actions):
+        is_last = i == NUM_ACTIONS - 1
+        nxt = "acted" if is_last else f"adispatch_c{i + 1}"
+        b = f.block(f"adispatch_c{i}")
+        b.beq("r24", i, taken=f"adispatch_do{i}", fall=nxt)
+        b = f.block(f"adispatch_do{i}")
+        b.call(action, cont="acted")
+
+    b = f.block("acted")
+    b.add("r28", "r28", "r1")
+    b.jmp("rule_next")
+
+    b = f.block("rule_next")
+    b.add("r23", "r23", 1)
+    b.jmp("rule_head")
+
+    b = f.block("finish")
+    b.out("r26")
+    b.out("r27")
+    b.out("r28")
+    b.halt()
+
+    return pb.build()
+
+
+def make_input(seed: int, scale: str) -> list[int]:
+    """A rule set plus numeric records (like an awk report script)."""
+    rng = random.Random(repr(("awk", seed)))
+    nrules = rng.randint(4, 8)
+    stream = [nrules]
+    for _ in range(nrules):
+        stream += [
+            rng.randrange(5),            # field
+            rng.randrange(4),            # operator
+            rng.randrange(200),          # value
+            rng.randrange(NUM_ACTIONS),  # action
+        ]
+    for _ in range(_NUM_RECORDS[scale]):
+        nfields = rng.randint(3, 6)
+        stream.append(nfields)
+        stream += [rng.randrange(250) for _ in range(nfields)]
+    stream.append(-2)
+    return stream
+
+
+WORKLOAD = register(
+    Workload(
+        name="awk",
+        description="pattern/action report scripts over numeric records",
+        builder=build,
+        input_maker=make_input,
+        profile_seeds=(1, 2, 3, 4, 5, 6),
+        trace_seed=21,
+    ),
+    suite="extended",
+)

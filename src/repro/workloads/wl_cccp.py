@@ -1,0 +1,251 @@
+"""``cccp`` — the GNU C preprocessor (paper: 4660 C lines, inputs
+"C programs (100-3000 lines)"; the paper's worst-case cache benchmark).
+
+The preprocessor shape: a scan loop classifies each incoming token as an
+identifier (macro-table lookup, sometimes an expansion), a control
+directive (#if/#else/#endif/#define, handled inline with a conditional
+stack and skip mode), or one of a large family of other directive
+handlers.  The handler family is big and the directive mix keeps cycling
+through it, so the hot working set exceeds every cache in the paper's
+sweep — cccp is the benchmark that still misses at 8K, and this program
+is tuned to do the same.
+
+Token encoding in the input stream: ``0..199`` identifier ids,
+``200..203`` control directives (#if, #endif, #else, #define),
+``210 + k`` directive handler ``k``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.registry import Workload, register
+from repro.workloads.synth import handler_family
+
+#: Macro table: id -> body length (0 = undefined).
+MACRO_BASE = 0x9000
+
+NUM_IDENTIFIERS = 200
+NUM_DIRECTIVES = 24
+HOT_DIRECTIVES = 6
+
+TOK_IF = 200
+TOK_ENDIF = 201
+TOK_ELSE = 202
+TOK_DEFINE = 203
+TOK_DIRECTIVE0 = 210
+
+_NUM_TOKENS = {"default": 10_000, "small": 500}
+
+
+def build() -> Program:
+    """Build the cccp program."""
+    pb = ProgramBuilder()
+
+    handlers = handler_family(
+        pb, "directive", count=NUM_DIRECTIVES, seed=7,
+        diamonds_range=(3, 5), body_range=(10, 16), loop_mod_range=(3, 6),
+        memory_base=0xA000,
+    )
+
+    # init_macros(): predefine a third of the identifier space.
+    f = pb.function("init_macros")
+    b = f.block("entry")
+    b.li("r8", 0)
+    b.jmp("head")
+    b = f.block("head")
+    b.bge("r8", NUM_IDENTIFIERS, taken="done", fall="body")
+    b = f.block("body")
+    b.mul("r9", "r8", 7)
+    b.rem("r9", "r9", 3)
+    b.bne("r9", 0, taken="undefined", fall="defined")
+    b = f.block("defined")
+    b.rem("r10", "r8", 8)
+    b.add("r10", "r10", 1)           # body length 1..8
+    b.add("r11", "r8", MACRO_BASE)
+    b.st("r10", "r11", 0)
+    b.jmp("next")
+    b = f.block("undefined")
+    b.add("r11", "r8", MACRO_BASE)
+    b.st("r0", "r11", 0)
+    b.jmp("next")
+    b = f.block("next")
+    b.add("r8", "r8", 1)
+    b.jmp("head")
+    b = f.block("done")
+    b.ret()
+
+    # expand_macro(id=r1): replay the macro body.
+    f = pb.function("expand_macro")
+    b = f.block("entry")
+    b.add("r8", "r1", MACRO_BASE)
+    b.ld("r9", "r8", 0)              # body length
+    b.li("r10", 0)
+    b.mov("r11", "r1")
+    b.jmp("head")
+    b = f.block("head")
+    b.bge("r10", "r9", taken="done", fall="body")
+    b = f.block("body")
+    b.mul("r11", "r11", 31)
+    b.add("r11", "r11", "r10")
+    b.rem("r11", "r11", 65_536)
+    b.xor("r11", "r11", 21)
+    b.add("r10", "r10", 1)
+    b.jmp("head")
+    b = f.block("done")
+    b.mov("r1", "r11")
+    b.ret()
+
+    # define_macro(id=r1, length=r2): install a macro body.
+    f = pb.function("define_macro")
+    b = f.block("entry")
+    b.add("r8", "r1", MACRO_BASE)
+    b.rem("r9", "r2", 8)
+    b.add("r9", "r9", 1)
+    b.st("r9", "r8", 0)
+    b.ret()
+
+    f = pb.function("main")
+    b = f.block("entry")
+    b.call("init_macros", cont="start")
+
+    b = f.block("start")
+    b.li("r20", 0)                   # conditional nesting depth
+    b.li("r21", 0)                   # skipping flag
+    b.li("r26", 0)                   # tokens processed
+    b.li("r27", 0)                   # expansion accumulator
+    b.jmp("scan")
+
+    b = f.block("scan")
+    b.in_("r22")
+    b.beq("r22", -1, taken="finish", fall="count")
+    b = f.block("count")
+    b.add("r26", "r26", 1)
+    b.blt("r22", NUM_IDENTIFIERS, taken="identifier", fall="directive")
+
+    # Identifier path: skipped text is only scanned, not expanded.
+    b = f.block("identifier")
+    b.bne("r21", 0, taken="scan", fall="lookup")
+    b = f.block("lookup")
+    b.add("r8", "r22", MACRO_BASE)
+    b.ld("r9", "r8", 0)
+    b.beq("r9", 0, taken="plain_id", fall="expand")
+    b = f.block("expand")
+    b.mov("r1", "r22")
+    b.call("expand_macro", cont="expanded")
+    b = f.block("expanded")
+    b.add("r27", "r27", "r1")
+    b.jmp("scan")
+    b = f.block("plain_id")
+    b.add("r27", "r27", 1)
+    b.jmp("scan")
+
+    # Directive path: control directives first.
+    b = f.block("directive")
+    b.beq("r22", TOK_IF, taken="d_if", fall="d1")
+    b = f.block("d1")
+    b.beq("r22", TOK_ENDIF, taken="d_endif", fall="d2")
+    b = f.block("d2")
+    b.beq("r22", TOK_ELSE, taken="d_else", fall="d3")
+    b = f.block("d3")
+    b.beq("r22", TOK_DEFINE, taken="d_define", fall="other")
+
+    b = f.block("d_if")
+    b.add("r20", "r20", 1)
+    # The condition: parity of the running accumulator.
+    b.and_("r8", "r27", 1)
+    b.beq("r8", 0, taken="if_false", fall="scan")
+    b = f.block("if_false")
+    b.li("r21", 1)
+    b.jmp("scan")
+
+    b = f.block("d_endif")
+    b.ble("r20", 0, taken="scan", fall="pop_if")
+    b = f.block("pop_if")
+    b.sub("r20", "r20", 1)
+    b.li("r21", 0)
+    b.jmp("scan")
+
+    b = f.block("d_else")
+    b.xor("r21", "r21", 1)
+    b.jmp("scan")
+
+    b = f.block("d_define")
+    b.in_("r8")                      # the macro id being defined
+    b.beq("r8", -1, taken="finish", fall="do_define")
+    b = f.block("do_define")
+    b.mov("r1", "r8")
+    b.mov("r2", "r26")
+    b.call("define_macro", cont="scan")
+
+    # Other directives dispatch into the handler family; skipped regions
+    # still have to parse the directive, so skip mode is checked first.
+    b = f.block("other")
+    b.bne("r21", 0, taken="scan", fall="pick")
+    b = f.block("pick")
+    b.sub("r23", "r22", TOK_DIRECTIVE0)
+    b.rem("r23", "r23", NUM_DIRECTIVES)
+    b.mov("r1", "r22")
+    b.jmp("hdispatch_c0")
+
+    for i, handler in enumerate(handlers):
+        is_last = i == NUM_DIRECTIVES - 1
+        nxt = "handled" if is_last else f"hdispatch_c{i + 1}"
+        b = f.block(f"hdispatch_c{i}")
+        b.beq("r23", i, taken=f"hdispatch_do{i}", fall=nxt)
+        b = f.block(f"hdispatch_do{i}")
+        b.call(handler, cont="handled")
+
+    b = f.block("handled")
+    b.add("r27", "r27", "r1")
+    b.jmp("scan")
+
+    b = f.block("finish")
+    b.out("r26")
+    b.out("r27")
+    b.halt()
+
+    return pb.build()
+
+
+def make_input(seed: int, scale: str) -> list[int]:
+    """A C-file-like token mix: mostly identifiers, a steady stream of
+    directives cycling through the handler family, some conditionals."""
+    rng = random.Random(repr(("cccp", seed)))
+    out: list[int] = []
+    depth = 0
+    for _ in range(_NUM_TOKENS[scale]):
+        roll = rng.random()
+        if roll < 0.55:
+            out.append(rng.randrange(NUM_IDENTIFIERS))
+        elif roll < 0.62 and depth < 4:
+            out.append(TOK_IF)
+            depth += 1
+        elif roll < 0.67 and depth > 0:
+            out.append(TOK_ENDIF)
+            depth -= 1
+        elif roll < 0.69:
+            out.append(TOK_DEFINE)
+            out.append(rng.randrange(NUM_IDENTIFIERS))
+        elif roll < 0.88:
+            out.append(TOK_DIRECTIVE0 + rng.randrange(HOT_DIRECTIVES))
+        else:
+            out.append(
+                TOK_DIRECTIVE0 + HOT_DIRECTIVES
+                + rng.randrange(NUM_DIRECTIVES - HOT_DIRECTIVES)
+            )
+    return out
+
+
+WORKLOAD = register(
+    Workload(
+        name="cccp",
+        description="C programs (100-3000 lines)",
+        builder=build,
+        input_maker=make_input,
+        profile_seeds=(1, 2, 3, 4, 5, 6, 7, 8),
+        trace_seed=13,
+    )
+)

@@ -1,0 +1,129 @@
+"""``cmp`` — byte-by-byte file comparison (paper: 371 C lines, 191 runs on
+"similar/dissimilar text files").
+
+Phase 1 reads file A into memory; phase 2 streams file B against it.  A
+mismatch calls ``report_diff``; similar inputs make that path cold and
+dissimilar inputs make it hot, which is why the profiling seeds alternate
+similarity — the profile has to cover both behaviours, as the paper's 191
+runs did.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.inputs import file_pair_stream
+from repro.workloads.registry import Workload, register
+
+#: Memory base where file A is buffered.
+FILE_A_BASE = 0x1000
+
+_INPUT_LENGTH = {"default": 30_000, "small": 1_000}
+
+
+def build() -> Program:
+    """Build the cmp program."""
+    pb = ProgramBuilder()
+
+    # report_diff(position=r1, a=r2, b=r3): record one mismatch.
+    f = pb.function("report_diff")
+    b = f.block("entry")
+    b.add("r26", "r26", 1)           # diff count
+    b.bne("r27", -1, taken="counted", fall="first")
+    b = f.block("first")
+    b.mov("r27", "r1")               # remember first differing offset
+    b.out("r1")
+    b.out("r2")
+    b.out("r3")
+    b.jmp("counted")
+    b = f.block("counted")
+    b.ret()
+
+    # read_file_a(length=r1): buffer file A at FILE_A_BASE.
+    f = pb.function("read_file_a")
+    b = f.block("entry")
+    b.li("r8", 0)
+    b.jmp("head")
+    b = f.block("head")
+    b.bge("r8", "r1", taken="done", fall="body")
+    b = f.block("body")
+    b.in_("r9")
+    b.add("r10", "r8", FILE_A_BASE)
+    b.st("r9", "r10", 0)
+    b.add("r8", "r8", 1)
+    b.jmp("head")
+    b = f.block("done")
+    b.ret()
+
+    f = pb.function("main")
+    b = f.block("entry")
+    b.li("r26", 0)                   # diff count
+    b.li("r27", -1)                  # first diff offset (none yet)
+    b.in_("r20")                     # length of file A
+    b.mov("r1", "r20")
+    b.call("read_file_a", cont="cmp_init")
+
+    b = f.block("cmp_init")
+    b.li("r21", 0)                   # position
+    b.jmp("cmp_loop")
+
+    b = f.block("cmp_loop")
+    b.in_("r8")                      # next byte of file B
+    b.beq("r8", -1, taken="b_ended", fall="check_a")
+
+    b = f.block("check_a")
+    b.bge("r21", "r20", taken="a_shorter", fall="compare")
+
+    b = f.block("compare")
+    b.add("r9", "r21", FILE_A_BASE)
+    b.ld("r10", "r9", 0)
+    b.beq("r10", "r8", taken="advance", fall="differ")
+
+    b = f.block("differ")
+    b.mov("r1", "r21")
+    b.mov("r2", "r10")
+    b.mov("r3", "r8")
+    b.call("report_diff", cont="advance")
+
+    b = f.block("advance")
+    b.add("r21", "r21", 1)
+    b.jmp("cmp_loop")
+
+    b = f.block("a_shorter")
+    # File B is longer than A: every remaining byte differs.
+    b.mov("r1", "r21")
+    b.li("r2", -1)
+    b.mov("r3", "r8")
+    b.call("report_diff", cont="advance")
+
+    b = f.block("b_ended")
+    b.blt("r21", "r20", taken="b_shorter", fall="summary")
+
+    b = f.block("b_shorter")
+    b.add("r26", "r26", 1)
+    b.jmp("summary")
+
+    b = f.block("summary")
+    b.out("r26")
+    b.out("r27")
+    b.halt()
+
+    return pb.build()
+
+
+def make_input(seed: int, scale: str) -> list[int]:
+    """Similar (even seeds) or dissimilar (odd seeds) file pairs."""
+    similarity = 0.97 if seed % 2 == 0 else 0.55
+    return file_pair_stream(seed, _INPUT_LENGTH[scale], similarity)
+
+
+WORKLOAD = register(
+    Workload(
+        name="cmp",
+        description="similar/dissimilar text files",
+        builder=build,
+        input_maker=make_input,
+        profile_seeds=tuple(range(1, 13)),
+        trace_seed=40,  # even: a mostly-similar pair, like a typical diff
+    )
+)

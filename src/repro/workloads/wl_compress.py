@@ -1,0 +1,266 @@
+"""``compress`` — LZW compression (paper: 1941 C lines, inputs "same as
+cccp").
+
+A faithful, if compact, LZW encoder: a chained-hash dictionary lives in
+data memory, the encoder extends the current phrase while probes hit, and
+emits a code plus a dictionary insert on each miss.  When the code space
+fills, the dictionary is cleared and rebuilt — the periodic reset is the
+phase change that real compress exhibits on long inputs.  The hot loop is
+small; like in the paper, compress only starts missing once the cache
+drops to a few hundred bytes.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.inputs import text_stream
+from repro.workloads.registry import Workload, register
+
+#: Memory bases of the dictionary's key and code arrays.
+KEY_BASE = 0x2000
+CODE_BASE = 0x3000
+#: Number of hash slots (prime, for decent probing).
+TABLE_SIZE = 1021
+#: Code space; codes 0-255 are literals.  Kept below TABLE_SIZE so an open
+#: probe always finds a free slot between resets (the real compress resets
+#: on a compression-ratio check instead).
+MAX_CODE = 1024
+
+_INPUT_LENGTH = {"default": 30_000, "small": 1_200}
+
+
+def build() -> Program:
+    """Build the compress program."""
+    pb = ProgramBuilder()
+
+    # hash_probe(w=r1, k=r2) -> r1 = code or -1, r3 = slot index.
+    # The hash is multiplicative with an xor fold, like the real
+    # compress's Fibonacci-style hashing.
+    f = pb.function("hash_probe")
+    b = f.block("entry")
+    b.mul("r8", "r1", 128)
+    b.add("r8", "r8", "r2")          # key = w * 128 + k
+    b.mul("r9", "r8", 40503)
+    b.shr("r10", "r9", 7)
+    b.xor("r9", "r9", "r10")
+    b.and_("r9", "r9", 0xFFFF)
+    b.rem("r9", "r9", TABLE_SIZE)
+    b.jmp("probe")
+    b = f.block("probe")
+    b.add("r10", "r9", KEY_BASE)
+    b.ld("r11", "r10", 0)
+    b.beq("r11", 0, taken="empty", fall="check")
+    b = f.block("check")
+    b.beq("r11", "r8", taken="found", fall="advance")
+    b = f.block("advance")
+    b.add("r9", "r9", 1)
+    b.rem("r9", "r9", TABLE_SIZE)
+    b.jmp("probe")
+    b = f.block("empty")
+    b.li("r1", -1)
+    b.mov("r3", "r9")
+    b.ret()
+    b = f.block("found")
+    b.add("r12", "r9", CODE_BASE)
+    b.ld("r1", "r12", 0)
+    b.ret()
+
+    # dict_insert(slot=r1, key=r2, code=r3).
+    f = pb.function("dict_insert")
+    b = f.block("entry")
+    b.add("r8", "r1", KEY_BASE)
+    b.st("r2", "r8", 0)
+    b.add("r9", "r1", CODE_BASE)
+    b.st("r3", "r9", 0)
+    b.ret()
+
+    # emit(code=r1): pack 10-bit codes three to a word and write full
+    # words out (the real compress does adaptive-width bit packing; the
+    # persistent pack state lives in caller-owned r29/r25).
+    f = pb.function("emit")
+    b = f.block("entry")
+    b.add("r28", "r28", 1)
+    # Adaptive code width: 9-bit codes while the dictionary is small,
+    # 10-bit afterwards (the real compress grows n_bits the same way).
+    b.blt("r1", 512, taken="narrow", fall="wide")
+    b = f.block("narrow")
+    b.and_("r8", "r1", 511)
+    b.shl("r9", "r29", 9)
+    b.or_("r29", "r9", "r8")
+    b.add("r25", "r25", 9)
+    b.jmp("packed")
+    b = f.block("wide")
+    b.and_("r8", "r1", 1023)
+    b.shl("r9", "r29", 10)
+    b.or_("r29", "r9", "r8")
+    b.add("r25", "r25", 10)
+    b.jmp("packed")
+    b = f.block("packed")
+    # Output statistics: running code-length estimate.
+    b.li("r10", 0)
+    b.li("r11", 256)
+    b.jmp("width_head")
+    b = f.block("width_head")
+    b.bgt("r11", "r1", taken="width_done", fall="width_body")
+    b = f.block("width_body")
+    b.add("r10", "r10", 1)
+    b.shl("r11", "r11", 1)
+    b.jmp("width_head")
+    b = f.block("width_done")
+    b.add("r27", "r27", "r10")
+    b.bge("r25", 27, taken="flush_word", fall="emit_done")
+    b = f.block("flush_word")
+    b.out("r29")
+    b.li("r29", 0)
+    b.li("r25", 0)
+    b.jmp("emit_done")
+    b = f.block("emit_done")
+    b.ret()
+
+    # crc_update(c=r1) -> r1: a fully unrolled 8-round bitwise CRC over
+    # one symbol (compress checksums its input for the header; unrolling
+    # is what a trace-scheduling compiler would do to this loop).
+    f = pb.function("crc_update")
+    b = f.block("entry")
+    b.xor("r8", "r31", "r1")
+    b.jmp("round0")
+    for i in range(8):
+        nxt = "crc_done" if i == 7 else f"round{i + 1}"
+        b = f.block(f"round{i}")
+        b.and_("r10", "r8", 1)
+        b.shr("r8", "r8", 1)
+        b.beq("r10", 0, taken=nxt, fall=f"round{i}_poly")
+        b = f.block(f"round{i}_poly")
+        b.xor("r8", "r8", 0xA001)
+        b.jmp(nxt)
+    b = f.block("crc_done")
+    b.mov("r31", "r8")
+    b.mov("r1", "r8")
+    b.ret()
+
+    # dict_reset(): clear every key slot.
+    f = pb.function("dict_reset")
+    b = f.block("entry")
+    b.li("r8", 0)
+    b.jmp("head")
+    b = f.block("head")
+    b.bge("r8", TABLE_SIZE, taken="done", fall="body")
+    b = f.block("body")
+    b.add("r9", "r8", KEY_BASE)
+    b.st("r0", "r9", 0)
+    b.add("r8", "r8", 1)
+    b.jmp("head")
+    b = f.block("done")
+    b.ret()
+
+    f = pb.function("main")
+    b = f.block("entry")
+    b.li("r28", 0)                   # emitted-code count
+    b.li("r29", 0)                   # emit bit buffer
+    b.li("r25", 0)                   # codes in the bit buffer
+    b.li("r27", 0)                   # code-width statistic
+    b.li("r30", 0)                   # input symbols consumed
+    b.li("r31", 0xFFFF)              # CRC state
+    b.li("r21", 256)                 # next free code
+    b.call("dict_reset", cont="first")
+
+    b = f.block("first")
+    b.in_("r20")                     # w = first symbol
+    b.beq("r20", -1, taken="empty_input", fall="loop")
+
+    b = f.block("loop")
+    b.in_("r23")                     # k = next symbol
+    b.beq("r23", -1, taken="flush", fall="crc")
+
+    b = f.block("crc")
+    b.add("r30", "r30", 1)           # input symbols consumed
+    b.mov("r1", "r23")
+    b.call("crc_update", cont="probe_wk")
+
+    b = f.block("probe_wk")
+    b.mov("r1", "r20")
+    b.mov("r2", "r23")
+    b.call("hash_probe", cont="after_probe")
+
+    b = f.block("after_probe")
+    b.beq("r1", -1, taken="miss", fall="hit")
+
+    b = f.block("hit")
+    b.mov("r20", "r1")               # w = code(wk)
+    b.jmp("loop")
+
+    b = f.block("miss")
+    b.mov("r24", "r3")               # remember the free slot
+    b.mov("r1", "r20")
+    b.call("emit", cont="ratio_check")
+
+    # Compression-ratio watchdog, as in the real compress: compare input
+    # symbols consumed (r30) against codes emitted (r28), scaled.
+    b = f.block("ratio_check")
+    b.mul("r8", "r28", 10)
+    b.mul("r9", "r30", 7)
+    b.ble("r8", "r9", taken="ratio_ok", fall="ratio_poor")
+    b = f.block("ratio_poor")
+    b.add("r27", "r27", 1)
+    b.jmp("insert_check")
+    b = f.block("ratio_ok")
+    b.jmp("insert_check")
+
+    b = f.block("insert_check")
+    b.bge("r21", MAX_CODE, taken="reset", fall="insert")
+
+    b = f.block("insert")
+    b.mul("r8", "r20", 128)
+    b.add("r8", "r8", "r23")         # key = w * 128 + k
+    b.mov("r1", "r24")
+    b.mov("r2", "r8")
+    b.mov("r3", "r21")
+    b.call("dict_insert", cont="bump")
+
+    b = f.block("bump")
+    b.add("r21", "r21", 1)
+    b.mov("r20", "r23")              # w = k
+    b.jmp("loop")
+
+    b = f.block("reset")
+    b.call("dict_reset", cont="after_reset")
+    b = f.block("after_reset")
+    b.li("r21", 256)
+    b.mov("r20", "r23")
+    b.jmp("loop")
+
+    b = f.block("flush")
+    b.mov("r1", "r20")
+    b.call("emit", cont="finish")
+    b = f.block("finish")
+    b.out("r29")                     # drain the partial pack word
+    b.out("r28")
+    b.out("r27")
+    b.out("r31")                     # the input CRC
+    b.halt()
+
+    b = f.block("empty_input")
+    b.out("r28")
+    b.halt()
+
+    return pb.build()
+
+
+def make_input(seed: int, scale: str) -> list[int]:
+    """Repetitive text with a small alphabet, so the dictionary gets hits."""
+    return text_stream(
+        seed, _INPUT_LENGTH[scale], avg_word_len=4, alphabet=14
+    )
+
+
+WORKLOAD = register(
+    Workload(
+        name="compress",
+        description="text files (same as cccp)",
+        builder=build,
+        input_maker=make_input,
+        profile_seeds=(1, 2, 3, 4, 5, 6, 7, 8),
+        trace_seed=23,
+    )
+)

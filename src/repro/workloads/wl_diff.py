@@ -1,0 +1,168 @@
+"""``diff`` — longest-common-subsequence file comparison (extended suite).
+
+Dynamic programming over two files' line hashes with a rolling two-row
+table in data memory: the classic O(m*n) LCS kernel, the heart of UNIX
+diff.  The DP cell loop is the hot code; the mismatch path calls a
+``max2`` helper (an inline-expansion target exercised m*n times).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.registry import Workload, register
+
+FILE_A_BASE = 0x40000
+FILE_B_BASE = 0x41000
+ROW_PREV_BASE = 0x42000
+ROW_CURR_BASE = 0x43000
+
+_NUM_LINES = {"default": 90, "small": 12}
+
+
+def build() -> Program:
+    """Build the diff program."""
+    pb = ProgramBuilder()
+
+    # max2(a=r1, b=r2) -> r1.
+    f = pb.function("max2")
+    b = f.block("entry")
+    b.bge("r1", "r2", taken="done", fall="take_b")
+    b = f.block("take_b")
+    b.mov("r1", "r2")
+    b.jmp("done")
+    b = f.block("done")
+    b.ret()
+
+    # read_lines(count=r1, base=r2): buffer one file's line hashes.
+    f = pb.function("read_lines")
+    b = f.block("entry")
+    b.li("r8", 0)
+    b.jmp("head")
+    b = f.block("head")
+    b.bge("r8", "r1", taken="done", fall="body")
+    b = f.block("body")
+    b.in_("r9")
+    b.add("r10", "r2", "r8")
+    b.st("r9", "r10", 0)
+    b.add("r8", "r8", 1)
+    b.jmp("head")
+    b = f.block("done")
+    b.ret()
+
+    f = pb.function("main")
+    b = f.block("entry")
+    b.in_("r20")                     # lines in A
+    b.mov("r1", "r20")
+    b.li("r2", FILE_A_BASE)
+    b.call("read_lines", cont="read_b")
+    b = f.block("read_b")
+    b.in_("r21")                     # lines in B
+    b.mov("r1", "r21")
+    b.li("r2", FILE_B_BASE)
+    b.call("read_lines", cont="dp_init")
+
+    # Row 0 is all zeroes (memory reads default to 0); iterate rows.
+    b = f.block("dp_init")
+    b.li("r22", 0)                   # i (row over A)
+    b.jmp("row_head")
+
+    b = f.block("row_head")
+    b.bge("r22", "r20", taken="result", fall="row_start")
+    b = f.block("row_start")
+    b.add("r8", "r22", FILE_A_BASE)
+    b.ld("r23", "r8", 0)             # a[i]
+    b.li("r24", 0)                   # j (column over B)
+    b.jmp("cell_head")
+
+    b = f.block("cell_head")
+    b.bge("r24", "r21", taken="row_done", fall="cell_body")
+    b = f.block("cell_body")
+    b.add("r8", "r24", FILE_B_BASE)
+    b.ld("r9", "r8", 0)              # b[j]
+    b.beq("r9", "r23", taken="cell_match", fall="cell_mismatch")
+
+    b = f.block("cell_match")
+    # curr[j+1] = prev[j] + 1.
+    b.add("r8", "r24", ROW_PREV_BASE)
+    b.ld("r10", "r8", 0)
+    b.add("r10", "r10", 1)
+    b.jmp("cell_store")
+
+    b = f.block("cell_mismatch")
+    # curr[j+1] = max(prev[j+1], curr[j]).
+    b.add("r8", "r24", ROW_PREV_BASE)
+    b.ld("r1", "r8", 1)
+    b.add("r8", "r24", ROW_CURR_BASE)
+    b.ld("r2", "r8", 0)
+    b.call("max2", cont="cell_after_max")
+    b = f.block("cell_after_max")
+    b.mov("r10", "r1")
+    b.jmp("cell_store")
+
+    b = f.block("cell_store")
+    b.add("r8", "r24", ROW_CURR_BASE)
+    b.st("r10", "r8", 1)
+    b.add("r24", "r24", 1)
+    b.jmp("cell_head")
+
+    # Copy curr -> prev and advance to the next row.
+    b = f.block("row_done")
+    b.li("r24", 0)
+    b.jmp("copy_head")
+    b = f.block("copy_head")
+    b.bgt("r24", "r21", taken="row_next", fall="copy_body")
+    b = f.block("copy_body")
+    b.add("r8", "r24", ROW_CURR_BASE)
+    b.ld("r9", "r8", 0)
+    b.add("r10", "r24", ROW_PREV_BASE)
+    b.st("r9", "r10", 0)
+    b.add("r24", "r24", 1)
+    b.jmp("copy_head")
+    b = f.block("row_next")
+    b.add("r22", "r22", 1)
+    b.jmp("row_head")
+
+    # LCS length -> number of added+deleted lines, like diff's summary.
+    b = f.block("result")
+    b.add("r8", "r21", ROW_PREV_BASE)
+    b.ld("r9", "r8", 0)              # lcs = prev[n]
+    b.out("r9")
+    b.sub("r10", "r20", "r9")        # deletions
+    b.sub("r11", "r21", "r9")        # insertions
+    b.out("r10")
+    b.out("r11")
+    b.halt()
+
+    return pb.build()
+
+
+def make_input(seed: int, scale: str) -> list[int]:
+    """Two related line-hash files: B is A with edits sprinkled in."""
+    rng = random.Random(repr(("diff", seed)))
+    n = _NUM_LINES[scale]
+    a = [rng.randrange(1 << 20) for _ in range(n)]
+    b: list[int] = []
+    for line in a:
+        roll = rng.random()
+        if roll < 0.08:
+            continue                         # deletion
+        if roll < 0.16:
+            b.append(rng.randrange(1 << 20))  # insertion
+        b.append(line)
+    return [len(a)] + a + [len(b)] + b
+
+
+WORKLOAD = register(
+    Workload(
+        name="diff",
+        description="pairs of related text files",
+        builder=build,
+        input_maker=make_input,
+        profile_seeds=(1, 2, 3, 4, 5, 6),
+        trace_seed=7,
+    ),
+    suite="extended",
+)

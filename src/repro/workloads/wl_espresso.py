@@ -1,0 +1,181 @@
+"""``espresso`` — two-level logic minimisation kernel (extended suite;
+the paper's conclusion promises CAD programs alongside the UNIX set).
+
+The distance-1 merging pass at the heart of cube minimisation: represent
+each product term (cube) as a bitmask, repeatedly scan all pairs, and
+whenever two cubes differ in exactly one literal, replace them with the
+merged cube — the Quine-McCluskey/espresso inner loop.  ``popcount`` is
+the hot helper (called once per pair per pass), and the pair scan's
+working set is the live cube array.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.registry import Workload, register
+
+CUBE_BASE = 0x60000      # cube bitmasks
+LIVE_BASE = 0x61000      # 1 = cube still active
+
+_NUM_CUBES = {"default": 56, "small": 12}
+#: Width of a cube in bits (literals per product term).
+CUBE_BITS = 16
+
+
+def build() -> Program:
+    """Build the espresso program."""
+    pb = ProgramBuilder()
+
+    # popcount(x=r1) -> r1: Kernighan's bit-clearing loop.
+    f = pb.function("popcount")
+    b = f.block("entry")
+    b.mov("r8", "r1")
+    b.li("r9", 0)
+    b.jmp("head")
+    b = f.block("head")
+    b.beq("r8", 0, taken="done", fall="body")
+    b = f.block("body")
+    b.sub("r10", "r8", 1)
+    b.and_("r8", "r8", "r10")        # clear lowest set bit
+    b.add("r9", "r9", 1)
+    b.jmp("head")
+    b = f.block("done")
+    b.mov("r1", "r9")
+    b.ret()
+
+    f = pb.function("main")
+    b = f.block("entry")
+    b.in_("r20")                     # number of cubes
+    b.li("r21", 0)
+    b.jmp("read")
+
+    b = f.block("read")
+    b.bge("r21", "r20", taken="pass_init", fall="read_one")
+    b = f.block("read_one")
+    b.in_("r8")
+    b.add("r9", "r21", CUBE_BASE)
+    b.st("r8", "r9", 0)
+    b.add("r9", "r21", LIVE_BASE)
+    b.li("r10", 1)
+    b.st("r10", "r9", 0)
+    b.add("r21", "r21", 1)
+    b.jmp("read")
+
+    # One merging pass; repeat while anything merged.
+    b = f.block("pass_init")
+    b.li("r28", 0)                   # total merges
+    b.jmp("pass_start")
+    b = f.block("pass_start")
+    b.li("r27", 0)                   # merges this pass
+    b.li("r22", 0)                   # i
+    b.jmp("i_head")
+
+    b = f.block("i_head")
+    b.bge("r22", "r20", taken="pass_end", fall="i_live")
+    b = f.block("i_live")
+    b.add("r8", "r22", LIVE_BASE)
+    b.ld("r9", "r8", 0)
+    b.beq("r9", 0, taken="i_next", fall="j_init")
+    b = f.block("j_init")
+    b.add("r23", "r22", 1)           # j
+    b.jmp("j_head")
+
+    b = f.block("j_head")
+    b.bge("r23", "r20", taken="i_next", fall="j_live")
+    b = f.block("j_live")
+    b.add("r8", "r23", LIVE_BASE)
+    b.ld("r9", "r8", 0)
+    b.beq("r9", 0, taken="j_next", fall="pair")
+
+    b = f.block("pair")
+    b.add("r8", "r22", CUBE_BASE)
+    b.ld("r24", "r8", 0)             # cube i
+    b.add("r8", "r23", CUBE_BASE)
+    b.ld("r25", "r8", 0)             # cube j
+    b.xor("r1", "r24", "r25")
+    b.call("popcount", cont="distance")
+
+    b = f.block("distance")
+    b.bne("r1", 1, taken="j_next", fall="merge")
+
+    b = f.block("merge")
+    # Merge: i keeps the common part (differing literal dropped), j dies.
+    b.and_("r8", "r24", "r25")
+    b.add("r9", "r22", CUBE_BASE)
+    b.st("r8", "r9", 0)
+    b.add("r9", "r23", LIVE_BASE)
+    b.st("r0", "r9", 0)
+    b.add("r27", "r27", 1)
+    b.add("r28", "r28", 1)
+    b.jmp("j_next")
+
+    b = f.block("j_next")
+    b.add("r23", "r23", 1)
+    b.jmp("j_head")
+    b = f.block("i_next")
+    b.add("r22", "r22", 1)
+    b.jmp("i_head")
+
+    b = f.block("pass_end")
+    b.bgt("r27", 0, taken="pass_start", fall="emit")
+
+    # Emit the surviving cover and a checksum.
+    b = f.block("emit")
+    b.li("r21", 0)
+    b.li("r26", 0)                   # survivors
+    b.li("r29", 0)                   # checksum
+    b.jmp("emit_head")
+    b = f.block("emit_head")
+    b.bge("r21", "r20", taken="finish", fall="emit_body")
+    b = f.block("emit_body")
+    b.add("r8", "r21", LIVE_BASE)
+    b.ld("r9", "r8", 0)
+    b.beq("r9", 0, taken="emit_next", fall="emit_live")
+    b = f.block("emit_live")
+    b.add("r26", "r26", 1)
+    b.add("r8", "r21", CUBE_BASE)
+    b.ld("r10", "r8", 0)
+    b.add("r29", "r29", "r10")
+    b.jmp("emit_next")
+    b = f.block("emit_next")
+    b.add("r21", "r21", 1)
+    b.jmp("emit_head")
+
+    b = f.block("finish")
+    b.out("r26")
+    b.out("r28")
+    b.out("r29")
+    b.halt()
+
+    return pb.build()
+
+
+def make_input(seed: int, scale: str) -> list[int]:
+    """Cube covers with deliberate distance-1 structure to merge."""
+    rng = random.Random(repr(("espresso", seed)))
+    n = _NUM_CUBES[scale]
+    cubes = []
+    # Seed clusters around a few base terms so merges actually happen.
+    bases = [rng.randrange(1 << CUBE_BITS) for _ in range(max(2, n // 8))]
+    for _ in range(n):
+        cube = rng.choice(bases)
+        for _ in range(rng.randint(0, 2)):
+            cube ^= 1 << rng.randrange(CUBE_BITS)
+        cubes.append(cube)
+    return [n] + cubes
+
+
+WORKLOAD = register(
+    Workload(
+        name="espresso",
+        description="two-level logic covers (CAD)",
+        builder=build,
+        input_maker=make_input,
+        profile_seeds=(1, 2, 3, 4, 5, 6),
+        trace_seed=3,
+    ),
+    suite="extended",
+)

@@ -1,0 +1,206 @@
+"""``grep`` — line-oriented pattern search (paper: 1302 C lines, inputs
+"exercised various options").
+
+The input stream carries an option flag and a pattern, then the text.
+Lines are buffered into memory and handed to one of several matcher
+variants — plain, case-folding, count-only, inverted — so different runs
+exercise different option paths, exactly how the paper's profiling
+"exercised various options".  The matcher is a first-character-filter
+substring search over the buffered line.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.inputs import text_stream
+from repro.workloads.registry import Workload, register
+
+#: Memory bases for the pattern and the current line buffer.
+PATTERN_BASE = 0x1000
+LINE_BASE = 0x1100
+
+NEWLINE = 10
+
+_INPUT_LENGTH = {"default": 40_000, "small": 1_500}
+
+
+def build() -> Program:
+    """Build the grep program."""
+    pb = ProgramBuilder()
+
+    # match_line(line_len=r1) -> r1 = 1 if the pattern occurs.
+    # Uses r30 = pattern length, r29 = first pattern char.
+    f = pb.function("match_line")
+    b = f.block("entry")
+    b.sub("r8", "r1", "r30")         # last feasible start offset
+    b.li("r9", 0)                    # start position
+    b.jmp("scan")
+    b = f.block("scan")
+    b.bgt("r9", "r8", taken="no_match", fall="first_char")
+    b = f.block("first_char")
+    b.add("r10", "r9", LINE_BASE)
+    b.ld("r11", "r10", 0)
+    b.beq("r11", "r29", taken="verify", fall="advance")
+    b = f.block("advance")
+    b.add("r9", "r9", 1)
+    b.jmp("scan")
+    b = f.block("verify")
+    b.li("r12", 1)                   # pattern index (first char matched)
+    b.jmp("verify_head")
+    b = f.block("verify_head")
+    b.bge("r12", "r30", taken="matched", fall="verify_body")
+    b = f.block("verify_body")
+    b.add("r13", "r9", "r12")
+    b.add("r13", "r13", LINE_BASE)
+    b.ld("r14", "r13", 0)
+    b.add("r15", "r12", PATTERN_BASE)
+    b.ld("r15", "r15", 0)
+    b.bne("r14", "r15", taken="advance", fall="verify_next")
+    b = f.block("verify_next")
+    b.add("r12", "r12", 1)
+    b.jmp("verify_head")
+    b = f.block("matched")
+    b.li("r1", 1)
+    b.ret()
+    b = f.block("no_match")
+    b.li("r1", 0)
+    b.ret()
+
+    # fold_line(line_len=r1): lowercase the buffered line in place.
+    f = pb.function("fold_line")
+    b = f.block("entry")
+    b.li("r8", 0)
+    b.jmp("head")
+    b = f.block("head")
+    b.bge("r8", "r1", taken="done", fall="body")
+    b = f.block("body")
+    b.add("r9", "r8", LINE_BASE)
+    b.ld("r10", "r9", 0)
+    b.blt("r10", 65, taken="next", fall="upper_check")
+    b = f.block("upper_check")
+    b.bgt("r10", 90, taken="next", fall="fold")
+    b = f.block("fold")
+    b.add("r10", "r10", 32)
+    b.st("r10", "r9", 0)
+    b.jmp("next")
+    b = f.block("next")
+    b.add("r8", "r8", 1)
+    b.jmp("head")
+    b = f.block("done")
+    b.ret()
+
+    # print_line(line_len=r1): emit the buffered line.
+    f = pb.function("print_line")
+    b = f.block("entry")
+    b.li("r8", 0)
+    b.jmp("head")
+    b = f.block("head")
+    b.bge("r8", "r1", taken="done", fall="body")
+    b = f.block("body")
+    b.add("r9", "r8", LINE_BASE)
+    b.ld("r10", "r9", 0)
+    b.out("r10")
+    b.add("r8", "r8", 1)
+    b.jmp("head")
+    b = f.block("done")
+    b.ret()
+
+    f = pb.function("main")
+    # Header: option flag, pattern length, pattern characters.
+    b = f.block("entry")
+    b.in_("r28")                     # option: 0 plain, 1 -i, 2 -c, 3 -v
+    b.in_("r30")                     # pattern length
+    b.li("r8", 0)
+    b.jmp("read_pattern")
+
+    b = f.block("read_pattern")
+    b.bge("r8", "r30", taken="pattern_done", fall="read_pattern_body")
+    b = f.block("read_pattern_body")
+    b.in_("r9")
+    b.add("r10", "r8", PATTERN_BASE)
+    b.st("r9", "r10", 0)
+    b.add("r8", "r8", 1)
+    b.jmp("read_pattern")
+
+    b = f.block("pattern_done")
+    b.ld("r29", "r0", PATTERN_BASE)  # first pattern character
+    b.li("r26", 0)                   # matching-line count
+    b.li("r27", 0)                   # line number
+    b.jmp("line_start")
+
+    # Buffer one line.
+    b = f.block("line_start")
+    b.li("r25", 0)                   # line length
+    b.jmp("line_read")
+    b = f.block("line_read")
+    b.in_("r8")
+    b.beq("r8", -1, taken="eof", fall="line_char")
+    b = f.block("line_char")
+    b.beq("r8", NEWLINE, taken="line_done", fall="line_store")
+    b = f.block("line_store")
+    b.add("r9", "r25", LINE_BASE)
+    b.st("r8", "r9", 0)
+    b.add("r25", "r25", 1)
+    b.jmp("line_read")
+
+    b = f.block("line_done")
+    b.add("r27", "r27", 1)
+    b.blt("r25", "r30", taken="line_start", fall="maybe_fold")
+
+    b = f.block("maybe_fold")
+    b.bne("r28", 1, taken="match", fall="fold_call")
+    b = f.block("fold_call")
+    b.mov("r1", "r25")
+    b.call("fold_line", cont="match")
+
+    b = f.block("match")
+    b.mov("r1", "r25")
+    b.call("match_line", cont="decide")
+
+    b = f.block("decide")
+    b.bne("r28", 3, taken="normal_sense", fall="invert")
+    b = f.block("invert")
+    b.xor("r1", "r1", 1)
+    b.jmp("normal_sense")
+    b = f.block("normal_sense")
+    b.beq("r1", 0, taken="line_start", fall="hit")
+
+    b = f.block("hit")
+    b.add("r26", "r26", 1)
+    b.beq("r28", 2, taken="line_start", fall="emit_line")
+    b = f.block("emit_line")
+    b.out("r27")
+    b.mov("r1", "r25")
+    b.call("print_line", cont="line_start")
+
+    b = f.block("eof")
+    b.out("r26")
+    b.halt()
+
+    return pb.build()
+
+
+def make_input(seed: int, scale: str) -> list[int]:
+    """Option + pattern + text; the option cycles with the seed."""
+    option = seed % 4
+    # Short patterns hit often; this one is 3 letters drawn from the
+    # text's own alphabet so first-character filtering stays busy.
+    import random
+
+    rng = random.Random(repr(("greppat", seed)))
+    pattern = [97 + rng.randrange(26) for _ in range(3)]
+    text = text_stream(seed, _INPUT_LENGTH[scale])
+    return [option, len(pattern)] + pattern + text
+
+
+WORKLOAD = register(
+    Workload(
+        name="grep",
+        description="exercised various options",
+        builder=build,
+        input_maker=make_input,
+        profile_seeds=(1, 2, 3, 4, 5, 6, 7, 8),
+        trace_seed=11,
+    )
+)

@@ -1,0 +1,198 @@
+"""``lex`` — table-driven lexical analysis (paper: 3251 C lines, inputs
+"lexers for C, Lisp, awk, and pic"; by far the paper's longest runs).
+
+A real scanner shape: a character-class table, a DFA transition table and
+an accepting-state table are built in data memory at start-up, then a
+tight scan loop advances the automaton one character at a time and fires a
+token *action* whenever an accepting state is reached.  The action family
+is large (one per token class, as lex generates) but invocation is heavily
+skewed toward the few hot token kinds — which is why lex's enormous static
+code keeps a tiny hot footprint and, as in the paper, almost never misses
+in a 2K cache.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.inputs import csource_stream
+from repro.workloads.registry import Workload, register
+from repro.workloads.synth import handler_family
+
+#: Memory bases of the scanner tables.
+CLASS_BASE = 0x5000       # 128 entries: character -> class (0..7)
+TRANS_BASE = 0x6000       # 16*8 entries: state*8+class -> next state
+ACCEPT_BASE = 0x7000      # 16 entries: state -> token kind (0 = none)
+
+NUM_STATES = 16
+NUM_CLASSES = 8
+NUM_ACTIONS = 32
+HOT_ACTIONS = 4           # most tokens land in the first few actions
+
+_INPUT_LENGTH = {"default": 18_000, "small": 800}
+
+
+def build() -> Program:
+    """Build the lex program."""
+    pb = ProgramBuilder()
+
+    actions = handler_family(
+        pb, "action", count=NUM_ACTIONS, seed=5,
+        diamonds_range=(1, 2), body_range=(4, 8), loop_mod_range=(2, 3),
+        memory_base=0x8000,
+    )
+
+    # init_class_table(): class(c) = c mod 8.
+    f = pb.function("init_class_table")
+    b = f.block("entry")
+    b.li("r8", 0)
+    b.jmp("head")
+    b = f.block("head")
+    b.bge("r8", 128, taken="done", fall="body")
+    b = f.block("body")
+    b.rem("r9", "r8", NUM_CLASSES)
+    b.add("r10", "r8", CLASS_BASE)
+    b.st("r9", "r10", 0)
+    b.add("r8", "r8", 1)
+    b.jmp("head")
+    b = f.block("done")
+    b.ret()
+
+    # init_trans_table(): next(s, cls) = (2s + cls + 1) mod 16.
+    f = pb.function("init_trans_table")
+    b = f.block("entry")
+    b.li("r8", 0)                    # flat index s*8 + cls
+    b.jmp("head")
+    b = f.block("head")
+    b.bge("r8", NUM_STATES * NUM_CLASSES, taken="done", fall="body")
+    b = f.block("body")
+    b.div("r9", "r8", NUM_CLASSES)   # s
+    b.rem("r10", "r8", NUM_CLASSES)  # cls
+    b.mul("r9", "r9", 2)
+    b.add("r9", "r9", "r10")
+    b.add("r9", "r9", 1)
+    b.rem("r9", "r9", NUM_STATES)
+    b.add("r11", "r8", TRANS_BASE)
+    b.st("r9", "r11", 0)
+    b.add("r8", "r8", 1)
+    b.jmp("head")
+    b = f.block("done")
+    b.ret()
+
+    # init_accept_table(): states 5, 10, 15 accept token kinds 1..3.
+    f = pb.function("init_accept_table")
+    b = f.block("entry")
+    b.li("r8", 0)
+    b.jmp("head")
+    b = f.block("head")
+    b.bge("r8", NUM_STATES, taken="done", fall="body")
+    b = f.block("body")
+    b.rem("r9", "r8", 5)
+    b.bne("r9", 0, taken="not_accepting", fall="maybe")
+    b = f.block("maybe")
+    b.beq("r8", 0, taken="not_accepting", fall="accepting")
+    b = f.block("accepting")
+    b.div("r10", "r8", 5)            # token kind 1..3
+    b.add("r11", "r8", ACCEPT_BASE)
+    b.st("r10", "r11", 0)
+    b.jmp("next")
+    b = f.block("not_accepting")
+    b.add("r11", "r8", ACCEPT_BASE)
+    b.st("r0", "r11", 0)
+    b.jmp("next")
+    b = f.block("next")
+    b.add("r8", "r8", 1)
+    b.jmp("head")
+    b = f.block("done")
+    b.ret()
+
+    f = pb.function("main")
+    b = f.block("entry")
+    b.call("init_class_table", cont="init2")
+    b = f.block("init2")
+    b.call("init_trans_table", cont="init3")
+    b = f.block("init3")
+    b.call("init_accept_table", cont="start")
+
+    b = f.block("start")
+    b.li("r20", 0)                   # DFA state
+    b.li("r26", 0)                   # token count
+    b.li("r27", 0)                   # action result accumulator
+    b.jmp("scan")
+
+    # The hot scan loop.
+    b = f.block("scan")
+    b.in_("r21")
+    b.beq("r21", -1, taken="finish", fall="classify")
+
+    b = f.block("classify")
+    b.and_("r8", "r21", 127)
+    b.add("r8", "r8", CLASS_BASE)
+    b.ld("r22", "r8", 0)             # character class
+    b.mul("r9", "r20", NUM_CLASSES)
+    b.add("r9", "r9", "r22")
+    b.add("r9", "r9", TRANS_BASE)
+    b.ld("r20", "r9", 0)             # next state
+    b.add("r10", "r20", ACCEPT_BASE)
+    b.ld("r23", "r10", 0)            # token kind (0 = keep scanning)
+    b.beq("r23", 0, taken="scan", fall="token")
+
+    # A token: pick its action.  Hot kinds (1..3 from the accept table,
+    # scaled up with the low character bits) use the first HOT_ACTIONS
+    # actions; rare punctuation classes reach into the long tail.
+    b = f.block("token")
+    b.add("r26", "r26", 1)
+    b.li("r20", 0)                   # restart the automaton
+    b.bne("r22", NUM_CLASSES - 1, taken="hot_kind", fall="rare_kind")
+
+    b = f.block("hot_kind")
+    b.and_("r24", "r21", 1)
+    b.mul("r25", "r23", 2)
+    b.add("r24", "r24", "r25")
+    b.rem("r24", "r24", HOT_ACTIONS)
+    b.jmp("dispatch")
+
+    b = f.block("rare_kind")
+    b.rem("r24", "r21", NUM_ACTIONS - HOT_ACTIONS)
+    b.add("r24", "r24", HOT_ACTIONS)
+    b.jmp("dispatch")
+
+    b = f.block("dispatch")
+    b.mov("r1", "r21")
+    b.jmp("act_c0")
+
+    for i, action in enumerate(actions):
+        is_last = i == NUM_ACTIONS - 1
+        nxt = "acted" if is_last else f"act_c{i + 1}"
+        b = f.block(f"act_c{i}")
+        b.beq("r24", i, taken=f"act_do{i}", fall=nxt)
+        b = f.block(f"act_do{i}")
+        b.call(action, cont="acted")
+
+    b = f.block("acted")
+    b.add("r27", "r27", "r1")
+    b.jmp("scan")
+
+    b = f.block("finish")
+    b.out("r26")
+    b.out("r27")
+    b.halt()
+
+    return pb.build()
+
+
+def make_input(seed: int, scale: str) -> list[int]:
+    """C-source-like character streams (the paper lexes real languages)."""
+    return csource_stream(seed, _INPUT_LENGTH[scale])
+
+
+WORKLOAD = register(
+    Workload(
+        name="lex",
+        description="lexers for C, Lisp, awk, and pic",
+        builder=build,
+        input_maker=make_input,
+        profile_seeds=(1, 2, 3, 4),
+        trace_seed=19,
+    )
+)

@@ -1,0 +1,237 @@
+"""``make`` — dependency-graph build (paper: 7043 C lines, inputs
+"makefiles for cccp, compress, etc."; one of the two cache-stressing
+benchmarks).
+
+Three phases, like a real make run: parse the makefile into dependency
+tables; recursively bring every target up to date, "running" a rule
+(one of a sizeable family of rule-processing functions) whenever a
+dependency is newer; then a second, no-work pass over the same graph (the
+classic "make again" check).  ``build_target`` is genuinely recursive —
+it spills its locals to a software stack — so the inliner must leave it
+alone, and the rule family is large enough that cycling through rules
+thrashes a 2K cache the way the paper's make does.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.inputs import dependency_graph_stream
+from repro.workloads.registry import Workload, register
+from repro.workloads.synth import handler_family
+
+#: Per-target record: [ndeps, dep0..dep4, -, timestamp], stride 8.
+DEPS_BASE = 0x10000
+STAMP_BASE = 0x18000
+VISITED_BASE = 0x19000
+STACK_BASE = 0x20000
+
+NUM_RULES = 24
+HOT_RULES = 6
+
+_NUM_TARGETS = {"default": 700, "small": 40}
+
+
+def build() -> Program:
+    """Build the make program."""
+    pb = ProgramBuilder()
+
+    rules = handler_family(
+        pb, "rule", count=NUM_RULES, seed=3,
+        diamonds_range=(2, 3), body_range=(7, 11), loop_mod_range=(3, 5),
+        memory_base=0x1A000,
+    )
+
+    # build_target(t=r1) -> r1 = up-to-date timestamp of t.  Recursive;
+    # locals r16-r19 are spilled to the software stack at r31.
+    f = pb.function("build_target")
+    b = f.block("entry")
+    b.add("r8", "r1", VISITED_BASE)
+    b.ld("r9", "r8", 0)
+    b.beq("r9", 1, taken="cached", fall="work")
+
+    b = f.block("cached")
+    b.add("r8", "r1", STAMP_BASE)
+    b.ld("r1", "r8", 0)
+    b.ret()
+
+    b = f.block("work")
+    b.st("r16", "r31", 0)
+    b.st("r17", "r31", 1)
+    b.st("r18", "r31", 2)
+    b.st("r19", "r31", 3)
+    b.add("r31", "r31", 4)
+    b.mov("r16", "r1")               # t
+    b.add("r8", "r16", VISITED_BASE)
+    b.li("r9", 1)
+    b.st("r9", "r8", 0)
+    b.mul("r8", "r16", 8)
+    b.add("r8", "r8", DEPS_BASE)
+    b.ld("r19", "r8", 0)             # ndeps
+    b.li("r17", 0)                   # dep index
+    b.li("r18", 0)                   # newest dependency stamp
+    b.jmp("dep_head")
+
+    b = f.block("dep_head")
+    b.bge("r17", "r19", taken="check_date", fall="dep_body")
+
+    b = f.block("dep_body")
+    b.mul("r8", "r16", 8)
+    b.add("r8", "r8", DEPS_BASE)
+    b.add("r8", "r8", "r17")
+    b.ld("r1", "r8", 1)              # dep i lives at offset 1 + i
+    b.call("build_target", cont="dep_ret")
+
+    b = f.block("dep_ret")
+    b.ble("r1", "r18", taken="dep_next", fall="dep_newer")
+    b = f.block("dep_newer")
+    b.mov("r18", "r1")
+    b.jmp("dep_next")
+    b = f.block("dep_next")
+    b.add("r17", "r17", 1)
+    b.jmp("dep_head")
+
+    b = f.block("check_date")
+    b.mul("r8", "r16", 8)
+    b.add("r8", "r8", DEPS_BASE)
+    b.ld("r9", "r8", 7)              # own timestamp
+    b.bge("r9", "r18", taken="uptodate", fall="run_rule")
+
+    # Out of date: pick a rule (hot-skewed) and run it.
+    b = f.block("run_rule")
+    b.rem("r8", "r16", 10)
+    b.blt("r8", 7, taken="pick_hot", fall="pick_cold")
+    b = f.block("pick_hot")
+    b.rem("r8", "r16", HOT_RULES)
+    b.jmp("rdispatch_c0")
+    b = f.block("pick_cold")
+    b.rem("r8", "r16", NUM_RULES - HOT_RULES)
+    b.add("r8", "r8", HOT_RULES)
+    b.jmp("rdispatch_c0")
+
+    for i, rule in enumerate(rules):
+        is_last = i == NUM_RULES - 1
+        nxt = "rule_done" if is_last else f"rdispatch_c{i + 1}"
+        b = f.block(f"rdispatch_c{i}")
+        b.beq("r8", i, taken=f"rdispatch_do{i}", fall=nxt)
+        b = f.block(f"rdispatch_do{i}")
+        b.mov("r1", "r16")
+        b.call(rule, cont="rule_done")
+
+    b = f.block("rule_done")
+    b.add("r18", "r18", 1)           # rebuilt: newer than every dep
+    b.add("r30", "r30", 1)           # rules-run counter
+    b.jmp("store")
+
+    b = f.block("uptodate")
+    b.mov("r18", "r9")
+    b.jmp("store")
+
+    b = f.block("store")
+    b.add("r8", "r16", STAMP_BASE)
+    b.st("r18", "r8", 0)
+    # Persist the new timestamp so a later pass sees the target as fresh
+    # (this is what makes the "make again" phase a no-work traversal).
+    b.mul("r10", "r16", 8)
+    b.add("r10", "r10", DEPS_BASE)
+    b.st("r18", "r10", 7)
+    b.mov("r1", "r18")
+    b.sub("r31", "r31", 4)
+    b.ld("r16", "r31", 0)
+    b.ld("r17", "r31", 1)
+    b.ld("r18", "r31", 2)
+    b.ld("r19", "r31", 3)
+    b.ret()
+
+    f = pb.function("main")
+    b = f.block("entry")
+    b.li("r31", STACK_BASE)
+    b.li("r22", 0)                   # number of targets parsed
+    b.li("r30", 0)                   # rules run
+    b.jmp("parse")
+
+    # Phase 1: parse the makefile stream.
+    b = f.block("parse")
+    b.in_("r8")                      # target id or -2
+    b.beq("r8", -2, taken="build_all", fall="parse_rec")
+    b = f.block("parse_rec")
+    b.mul("r9", "r8", 8)
+    b.add("r9", "r9", DEPS_BASE)
+    b.in_("r10")                     # ndeps
+    b.st("r10", "r9", 0)
+    b.li("r11", 0)
+    b.jmp("parse_deps")
+    b = f.block("parse_deps")
+    b.bge("r11", "r10", taken="parse_stamp", fall="parse_dep")
+    b = f.block("parse_dep")
+    b.in_("r12")
+    b.add("r13", "r9", "r11")
+    b.st("r12", "r13", 1)
+    b.add("r11", "r11", 1)
+    b.jmp("parse_deps")
+    b = f.block("parse_stamp")
+    b.in_("r12")
+    b.st("r12", "r9", 7)
+    b.add("r22", "r22", 1)
+    b.jmp("parse")
+
+    # Phase 2: bring every target up to date.
+    b = f.block("build_all")
+    b.li("r21", 0)
+    b.jmp("build_head")
+    b = f.block("build_head")
+    b.bge("r21", "r22", taken="clear_visited", fall="build_body")
+    b = f.block("build_body")
+    b.mov("r1", "r21")
+    b.call("build_target", cont="build_next")
+    b = f.block("build_next")
+    b.add("r21", "r21", 1)
+    b.jmp("build_head")
+
+    # Phase 3: "make again" — everything is now up to date.
+    b = f.block("clear_visited")
+    b.li("r21", 0)
+    b.jmp("clear_head")
+    b = f.block("clear_head")
+    b.bge("r21", "r22", taken="again", fall="clear_body")
+    b = f.block("clear_body")
+    b.add("r8", "r21", VISITED_BASE)
+    b.st("r0", "r8", 0)
+    b.add("r21", "r21", 1)
+    b.jmp("clear_head")
+
+    b = f.block("again")
+    b.li("r21", 0)
+    b.jmp("again_head")
+    b = f.block("again_head")
+    b.bge("r21", "r22", taken="finish", fall="again_body")
+    b = f.block("again_body")
+    b.mov("r1", "r21")
+    b.call("build_target", cont="again_next")
+    b = f.block("again_next")
+    b.add("r21", "r21", 1)
+    b.jmp("again_head")
+
+    b = f.block("finish")
+    b.out("r22")
+    b.out("r30")
+    b.halt()
+
+    return pb.build()
+
+
+def make_input(seed: int, scale: str) -> list[int]:
+    """Acyclic makefile-shaped dependency graphs."""
+    return dependency_graph_stream(seed, _NUM_TARGETS[scale])
+
+
+WORKLOAD = register(
+    Workload(
+        name="make",
+        description="makefiles for cccp, compress, etc.",
+        builder=build,
+        input_maker=make_input,
+        profile_seeds=tuple(range(1, 21)),
+        trace_seed=31,
+    )
+)

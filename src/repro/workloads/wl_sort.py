@@ -1,0 +1,176 @@
+"""``sort`` — in-memory heapsort (extended suite).
+
+The paper's conclusion announces an expansion of the benchmark set to
+"more than 30 UNIX and CAD programs"; ``sort`` is the most obvious UNIX
+addition.  Reads a value stream into memory, heapsorts it with an
+iterative sift-down, and writes the sorted prefix out.  The hot code is
+the sift-down loop — small and intensely reused, so, like wc, sort should
+barely touch the cache-sweep floor.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.registry import Workload, register
+
+#: Memory base of the array being sorted.
+ARRAY_BASE = 0x30000
+
+_NUM_VALUES = {"default": 900, "small": 40}
+
+
+def build() -> Program:
+    """Build the sort program."""
+    pb = ProgramBuilder()
+
+    # sift_down(root=r1, heap_size=r2): restore the max-heap property.
+    f = pb.function("sift_down")
+    b = f.block("entry")
+    b.mov("r8", "r1")                # current node
+    b.jmp("loop")
+
+    b = f.block("loop")
+    b.mul("r9", "r8", 2)
+    b.add("r9", "r9", 1)             # left child
+    b.bge("r9", "r2", taken="done", fall="pick_left")
+
+    b = f.block("pick_left")
+    b.mov("r10", "r8")               # largest so far
+    b.add("r11", "r8", ARRAY_BASE)
+    b.ld("r12", "r11", 0)            # arr[current]
+    b.add("r13", "r9", ARRAY_BASE)
+    b.ld("r14", "r13", 0)            # arr[left]
+    b.ble("r14", "r12", taken="try_right", fall="left_bigger")
+    b = f.block("left_bigger")
+    b.mov("r10", "r9")
+    b.mov("r12", "r14")              # value of the largest
+    b.jmp("try_right")
+
+    b = f.block("try_right")
+    b.add("r15", "r9", 1)            # right child
+    b.bge("r15", "r2", taken="decide", fall="pick_right")
+    b = f.block("pick_right")
+    b.add("r13", "r15", ARRAY_BASE)
+    b.ld("r14", "r13", 0)            # arr[right]
+    b.ble("r14", "r12", taken="decide", fall="right_bigger")
+    b = f.block("right_bigger")
+    b.mov("r10", "r15")
+    b.mov("r12", "r14")
+    b.jmp("decide")
+
+    b = f.block("decide")
+    b.beq("r10", "r8", taken="done", fall="swap")
+    b = f.block("swap")
+    b.add("r11", "r8", ARRAY_BASE)
+    b.ld("r13", "r11", 0)
+    b.add("r14", "r10", ARRAY_BASE)
+    b.ld("r15", "r14", 0)
+    b.st("r15", "r11", 0)
+    b.st("r13", "r14", 0)
+    b.mov("r8", "r10")               # continue sifting from the child
+    b.jmp("loop")
+
+    b = f.block("done")
+    b.ret()
+
+    f = pb.function("main")
+    b = f.block("entry")
+    b.in_("r20")                     # number of values
+    b.li("r21", 0)
+    b.jmp("read")
+
+    b = f.block("read")
+    b.bge("r21", "r20", taken="heapify", fall="read_one")
+    b = f.block("read_one")
+    b.in_("r8")
+    b.add("r9", "r21", ARRAY_BASE)
+    b.st("r8", "r9", 0)
+    b.add("r21", "r21", 1)
+    b.jmp("read")
+
+    # Bottom-up heap construction.
+    b = f.block("heapify")
+    b.div("r22", "r20", 2)
+    b.sub("r22", "r22", 1)           # last internal node
+    b.jmp("heap_head")
+    b = f.block("heap_head")
+    b.blt("r22", 0, taken="extract_init", fall="heap_body")
+    b = f.block("heap_body")
+    b.mov("r1", "r22")
+    b.mov("r2", "r20")
+    b.call("sift_down", cont="heap_next")
+    b = f.block("heap_next")
+    b.sub("r22", "r22", 1)
+    b.jmp("heap_head")
+
+    # Repeatedly move the max to the tail and re-sift.
+    b = f.block("extract_init")
+    b.sub("r23", "r20", 1)           # heap end
+    b.jmp("extract_head")
+    b = f.block("extract_head")
+    b.ble("r23", 0, taken="emit", fall="extract_body")
+    b = f.block("extract_body")
+    b.li("r8", ARRAY_BASE)
+    b.ld("r9", "r8", 0)              # root (max)
+    b.add("r10", "r23", ARRAY_BASE)
+    b.ld("r11", "r10", 0)
+    b.st("r11", "r8", 0)
+    b.st("r9", "r10", 0)
+    b.li("r1", 0)
+    b.mov("r2", "r23")
+    b.call("sift_down", cont="extract_next")
+    b = f.block("extract_next")
+    b.sub("r23", "r23", 1)
+    b.jmp("extract_head")
+
+    # Emit a sample of the sorted output plus a checksum.
+    b = f.block("emit")
+    b.li("r21", 0)
+    b.li("r24", 0)                   # checksum
+    b.jmp("emit_head")
+    b = f.block("emit_head")
+    b.bge("r21", "r20", taken="finish", fall="emit_body")
+    b = f.block("emit_body")
+    b.add("r8", "r21", ARRAY_BASE)
+    b.ld("r9", "r8", 0)
+    b.add("r24", "r24", "r9")
+    b.rem("r10", "r21", 100)
+    b.bne("r10", 0, taken="emit_next", fall="emit_sample")
+    b = f.block("emit_sample")
+    b.out("r9")
+    b.jmp("emit_next")
+    b = f.block("emit_next")
+    b.add("r21", "r21", 1)
+    b.jmp("emit_head")
+
+    b = f.block("finish")
+    b.out("r24")
+    b.halt()
+
+    return pb.build()
+
+
+def make_input(seed: int, scale: str) -> list[int]:
+    """A shuffled value stream, occasionally pre-sorted (best case)."""
+    rng = random.Random(repr(("sort", seed)))
+    n = _NUM_VALUES[scale]
+    values = [rng.randrange(1 << 16) for _ in range(n)]
+    if seed % 5 == 0:
+        values.sort()
+    return [n] + values
+
+
+WORKLOAD = register(
+    Workload(
+        name="sort",
+        description="shuffled and pre-sorted value files",
+        builder=build,
+        input_maker=make_input,
+        profile_seeds=(1, 2, 3, 4, 5, 6),
+        trace_seed=17,
+    ),
+    suite="extended",
+)

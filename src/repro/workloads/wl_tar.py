@@ -1,0 +1,160 @@
+"""``tar`` — archive create/extract (paper: 3186 C lines, inputs
+"save/extract files").
+
+The stream carries a mode flag and a sequence of (header, data) records.
+Create mode checksums and "stores" each file; extract mode validates
+headers and copies data out.  Header handling is deliberately branchy —
+real tar spends its time in option/header logic, which is why the paper
+measures an average trace length of only 1.2 blocks for it — and the
+per-record mode dispatch goes through a family of small header-validation
+helpers.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.inputs import archive_stream
+from repro.workloads.registry import Workload, register
+from repro.workloads.synth import handler_family
+
+#: Memory base of the per-file staging buffer.
+BUFFER_BASE = 0x4000
+
+_NUM_FILES = {"default": 220, "small": 12}
+
+
+def build() -> Program:
+    """Build the tar program."""
+    pb = ProgramBuilder()
+
+    # A small family of header-validation helpers; which one runs depends
+    # on the file's name hash, so successive records bounce across them.
+    validators = handler_family(
+        pb, "validate_hdr", count=6, seed=17,
+        diamonds_range=(1, 2), body_range=(3, 6), loop_mod_range=(2, 3),
+    )
+
+    # checksum_block(start=r1, length=r2) -> r1: additive checksum.
+    f = pb.function("checksum_block")
+    b = f.block("entry")
+    b.li("r8", 0)
+    b.li("r9", 0)
+    b.jmp("head")
+    b = f.block("head")
+    b.bge("r9", "r2", taken="done", fall="body")
+    b = f.block("body")
+    b.add("r10", "r1", "r9")
+    b.ld("r11", "r10", 0)
+    b.add("r8", "r8", "r11")
+    b.xor("r8", "r8", "r9")
+    b.add("r9", "r9", 1)
+    b.jmp("head")
+    b = f.block("done")
+    b.mov("r1", "r8")
+    b.ret()
+
+    # write_block(start=r1, length=r2): copy the staged data out.
+    f = pb.function("write_block")
+    b = f.block("entry")
+    b.li("r9", 0)
+    b.jmp("head")
+    b = f.block("head")
+    b.bge("r9", "r2", taken="done", fall="body")
+    b = f.block("body")
+    b.add("r10", "r1", "r9")
+    b.ld("r11", "r10", 0)
+    b.out("r11")
+    b.add("r9", "r9", 1)
+    b.jmp("head")
+    b = f.block("done")
+    b.ret()
+
+    f = pb.function("main")
+    b = f.block("entry")
+    b.in_("r28")                     # mode: 0 create, 1 extract
+    b.li("r26", 0)                   # files processed
+    b.li("r27", 0)                   # running archive checksum
+    b.jmp("record")
+
+    b = f.block("record")
+    b.in_("r20")                     # name hash (or -2 terminator)
+    b.beq("r20", -2, taken="finish", fall="read_len")
+    b = f.block("read_len")
+    b.in_("r21")                     # data length
+    b.li("r22", 0)
+    b.jmp("stage")
+
+    # Stage the record's data words into the buffer.
+    b = f.block("stage")
+    b.bge("r22", "r21", taken="staged", fall="stage_body")
+    b = f.block("stage_body")
+    b.in_("r8")
+    b.add("r9", "r22", BUFFER_BASE)
+    b.st("r8", "r9", 0)
+    b.add("r22", "r22", 1)
+    b.jmp("stage")
+
+    # Pick a validator from the name hash and run it.
+    b = f.block("staged")
+    b.rem("r23", "r20", len(validators))
+    b.mov("r1", "r20")
+    b.jmp("vdispatch_c0")
+
+    join = "validated"
+    for i, validator in enumerate(validators):
+        is_last = i == len(validators) - 1
+        nxt = join if is_last else f"vdispatch_c{i + 1}"
+        b = f.block(f"vdispatch_c{i}")
+        b.beq("r23", i, taken=f"vdispatch_do{i}", fall=nxt)
+        b = f.block(f"vdispatch_do{i}")
+        b.call(validator, cont=join)
+
+    b = f.block("validated")
+    b.add("r27", "r27", "r1")        # fold the validator result in
+    b.beq("r28", 0, taken="create", fall="extract")
+
+    b = f.block("create")
+    b.li("r1", BUFFER_BASE)
+    b.mov("r2", "r21")
+    b.call("checksum_block", cont="created")
+    b = f.block("created")
+    b.add("r27", "r27", "r1")
+    b.out("r20")
+    b.out("r1")                      # header + checksum written
+    b.jmp("next_file")
+
+    b = f.block("extract")
+    b.li("r1", BUFFER_BASE)
+    b.mov("r2", "r21")
+    b.call("write_block", cont="extracted")
+    b = f.block("extracted")
+    b.jmp("next_file")
+
+    b = f.block("next_file")
+    b.add("r26", "r26", 1)
+    b.jmp("record")
+
+    b = f.block("finish")
+    b.out("r26")
+    b.out("r27")
+    b.halt()
+
+    return pb.build()
+
+
+def make_input(seed: int, scale: str) -> list[int]:
+    """Archives of a couple hundred smallish files."""
+    return archive_stream(seed, _NUM_FILES[scale])
+
+
+WORKLOAD = register(
+    Workload(
+        name="tar",
+        description="save/extract files",
+        builder=build,
+        input_maker=make_input,
+        profile_seeds=tuple(range(1, 15)),
+        trace_seed=29,
+    )
+)

@@ -1,0 +1,86 @@
+"""``tee`` — copy input to output through system calls (paper: 1063 C
+lines, inputs "text files (100-3000 lines)").
+
+The paper's special case: "data is copied from the input to the output by
+system calls (read, write), without much additional computation.  Since
+system calls can not be inline expanded, the call frequency of tee is
+extremely high" — 0% of calls eliminated, ~15 dynamic instructions per
+call.  ``sys_read`` and ``sys_write`` are therefore marked ``is_syscall``
+here, and the driver loop is deliberately thin.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.inputs import text_stream
+from repro.workloads.registry import Workload, register
+
+_INPUT_LENGTH = {"default": 25_000, "small": 1_000}
+
+
+def build() -> Program:
+    """Build the tee program."""
+    pb = ProgramBuilder()
+
+    # sys_read() -> r1: one value from the input stream.
+    f = pb.function("sys_read", is_syscall=True)
+    b = f.block("entry")
+    b.in_("r1")
+    b.ret()
+
+    # sys_write(r1): one value to the output stream.
+    f = pb.function("sys_write", is_syscall=True)
+    b = f.block("entry")
+    b.out("r1")
+    b.ret()
+
+    f = pb.function("main")
+    b = f.block("entry")
+    b.li("r20", 0)                   # bytes copied
+    b.li("r21", 0)                   # lines copied
+    b.jmp("loop")
+
+    b = f.block("loop")
+    b.call("sys_read", cont="check")
+
+    b = f.block("check")
+    b.beq("r1", -1, taken="done", fall="copy")
+
+    b = f.block("copy")
+    b.add("r20", "r20", 1)
+    b.bne("r1", 10, taken="write", fall="newline")
+
+    b = f.block("newline")
+    b.add("r21", "r21", 1)
+    b.jmp("write")
+
+    b = f.block("write")
+    b.call("sys_write", cont="loop")
+
+    b = f.block("done")
+    b.out("r20")
+    b.out("r21")
+    b.halt()
+
+    return pb.build()
+
+
+def make_input(seed: int, scale: str) -> list[int]:
+    """Plain text of varying size, like the paper's 100-3000 line files."""
+    length = _INPUT_LENGTH[scale]
+    # Vary sizes across runs the way a set of real files would.
+    size = length // 2 + (seed * 977) % (length // 2)
+    return text_stream(seed, size)
+
+
+WORKLOAD = register(
+    Workload(
+        name="tee",
+        description="text files (100-3000 lines)",
+        builder=build,
+        input_maker=make_input,
+        profile_seeds=tuple(range(1, 11)),
+        trace_seed=37,
+    )
+)

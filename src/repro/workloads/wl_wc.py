@@ -1,0 +1,119 @@
+"""``wc`` — word/line/character count (paper: 345 C lines, inputs "same
+as cccp", i.e. text files).
+
+The smallest benchmark: one tight classification loop over the input
+characters plus a once-per-run option parse and final report.  Like the
+real ``wc``, it makes essentially no function calls from the hot loop, so
+inline expansion has nothing to do (the paper reports 0% code increase and
+0% call decrease) and the whole hot footprint fits any cache in the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.inputs import text_stream
+from repro.workloads.registry import Workload, register
+
+NEWLINE = 10
+SPACE = 32
+TAB = 9
+
+_INPUT_LENGTH = {"default": 60_000, "small": 1_500}
+
+
+def build() -> Program:
+    """Build the wc program."""
+    pb = ProgramBuilder()
+
+    # Called once per run: pretend-parse an option word (first character
+    # of the stream is treated as data, real wc would look at argv; we
+    # simply prime the counters).
+    f = pb.function("init_counters")
+    b = f.block("entry")
+    b.li("r20", 0)   # lines
+    b.li("r21", 0)   # words
+    b.li("r22", 0)   # chars
+    b.li("r23", 0)   # in-word flag
+    b.li("r24", 0)   # longest line length
+    b.li("r25", 0)   # current line length
+    b.ret()
+
+    # Called once at the end: emit the counts.
+    f = pb.function("report")
+    b = f.block("entry")
+    b.out("r20")
+    b.out("r21")
+    b.out("r22")
+    b.out("r24")
+    b.ret()
+
+    f = pb.function("main")
+    b = f.block("entry")
+    b.call("init_counters", cont="loop")
+
+    b = f.block("loop")
+    b.in_("r8")
+    b.beq("r8", -1, taken="finish", fall="count_char")
+
+    b = f.block("count_char")
+    b.add("r22", "r22", 1)
+    b.add("r25", "r25", 1)
+    b.beq("r8", NEWLINE, taken="newline", fall="not_newline")
+
+    b = f.block("not_newline")
+    b.beq("r8", SPACE, taken="space", fall="not_space")
+
+    b = f.block("not_space")
+    b.beq("r8", TAB, taken="space", fall="graphic")
+
+    b = f.block("graphic")
+    # A printable character: start a word unless already inside one.
+    b.bne("r23", 0, taken="loop", fall="start_word")
+
+    b = f.block("start_word")
+    b.li("r23", 1)
+    b.add("r21", "r21", 1)
+    b.jmp("loop")
+
+    b = f.block("space")
+    b.li("r23", 0)
+    b.jmp("loop")
+
+    b = f.block("newline")
+    b.add("r20", "r20", 1)
+    b.li("r23", 0)
+    b.sub("r25", "r25", 1)           # newline itself is not line length
+    b.ble("r25", "r24", taken="line_reset", fall="new_longest")
+
+    b = f.block("new_longest")
+    b.mov("r24", "r25")
+    b.jmp("line_reset")
+
+    b = f.block("line_reset")
+    b.li("r25", 0)
+    b.jmp("loop")
+
+    b = f.block("finish")
+    b.call("report", cont="done")
+    b = f.block("done")
+    b.halt()
+
+    return pb.build()
+
+
+def make_input(seed: int, scale: str) -> list[int]:
+    """Plain prose-like text (the paper profiles wc on text files)."""
+    return text_stream(seed, _INPUT_LENGTH[scale])
+
+
+WORKLOAD = register(
+    Workload(
+        name="wc",
+        description="text files (same as cccp)",
+        builder=build,
+        input_maker=make_input,
+        profile_seeds=(1, 2, 3, 4, 5, 6, 7, 8),
+        trace_seed=42,
+    )
+)

@@ -1,0 +1,202 @@
+"""``yacc`` — LALR parser generation and parsing (paper: 3333 C lines,
+inputs "grammar for a C compiler, etc.").
+
+Two phases with very different cache behaviour, like the real tool:
+
+1. *Table construction* — nested loops compute the ACTION table into data
+   memory (standing in for the closure/goto computation yacc performs);
+   executed once, so this code is effective but phase-limited.
+2. *Parsing* — a shift/reduce loop over a token stream: the ACTION table
+   decides between shifting (push state) and reducing (pop states and run
+   one of a large per-rule action family).  Rule hotness is skewed by the
+   token distribution, so a moderate hot set sits on top of a large static
+   body — the paper's yacc misses a little at 2K and almost never at 8K.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.workloads.inputs import token_stream
+from repro.workloads.registry import Workload, register
+from repro.workloads.synth import handler_family
+
+ACTION_BASE = 0xB000       # 64 states x 32 tokens
+STACK_BASE = 0xC000
+
+NUM_STATES = 64
+NUM_TOKENS = 32
+NUM_RULES = 36
+HOT_RULES = 6
+#: ACTION entries below this shift to that state; the rest reduce.
+SHIFT_LIMIT = NUM_STATES
+
+_NUM_INPUT_TOKENS = {"default": 14_000, "small": 600}
+
+
+def build() -> Program:
+    """Build the yacc program."""
+    pb = ProgramBuilder()
+
+    actions = handler_family(
+        pb, "reduce_rule", count=NUM_RULES, seed=11,
+        diamonds_range=(2, 3), body_range=(5, 9), loop_mod_range=(2, 4),
+        memory_base=0xD000,
+    )
+
+    # build_tables(): fill the ACTION table -- the "parser generation"
+    # phase.  Entry (s, t) = (7s + 13t + s*t) mod 100: < 64 shifts, else
+    # reduces rule (entry - 64) mod NUM_RULES.
+    f = pb.function("build_tables")
+    b = f.block("entry")
+    b.li("r8", 0)                    # state
+    b.jmp("s_head")
+    b = f.block("s_head")
+    b.bge("r8", NUM_STATES, taken="done", fall="t_init")
+    b = f.block("t_init")
+    b.li("r9", 0)                    # token
+    b.jmp("t_head")
+    b = f.block("t_head")
+    b.bge("r9", NUM_TOKENS, taken="s_next", fall="t_body")
+    b = f.block("t_body")
+    b.mul("r10", "r8", 7)
+    b.mul("r11", "r9", 13)
+    b.add("r10", "r10", "r11")
+    b.mul("r11", "r8", "r9")
+    b.add("r10", "r10", "r11")
+    b.rem("r10", "r10", 90)
+    b.mul("r12", "r8", NUM_TOKENS)
+    b.add("r12", "r12", "r9")
+    b.add("r12", "r12", ACTION_BASE)
+    b.st("r10", "r12", 0)
+    b.add("r9", "r9", 1)
+    b.jmp("t_head")
+    b = f.block("s_next")
+    b.add("r8", "r8", 1)
+    b.jmp("s_head")
+    b = f.block("done")
+    b.ret()
+
+    f = pb.function("main")
+    b = f.block("entry")
+    b.call("build_tables", cont="start")
+
+    b = f.block("start")
+    b.li("r20", 0)                   # current state
+    b.li("r21", STACK_BASE)          # parse stack pointer
+    b.li("r26", 0)                   # shifts
+    b.li("r27", 0)                   # reduces
+    b.li("r25", 0)                   # consecutive-reduce guard
+    b.jmp("next_token")
+
+    b = f.block("next_token")
+    b.in_("r22")
+    b.beq("r22", -1, taken="accept", fall="token_reset")
+    b = f.block("token_reset")
+    b.li("r25", 0)
+    b.jmp("step")
+
+    # One shift/reduce decision for the current (state, token).
+    b = f.block("step")
+    b.mul("r8", "r20", NUM_TOKENS)
+    b.add("r8", "r8", "r22")
+    b.add("r8", "r8", ACTION_BASE)
+    b.ld("r23", "r8", 0)             # ACTION entry
+    b.blt("r23", SHIFT_LIMIT, taken="shift", fall="maybe_reduce")
+
+    b = f.block("maybe_reduce")
+    # After two consecutive reduces, force a shift so every token is
+    # consumed in bounded work (real LR tables guarantee this by
+    # construction; ours is synthetic).
+    b.bge("r25", 2, taken="forced_shift", fall="reduce")
+
+    b = f.block("shift")
+    b.st("r20", "r21", 0)
+    b.add("r21", "r21", 1)
+    b.mov("r20", "r23")
+    b.add("r26", "r26", 1)
+    b.jmp("next_token")
+
+    b = f.block("forced_shift")
+    b.st("r20", "r21", 0)
+    b.add("r21", "r21", 1)
+    b.rem("r20", "r23", NUM_STATES)
+    b.add("r26", "r26", 1)
+    b.jmp("next_token")
+
+    b = f.block("reduce")
+    b.add("r25", "r25", 1)
+    b.add("r27", "r27", 1)
+    b.sub("r23", "r23", SHIFT_LIMIT)
+    b.rem("r23", "r23", NUM_RULES)   # raw rule id
+    # Hot skew: hot tokens reduce through the first HOT_RULES rules.
+    b.blt("r22", 8, taken="hot_rule", fall="cold_rule")
+    b = f.block("hot_rule")
+    b.rem("r24", "r23", HOT_RULES)
+    b.jmp("pop_states")
+    b = f.block("cold_rule")
+    b.rem("r24", "r23", NUM_RULES - HOT_RULES)
+    b.add("r24", "r24", HOT_RULES)
+    b.jmp("pop_states")
+
+    # Pop (rule mod 3) + 1 states, bounded by the stack depth.
+    b = f.block("pop_states")
+    b.rem("r9", "r24", 3)
+    b.add("r9", "r9", 1)
+    b.jmp("pop_head")
+    b = f.block("pop_head")
+    b.ble("r9", 0, taken="goto_state", fall="pop_check")
+    b = f.block("pop_check")
+    b.ble("r21", STACK_BASE, taken="goto_state", fall="pop_one")
+    b = f.block("pop_one")
+    b.sub("r21", "r21", 1)
+    b.ld("r20", "r21", 0)
+    b.sub("r9", "r9", 1)
+    b.jmp("pop_head")
+
+    # The goto: new state from the exposed state and the rule.
+    b = f.block("goto_state")
+    b.mul("r10", "r20", 5)
+    b.add("r10", "r10", "r24")
+    b.add("r10", "r10", 1)
+    b.rem("r20", "r10", NUM_STATES)
+    b.mov("r1", "r24")
+    b.jmp("adispatch_c0")
+
+    for i, action in enumerate(actions):
+        is_last = i == NUM_RULES - 1
+        nxt = "reduced" if is_last else f"adispatch_c{i + 1}"
+        b = f.block(f"adispatch_c{i}")
+        b.beq("r24", i, taken=f"adispatch_do{i}", fall=nxt)
+        b = f.block(f"adispatch_do{i}")
+        b.call(action, cont="reduced")
+
+    b = f.block("reduced")
+    b.jmp("step")                    # re-examine the same token
+
+    b = f.block("accept")
+    b.out("r26")
+    b.out("r27")
+    b.halt()
+
+    return pb.build()
+
+
+def make_input(seed: int, scale: str) -> list[int]:
+    """Grammar-symbol streams with a hot head of frequent tokens."""
+    return token_stream(
+        seed, _NUM_INPUT_TOKENS[scale], num_kinds=NUM_TOKENS,
+        hot_fraction=0.92, hot_kinds=8,
+    )
+
+
+WORKLOAD = register(
+    Workload(
+        name="yacc",
+        description="grammar for a C compiler, etc.",
+        builder=build,
+        input_maker=make_input,
+        profile_seeds=(1, 2, 3, 4, 5, 6, 7, 8),
+        trace_seed=47,
+    )
+)

@@ -1,0 +1,78 @@
+"""Unit tests for the direct-mapped cache (reference implementation)."""
+
+import pytest
+
+from repro.cache.base import CacheStats
+from repro.cache.direct import DirectMappedCache, simulate_direct
+
+
+class TestGeometry:
+    def test_set_count(self):
+        cache = DirectMappedCache(2048, 64)
+        assert cache.num_sets == 32
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(1000, 64)
+        with pytest.raises(ValueError):
+            DirectMappedCache(2048, 48)
+
+    def test_block_larger_than_cache_rejected(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(64, 128)
+
+
+class TestBehaviour:
+    def test_first_access_misses(self):
+        cache = DirectMappedCache(1024, 16)
+        assert cache.access(0) is False
+
+    def test_repeat_access_hits(self):
+        cache = DirectMappedCache(1024, 16)
+        cache.access(0)
+        assert cache.access(0) is True
+        assert cache.access(12) is True  # same block
+
+    def test_adjacent_block_misses_once(self):
+        cache = DirectMappedCache(1024, 16)
+        cache.access(0)
+        assert cache.access(16) is False
+        assert cache.access(20) is True
+
+    def test_conflicting_addresses_evict(self):
+        cache = DirectMappedCache(256, 16)   # 16 sets
+        cache.access(0)
+        cache.access(256)   # same set, different tag: evicts
+        assert cache.access(0) is False
+
+    def test_loop_within_cache_only_compulsory_misses(self):
+        stats = simulate_direct(list(range(0, 256, 4)) * 10, 1024, 64)
+        assert stats.misses == 4  # 256 bytes / 64B blocks
+
+    def test_thrashing_loop_misses_every_block(self):
+        # A 2x-cache-size loop thrashes a direct-mapped cache completely.
+        trace = list(range(0, 2048, 4)) * 3
+        stats = simulate_direct(trace, 1024, 64)
+        assert stats.misses == 32 * 3
+
+    def test_stats_traffic_is_block_words_per_miss(self):
+        stats = simulate_direct([0, 64, 128], 1024, 64)
+        assert stats.words_transferred == 3 * 16
+        assert stats.traffic_ratio == pytest.approx(16.0)
+
+    def test_empty_trace(self):
+        stats = simulate_direct([], 1024, 64)
+        assert stats == CacheStats(accesses=0, misses=0, words_transferred=0)
+        assert stats.miss_ratio == 0.0
+
+    def test_incremental_matches_batch(self):
+        trace = [(i * 52) % 4096 for i in range(500)]
+        cache = DirectMappedCache(512, 32)
+        for address in trace:
+            cache.access(address)
+        assert cache.stats().misses == simulate_direct(trace, 512, 32).misses
+
+    def test_describe_mentions_ratios(self):
+        stats = simulate_direct([0, 0, 64], 1024, 64)
+        text = stats.describe()
+        assert "misses" in text and "%" in text

@@ -1,0 +1,117 @@
+"""Unit tests for the instruction paging simulators."""
+
+import numpy as np
+import pytest
+
+from repro.cache.paging import (
+    simulate_paging,
+    simulate_sectored_paging,
+    working_set_profile,
+)
+
+
+def _seq(start, count, step=4):
+    return np.arange(start, start + count * step, step, dtype=np.int64)
+
+
+class TestPaging:
+    def test_single_page_faults_once(self):
+        stats = simulate_paging(_seq(0, 100), 1024, 4)
+        assert stats.faults == 1
+        assert stats.distinct_pages == 1
+        assert stats.bytes_transferred == 1024
+
+    def test_sequential_pages_fault_each(self):
+        stats = simulate_paging(_seq(0, 1024), 1024, 4)  # 4 pages
+        assert stats.faults == 4
+
+    def test_lru_keeps_recent_pages(self):
+        trace = np.concatenate([_seq(0, 8), _seq(1024, 8), _seq(0, 8)])
+        stats = simulate_paging(trace, 1024, 2)
+        assert stats.faults == 2  # third run hits page 0 still resident
+
+    def test_lru_evicts_oldest(self):
+        # Three pages through a 2-frame memory, cycled.
+        trace = np.concatenate(
+            [_seq(0, 4), _seq(1024, 4), _seq(2048, 4)] * 2
+        )
+        stats = simulate_paging(trace, 1024, 2)
+        assert stats.faults == 6  # classic LRU cyclic thrash
+
+    def test_fault_ratio(self):
+        stats = simulate_paging(_seq(0, 100), 1024, 4)
+        assert stats.fault_ratio == pytest.approx(1 / 100)
+
+    def test_empty_trace(self):
+        stats = simulate_paging(np.empty(0, np.int64), 1024, 4)
+        assert stats.faults == 0 and stats.fault_ratio == 0.0
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            simulate_paging(_seq(0, 4), 1000, 4)
+        with pytest.raises(ValueError):
+            simulate_paging(_seq(0, 4), 1024, 0)
+
+    def test_more_frames_never_fault_more(self):
+        rng = np.random.default_rng(5)
+        trace = (rng.integers(0, 4096, 3000) * 4).astype(np.int64)
+        few = simulate_paging(trace, 512, 2)
+        many = simulate_paging(trace, 512, 8)
+        assert many.faults <= few.faults  # LRU inclusion
+
+
+class TestSectoredPaging:
+    def test_sparse_touches_transfer_less(self):
+        # One word per page.
+        trace = np.arange(0, 1024 * 6, 1024, dtype=np.int64)
+        whole = simulate_paging(trace, 1024, 4)
+        sectored = simulate_sectored_paging(trace, 1024, 4, 128)
+        assert sectored.bytes_transferred < whole.bytes_transferred
+
+    def test_dense_touches_fault_per_sector(self):
+        stats = simulate_sectored_paging(_seq(0, 256), 1024, 4, 128)
+        assert stats.faults == 8  # 1024B page / 128B sectors
+
+    def test_eviction_invalidates_sectors(self):
+        trace = np.concatenate(
+            [_seq(0, 4), _seq(1024, 4), _seq(2048, 4), _seq(0, 4)]
+        )
+        stats = simulate_sectored_paging(trace, 1024, 2, 1024)
+        assert stats.faults == 4  # page 0 re-faults after eviction
+
+    def test_sector_larger_than_page_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_sectored_paging(_seq(0, 4), 512, 4, 1024)
+
+
+class TestWorkingSet:
+    def test_single_page_ws_is_one(self):
+        stats = working_set_profile(_seq(0, 200), 1024, window=50)
+        assert stats.mean_pages == 1.0
+        assert stats.peak_pages == 1
+
+    def test_alternating_pages_ws_is_two(self):
+        trace = np.tile([0, 1024], 200).astype(np.int64)
+        stats = working_set_profile(trace, 1024, window=50)
+        assert stats.mean_pages == 2.0
+
+    def test_short_trace_uses_whole_trace(self):
+        stats = working_set_profile(_seq(0, 5), 64, window=1000)
+        assert stats.peak_pages >= 1
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            working_set_profile(_seq(0, 5), 1024, window=0)
+
+    def test_empty_trace(self):
+        stats = working_set_profile(np.empty(0, np.int64), 1024, window=10)
+        assert stats.mean_pages == 0.0 and stats.peak_pages == 0
+
+    def test_phase_change_raises_peak_above_mean(self):
+        # Phase 1 in pages {0,1}, phase 2 in pages {4..7}.
+        phase1 = np.tile([0, 1024], 300)
+        phase2 = np.tile([4096, 5120, 6144, 7168], 150)
+        trace = np.concatenate([phase1, phase2]).astype(np.int64)
+        stats = working_set_profile(trace, 1024, window=100)
+        assert stats.peak_pages >= 4
+        assert stats.mean_pages < stats.peak_pages

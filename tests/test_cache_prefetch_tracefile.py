@@ -1,0 +1,136 @@
+"""Unit tests for the prefetch simulator and the trace file formats."""
+
+import numpy as np
+import pytest
+
+from repro.cache.prefetch import simulate_prefetch
+from repro.cache.tracefile import (
+    load_trace_binary,
+    load_trace_text,
+    save_trace_binary,
+    save_trace_text,
+)
+from repro.cache.vectorized import simulate_direct_vectorized
+
+
+def _seq(start, count, step=4):
+    return np.arange(start, start + count * step, step, dtype=np.int64)
+
+
+class TestPrefetch:
+    def test_sequential_run_one_demand_miss(self):
+        # 4 blocks of sequential fetches: only the first demand-misses;
+        # tagged prefetch stays one block ahead.
+        stats = simulate_prefetch(_seq(0, 64), 2048, 64, "tagged")
+        assert stats.demand_misses == 1
+        assert stats.prefetches == 4       # blocks 1..4 (last unused)
+        assert stats.useful_prefetches == 3
+
+    def test_on_miss_policy_stalls_each_second_block(self):
+        # Prefetch-on-miss only looks ahead on misses: a long sequential
+        # run alternates miss/prefetch-hit.
+        stats = simulate_prefetch(_seq(0, 64), 2048, 64, "on-miss")
+        assert stats.demand_misses == 2    # blocks 0 and 2
+        assert stats.useful_prefetches == 2  # blocks 1 and 3
+
+    def test_prefetch_never_raises_demand_misses(self):
+        rng = np.random.default_rng(4)
+        trace = (rng.integers(0, 2048, 4000) * 4).astype(np.int64)
+        plain = simulate_direct_vectorized(trace, 1024, 64)
+        for policy in ("on-miss", "tagged"):
+            prefetched = simulate_prefetch(trace, 1024, 64, policy)
+            # Next-line prefetch can conflict-evict useful blocks, but on
+            # random traces it must stay within a small factor; on
+            # sequential traces it strictly helps (previous tests).
+            assert prefetched.demand_misses <= plain.misses * 2
+
+    def test_traffic_includes_prefetches(self):
+        stats = simulate_prefetch(_seq(0, 16), 2048, 64, "tagged")
+        assert stats.words_transferred == (
+            (stats.demand_misses + stats.prefetches) * 16
+        )
+
+    def test_accuracy_between_zero_and_one(self):
+        rng = np.random.default_rng(9)
+        trace = (rng.integers(0, 4096, 3000) * 4).astype(np.int64)
+        stats = simulate_prefetch(trace, 1024, 64, "tagged")
+        assert 0.0 <= stats.accuracy <= 1.0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            simulate_prefetch(_seq(0, 4), 1024, 64, "oracle")
+
+    def test_empty_trace(self):
+        stats = simulate_prefetch(np.empty(0, np.int64), 1024, 64)
+        assert stats.demand_misses == 0 and stats.accuracy == 0.0
+
+    def test_resident_prefetch_target_not_refetched(self):
+        # Block 1 already resident: the prefetch triggered by missing
+        # block 0 must not transfer it again.
+        trace = np.asarray([64, 0, 64], dtype=np.int64)
+        stats = simulate_prefetch(trace, 2048, 64, "on-miss")
+        # miss(64)+pf(128), miss(0)+pf(64 resident -> skipped).
+        assert stats.demand_misses == 2
+        assert stats.prefetches == 1
+
+
+class TestTraceFiles:
+    def test_text_roundtrip(self, tmp_path):
+        trace = _seq(0x1000, 20)
+        path = str(tmp_path / "trace.txt")
+        save_trace_text(trace, path, comment="unit test\nsecond line")
+        restored = load_trace_text(path)
+        assert np.array_equal(restored, trace)
+
+    def test_text_ignores_comments_and_blanks(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        with open(path, "w") as handle:
+            handle.write("# header\n\n10\n20  # inline comment\n")
+        restored = load_trace_text(path)
+        assert list(restored) == [0x10, 0x20]
+
+    def test_text_rejects_garbage(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        with open(path, "w") as handle:
+            handle.write("zzz\n")
+        with pytest.raises(ValueError, match="not a hex address"):
+            load_trace_text(path)
+
+    def test_binary_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(2)
+        trace = (rng.integers(0, 1 << 40, 500) * 4).astype(np.int64)
+        path = str(tmp_path / "trace.bin")
+        save_trace_binary(trace, path)
+        assert np.array_equal(load_trace_binary(path), trace)
+
+    def test_binary_magic_checked(self, tmp_path):
+        path = str(tmp_path / "bad.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"NOTMAGIC" + b"\x00" * 8)
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace_binary(path)
+
+    def test_binary_truncation_detected(self, tmp_path):
+        trace = _seq(0, 10)
+        path = str(tmp_path / "trace.bin")
+        save_trace_binary(trace, path)
+        with open(path, "r+b") as handle:
+            handle.truncate(16 + 8 * 5)   # drop half the payload
+        with pytest.raises(ValueError, match="truncated"):
+            load_trace_binary(path)
+
+    def test_saved_trace_feeds_simulators(self, tmp_path):
+        trace = _seq(0, 100)
+        path = str(tmp_path / "trace.bin")
+        save_trace_binary(trace, path)
+        stats = simulate_direct_vectorized(load_trace_binary(path), 1024, 64)
+        assert stats.accesses == 100
+
+    def test_empty_traces_roundtrip(self, tmp_path):
+        empty = np.empty(0, np.int64)
+        tpath = str(tmp_path / "t.txt")
+        bpath = str(tmp_path / "t.bin")
+        save_trace_text(empty, tpath)
+        save_trace_binary(empty, bpath)
+        assert len(load_trace_text(tpath)) == 0
+        assert len(load_trace_binary(bpath)) == 0

@@ -1,0 +1,124 @@
+"""Unit tests for the sectored and partial-loading caches."""
+
+import numpy as np
+import pytest
+
+from repro.cache.partial import simulate_partial
+from repro.cache.sectored import simulate_sectored
+
+
+def _seq(start, count, step=4):
+    return np.arange(start, start + count * step, step, dtype=np.int64)
+
+
+class TestSectored:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            simulate_sectored(np.array([0]), 2048, 64, 128)  # sector > block
+
+    def test_sequential_run_misses_once_per_sector(self):
+        # 64 bytes of sequential fetches with 8B sectors: 8 sector misses.
+        stats = simulate_sectored(_seq(0, 16), 2048, 64, 8)
+        assert stats.misses == 8
+        assert stats.words_transferred == 8 * 2
+
+    def test_repeat_hits_after_fill(self):
+        trace = np.concatenate([_seq(0, 16), _seq(0, 16)])
+        stats = simulate_sectored(trace, 2048, 64, 8)
+        assert stats.misses == 8
+
+    def test_tag_replacement_invalidates_all_sectors(self):
+        # Access block A fully, then conflicting block B, then A again.
+        trace = np.concatenate([_seq(0, 16), _seq(2048, 1), _seq(0, 16)])
+        stats = simulate_sectored(trace, 2048, 64, 8)
+        assert stats.misses == 8 + 1 + 8
+
+    def test_sector_traffic_lower_than_block_traffic(self):
+        from repro.cache.vectorized import simulate_direct_vectorized
+
+        # Sparse accesses: one word per block.
+        trace = np.arange(0, 64 * 200, 64, dtype=np.int64)
+        sector = simulate_sectored(trace, 2048, 64, 8)
+        block = simulate_direct_vectorized(trace, 2048, 64)
+        assert sector.words_transferred < block.words_transferred
+
+    def test_whole_block_sectoring_matches_plain_cache(self):
+        from repro.cache.vectorized import simulate_direct_vectorized
+
+        trace = np.asarray([(i * 52) % 8192 for i in range(3000)], np.int64)
+        sectored = simulate_sectored(trace, 1024, 64, 64)
+        plain = simulate_direct_vectorized(trace, 1024, 64)
+        assert sectored.misses == plain.misses
+        assert sectored.words_transferred == plain.words_transferred
+
+
+class TestPartial:
+    def test_miss_fills_to_end_of_block(self):
+        # Miss at the start of a block: the whole block loads.
+        stats = simulate_partial(_seq(0, 16), 2048, 64)
+        assert stats.misses == 1
+        assert stats.words_transferred == 16
+
+    def test_mid_block_miss_fills_tail_only(self):
+        # First access lands mid-block: only the tail loads...
+        trace = np.asarray([32, 36, 40, 0], dtype=np.int64)
+        stats = simulate_partial(trace, 2048, 64)
+        # ...so address 0 misses separately and fills up to the valid
+        # word at offset 32.
+        assert stats.misses == 2
+        assert stats.words_transferred == 8 + 8
+
+    def test_fill_stops_at_valid_entry(self):
+        trace = np.asarray([32, 0, 16], dtype=np.int64)
+        stats = simulate_partial(trace, 2048, 64)
+        # 32: fills words 8..15.  0: fills words 0..7 (stops at 8).
+        # 16 (word 4): already valid -> hit.
+        assert stats.misses == 2
+        assert stats.words_transferred == 8 + 8
+
+    def test_tag_replacement_resets_validity(self):
+        trace = np.asarray([0, 2048, 0], dtype=np.int64)
+        stats = simulate_partial(trace, 2048, 64)
+        assert stats.misses == 3
+
+    def test_avg_fetch_reported(self):
+        stats = simulate_partial(_seq(0, 16), 2048, 64)
+        assert stats.extras["avg_fetch"] == pytest.approx(16.0)
+
+    def test_avg_exec_counts_run_to_discontinuity(self):
+        # 8 sequential fetches then a jump far away.
+        trace = np.concatenate([_seq(0, 8), _seq(4096, 8)])
+        stats = simulate_partial(trace, 2048, 64)
+        assert stats.misses == 2
+        assert stats.extras["avg_exec"] == pytest.approx(8.0)
+
+    def test_avg_exec_cut_by_next_miss(self):
+        # Sequential run that crosses into a new (missing) block: the
+        # first run ends at the next miss, not at a branch.
+        trace = _seq(0, 32)  # crosses two 64B blocks
+        stats = simulate_partial(trace, 2048, 64)
+        assert stats.misses == 2
+        assert stats.extras["avg_exec"] == pytest.approx(16.0)
+
+    def test_partial_traffic_at_most_block_loads(self):
+        from repro.cache.vectorized import simulate_direct_vectorized
+
+        rng = np.random.default_rng(1)
+        trace = (rng.integers(0, 4096 // 4, 5000) * 4).astype(np.int64)
+        partial = simulate_partial(trace, 1024, 64)
+        plain = simulate_direct_vectorized(trace, 1024, 64)
+        assert partial.words_transferred <= plain.words_transferred
+
+    def test_partial_miss_ratio_at_least_block_miss_ratio(self):
+        from repro.cache.vectorized import simulate_direct_vectorized
+
+        rng = np.random.default_rng(2)
+        trace = (rng.integers(0, 8192 // 4, 5000) * 4).astype(np.int64)
+        partial = simulate_partial(trace, 1024, 64)
+        plain = simulate_direct_vectorized(trace, 1024, 64)
+        assert partial.misses >= plain.misses
+
+    def test_no_misses_no_stats(self):
+        stats = simulate_partial(np.empty(0, np.int64), 1024, 64)
+        assert stats.extras["avg_exec"] == 0.0
+        assert stats.extras["avg_fetch"] == 0.0

@@ -1,0 +1,88 @@
+"""Unit tests for set-associative / fully associative LRU caches."""
+
+import pytest
+
+from repro.cache.direct import simulate_direct
+from repro.cache.set_assoc import (
+    SetAssociativeCache,
+    simulate_fully_associative,
+    simulate_set_associative,
+)
+
+
+class TestGeometry:
+    def test_sets_from_associativity(self):
+        cache = SetAssociativeCache(2048, 64, associativity=4)
+        assert cache.num_sets == 8
+
+    def test_fully_associative_has_one_set(self):
+        cache = SetAssociativeCache(2048, 64, associativity=32)
+        assert cache.num_sets == 1
+
+    def test_excessive_associativity_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(2048, 64, associativity=64)
+
+    def test_non_dividing_associativity_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(2048, 64, associativity=3)
+
+
+class TestLru:
+    def test_lru_keeps_two_conflicting_blocks(self):
+        # Two blocks mapping to the same direct-mapped set coexist 2-way.
+        trace = [0, 1024, 0, 1024, 0, 1024]
+        direct = simulate_set_associative(trace, 1024, 64, 1)
+        two_way = simulate_set_associative(trace, 1024, 64, 2)
+        assert direct.misses == 6
+        assert two_way.misses == 2
+
+    def test_lru_evicts_least_recent(self):
+        cache = SetAssociativeCache(128, 64, associativity=2)  # 1 set
+        assert cache.access(0) is False      # A
+        assert cache.access(64) is False     # B
+        assert cache.access(0) is True       # A (B is now LRU)
+        assert cache.access(128) is False    # C evicts B
+        assert cache.access(0) is True
+        assert cache.access(64) is False     # B was evicted
+
+    def test_one_way_matches_direct_mapped(self):
+        trace = [(i * 100) % 8192 for i in range(2000)]
+        assoc = simulate_set_associative(trace, 1024, 32, 1)
+        direct = simulate_direct(trace, 1024, 32)
+        assert assoc.misses == direct.misses
+
+    def test_fully_associative_loop_fits_exactly(self):
+        # A loop exactly the cache size never misses after warmup in FA.
+        trace = list(range(0, 1024, 4)) * 5
+        stats = simulate_fully_associative(trace, 1024, 64)
+        assert stats.misses == 16
+
+    def test_fully_associative_beats_direct_on_conflicts(self):
+        # Two hot regions that collide in a direct-mapped cache.
+        trace = []
+        for _ in range(50):
+            trace.extend(range(0, 256, 4))
+            trace.extend(range(2048, 2304, 4))
+        fa = simulate_fully_associative(trace, 1024, 64)
+        dm = simulate_direct(trace, 1024, 64)
+        assert fa.misses < dm.misses
+
+    def test_lru_cyclic_overflow_thrashes(self):
+        # The classic LRU pathology: loop over cache size + 1 block.
+        blocks = 17
+        trace = [64 * b for b in range(blocks)] * 4
+        stats = simulate_fully_associative(trace, 1024, 64)
+        assert stats.misses == len(trace)  # every access misses
+
+    def test_traffic_counts_whole_blocks(self):
+        stats = simulate_fully_associative([0, 64], 1024, 64)
+        assert stats.words_transferred == 2 * 16
+
+    def test_incremental_api_matches_batch(self):
+        trace = [(i * 60) % 4096 for i in range(800)]
+        cache = SetAssociativeCache(512, 32, 4)
+        for address in trace:
+            cache.access(address)
+        batch = simulate_set_associative(trace, 512, 32, 4)
+        assert cache.stats().misses == batch.misses

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import TABLE_CHOICES, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_name_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "table42"])
+
+    def test_every_paper_table_is_a_choice(self):
+        for n in range(1, 10):
+            assert f"table{n}" in TABLE_CHOICES
+        assert "comparison" in TABLE_CHOICES
+
+    def test_optimize_defaults(self):
+        args = build_parser().parse_args(["optimize", "wc"])
+        assert args.cache == 2048 and args.block == 64
+        assert args.layout == "optimized"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cccp", "wc", "yacc"):
+            assert name in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Design Target" in out and "6.8%" in out
+
+    def test_table4_small(self, capsys):
+        assert main(["table", "table4", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Trace Selection Results" in out
+        assert "wc" in out
+
+    def test_optimize_small(self, capsys):
+        code = main([
+            "optimize", "tee", "--scale", "small",
+            "--cache", "512", "--block", "32",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inline expansion" in out
+        assert "512B/32B" in out
+        assert "miss" in out
+
+    def test_optimize_alternative_layout(self, capsys):
+        code = main([
+            "optimize", "wc", "--scale", "small", "--layout", "natural",
+        ])
+        assert code == 0
+        assert "natural layout" in capsys.readouterr().out
+
+    def test_disasm_source(self, capsys):
+        assert main(["disasm", "tee"]) == 0
+        out = capsys.readouterr().out
+        assert "function sys_read [syscall]" in out
+        assert "function main" in out
+
+    def test_disasm_single_function(self, capsys):
+        assert main(["disasm", "tee", "--function", "sys_write"]) == 0
+        out = capsys.readouterr().out
+        assert "sys_write" in out and "main" not in out
+
+    def test_disasm_map(self, capsys):
+        assert main(["disasm", "wc", "--map", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "total:" in out
+        assert "main/" in out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["disasm", "nope"])

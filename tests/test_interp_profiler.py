@@ -1,0 +1,131 @@
+"""Unit tests for execution profiling."""
+
+import numpy as np
+
+from repro.interp.interpreter import run_program
+from repro.interp.profiler import Profiler, profile_program
+
+
+class TestBlockWeights:
+    def test_loop_block_counts(self, loop_program):
+        profile = profile_program(loop_program, [[]])
+        main = loop_program.function("main")
+        assert profile.block_weight(main.block("entry").bid) == 1
+        assert profile.block_weight(main.block("head").bid) == 6
+        assert profile.block_weight(main.block("body").bid) == 5
+        assert profile.block_weight(main.block("done").bid) == 1
+
+    def test_weights_accumulate_over_runs(self, loop_program):
+        profile = profile_program(loop_program, [[], [], []])
+        head = loop_program.function("main").block("head").bid
+        assert profile.block_weight(head) == 18
+        assert profile.num_runs == 3
+
+    def test_taken_fall_split(self, loop_program):
+        profile = profile_program(loop_program, [[]])
+        head = loop_program.function("main").block("head").bid
+        assert profile.taken_weights[head] == 1
+        assert profile.fall_weights[head] == 5
+
+    def test_cold_blocks_have_zero_weight(self, branchy_program):
+        profile = profile_program(branchy_program, [[2, 4, 6]])
+        error = branchy_program.function("main").block("error").bid
+        assert profile.block_weight(error) == 0
+        assert not profile.effective_blocks()[error]
+
+    def test_function_weight_counts_invocations(self, call_program):
+        profile = profile_program(call_program, [[1, 2, 3], [4]])
+        assert profile.function_weight("twice") == 4
+        assert profile.function_weight("main") == 2
+
+
+class TestScalars:
+    def test_dynamic_instructions_match_interpreter(self, call_program):
+        result = run_program(call_program, [1, 2])
+        profile = profile_program(call_program, [[1, 2]])
+        assert profile.dynamic_instructions == result.instructions
+
+    def test_run_instructions_recorded_per_run(self, call_program):
+        profile = profile_program(call_program, [[1], [1, 2, 3]])
+        assert len(profile.run_instructions) == 2
+        assert profile.run_instructions[1] > profile.run_instructions[0]
+
+    def test_dynamic_calls_counted(self, call_program):
+        profile = profile_program(call_program, [[1, 2, 3]])
+        assert profile.dynamic_calls == 3
+
+    def test_control_transfers_exclude_calls(self, call_program):
+        profile = profile_program(call_program, [[1]])
+        # entry(jmp) x1, loop(beq) x2, after(jmp) x1; call/ret excluded.
+        assert profile.control_transfers == 4
+
+    def test_instructions_per_call(self, call_program):
+        profile = profile_program(call_program, [[1, 2]])
+        assert profile.instructions_per_call == (
+            profile.dynamic_instructions / 2
+        )
+
+    def test_per_call_ratios_without_calls(self, loop_program):
+        profile = profile_program(loop_program, [[]])
+        assert profile.instructions_per_call == profile.dynamic_instructions
+
+
+class TestArcs:
+    def test_jmp_arc_weight_equals_block_weight(self, loop_program):
+        profile = profile_program(loop_program, [[]])
+        main = loop_program.function("main")
+        body = main.block("body").bid
+        arcs = {
+            (a.src, a.dst, a.kind): a.weight
+            for a in profile.control_arcs(main)
+        }
+        head = main.block("head").bid
+        assert arcs[(body, head, "taken")] == 5
+
+    def test_branch_arcs_split_by_direction(self, loop_program):
+        profile = profile_program(loop_program, [[]])
+        main = loop_program.function("main")
+        head = main.block("head").bid
+        arcs = {
+            (a.src, a.dst, a.kind): a.weight
+            for a in profile.control_arcs(main)
+        }
+        assert arcs[(head, main.block("done").bid, "taken")] == 1
+        assert arcs[(head, main.block("body").bid, "fall")] == 5
+
+    def test_call_fall_arc_weight(self, call_program):
+        profile = profile_program(call_program, [[1, 2, 3]])
+        main = call_program.function("main")
+        arcs = {
+            (a.src, a.dst, a.kind): a.weight
+            for a in profile.control_arcs(main)
+        }
+        work = main.block("work").bid
+        after = main.block("after").bid
+        assert arcs[(work, after, "call_fall")] == 3
+
+    def test_call_arcs_enumerated(self, call_program):
+        profile = profile_program(call_program, [[1, 2, 3]])
+        arcs = list(profile.call_arcs())
+        assert len(arcs) == 1
+        arc = arcs[0]
+        assert arc.caller == "main" and arc.callee == "twice"
+        assert arc.weight == 3
+
+    def test_call_graph_weights_zero_self_arcs(self, recursive_program):
+        profile = profile_program(recursive_program, [[4]])
+        weights = profile.call_graph_weights()
+        assert ("tri", "tri") not in weights
+        assert weights[("main", "tri")] == 1
+
+    def test_incremental_profiler_matches_batch(self, call_program):
+        from repro.interp.interpreter import Interpreter
+
+        interp = Interpreter(call_program)
+        profiler = Profiler(call_program)
+        profiler.record(interp.run([1, 2]))
+        profiler.record(interp.run([3]))
+        incremental = profiler.finish()
+        batch = profile_program(call_program, [[1, 2], [3]])
+        assert np.array_equal(incremental.block_weights, batch.block_weights)
+        assert incremental.dynamic_calls == batch.dynamic_calls

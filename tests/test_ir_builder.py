@@ -1,0 +1,125 @@
+"""Unit tests for the program builder DSL."""
+
+import pytest
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.instructions import Opcode
+
+
+def _one_block_program(fill):
+    pb = ProgramBuilder()
+    f = pb.function("main")
+    b = f.block("entry")
+    fill(b)
+    return pb.build()
+
+
+class TestBlockBuilder:
+    def test_emits_instructions_in_order(self):
+        program = _one_block_program(
+            lambda b: (b.li("r1", 1), b.add("r2", "r1", 2), b.halt())
+        )
+        ops = [i.op for i in program.function("main").entry.instructions]
+        assert ops == [Opcode.LI, Opcode.ADD, Opcode.HALT]
+
+    def test_string_op2_is_register(self):
+        program = _one_block_program(
+            lambda b: (b.add("r1", "r2", "r3"), b.halt())
+        )
+        instr = program.function("main").entry.instructions[0]
+        assert instr.rs2 == 3 and instr.imm is None
+
+    def test_int_op2_is_immediate(self):
+        program = _one_block_program(
+            lambda b: (b.add("r1", "r2", 9), b.halt())
+        )
+        instr = program.function("main").entry.instructions[0]
+        assert instr.imm == 9 and instr.rs2 is None
+
+    def test_instruction_after_terminator_rejected(self):
+        pb = ProgramBuilder()
+        b = pb.function("main").block("entry")
+        b.halt()
+        with pytest.raises(ValueError, match="after terminator"):
+            b.li("r1", 1)
+
+    def test_missing_terminator_rejected(self):
+        pb = ProgramBuilder()
+        b = pb.function("main").block("entry")
+        b.li("r1", 1)
+        with pytest.raises(ValueError, match="no terminator"):
+            pb.build()
+
+    def test_branch_records_both_successors(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        b = f.block("entry")
+        b.beq("r1", 0, taken="yes", fall="no")
+        f.block("yes").halt()
+        f.block("no").halt()
+        program = pb.build()
+        entry = program.function("main").entry
+        assert entry.taken == "yes" and entry.fall == "no"
+
+    def test_call_records_callee_and_continuation(self):
+        pb = ProgramBuilder()
+        g = pb.function("helper")
+        g.block("entry").ret()
+        f = pb.function("main")
+        b = f.block("entry")
+        b.call("helper", cont="after")
+        f.block("after").halt()
+        program = pb.build()
+        entry = program.function("main").entry
+        assert entry.callee == "helper" and entry.fall == "after"
+
+    def test_nop_count(self):
+        program = _one_block_program(lambda b: (b.nop(3), b.halt()))
+        assert program.function("main").entry.num_instructions == 4
+
+    def test_fluent_chaining(self):
+        pb = ProgramBuilder()
+        b = pb.function("main").block("entry")
+        b.li("r1", 1).add("r1", "r1", 1).mov("r2", "r1")
+        b.halt()
+        assert pb.build().num_instructions == 4
+
+
+class TestProgramBuilder:
+    def test_duplicate_function_rejected(self):
+        pb = ProgramBuilder()
+        pb.function("main")
+        with pytest.raises(ValueError, match="duplicate function"):
+            pb.function("main")
+
+    def test_duplicate_block_rejected(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        f.block("entry")
+        with pytest.raises(ValueError, match="duplicate block"):
+            f.block("entry")
+
+    def test_missing_entry_function_rejected(self):
+        pb = ProgramBuilder()
+        pb.function("helper").block("entry").ret()
+        with pytest.raises(ValueError, match="entry"):
+            pb.build(entry="main")
+
+    def test_empty_function_rejected(self):
+        pb = ProgramBuilder()
+        pb.function("main")
+        with pytest.raises(ValueError, match="no blocks"):
+            pb.build()
+
+    def test_syscall_flag_propagates(self):
+        pb = ProgramBuilder()
+        pb.function("sys_read", is_syscall=True).block("entry").ret()
+        pb.function("main").block("entry").halt()
+        assert pb.build().function("sys_read").is_syscall
+
+    def test_declaration_order_preserved(self):
+        pb = ProgramBuilder()
+        for name in ("zeta", "alpha", "main"):
+            pb.function(name).block("entry").halt()
+        names = [f.name for f in pb.build()]
+        assert names == ["zeta", "alpha", "main"]

@@ -1,0 +1,95 @@
+"""Unit tests for the instruction set model."""
+
+import pytest
+
+from repro.ir.instructions import (
+    BRANCH_OPCODES,
+    INSTRUCTION_BYTES,
+    TERMINATOR_OPCODES,
+    Instruction,
+    Opcode,
+    parse_register,
+)
+
+
+class TestInstructionConstruction:
+    def test_alu_register_form(self):
+        instr = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+        assert instr.rd == 1 and instr.rs1 == 2 and instr.rs2 == 3
+
+    def test_alu_immediate_form(self):
+        instr = Instruction(Opcode.ADD, rd=1, rs1=2, imm=7)
+        assert instr.imm == 7 and instr.rs2 is None
+
+    def test_alu_rejects_both_rs2_and_imm(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3, imm=4)
+
+    def test_alu_requires_a_second_source(self):
+        with pytest.raises(ValueError, match="needs rs2 or imm"):
+            Instruction(Opcode.SUB, rd=1, rs1=2)
+
+    def test_branch_requires_second_source(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BEQ, rs1=2)
+
+    def test_load_allows_base_plus_offset(self):
+        instr = Instruction(Opcode.LD, rd=1, rs1=2, imm=8)
+        assert instr.imm == 8
+
+    def test_instructions_are_immutable(self):
+        instr = Instruction(Opcode.NOP)
+        with pytest.raises(AttributeError):
+            instr.rd = 5  # type: ignore[misc]
+
+    def test_size_is_fixed_four_bytes(self):
+        assert Instruction(Opcode.NOP).size == INSTRUCTION_BYTES == 4
+
+
+class TestOpcodeClassification:
+    def test_branches_are_terminators(self):
+        assert BRANCH_OPCODES <= TERMINATOR_OPCODES
+
+    def test_all_six_comparison_branches_exist(self):
+        assert len(BRANCH_OPCODES) == 6
+
+    def test_call_ret_halt_jmp_terminate(self):
+        for op in (Opcode.CALL, Opcode.RET, Opcode.HALT, Opcode.JMP):
+            assert op in TERMINATOR_OPCODES
+
+    def test_alu_ops_do_not_terminate(self):
+        for op in (Opcode.ADD, Opcode.LD, Opcode.ST, Opcode.IN, Opcode.OUT):
+            assert op not in TERMINATOR_OPCODES
+
+    def test_is_terminator_property(self):
+        assert Instruction(Opcode.RET).is_terminator
+        assert not Instruction(Opcode.NOP).is_terminator
+
+    def test_is_branch_property(self):
+        assert Instruction(Opcode.BNE, rs1=1, imm=0).is_branch
+        assert not Instruction(Opcode.JMP).is_branch
+
+    def test_str_rendering_mentions_operands(self):
+        text = str(Instruction(Opcode.ADD, rd=1, rs1=2, imm=7))
+        assert "add" in text and "r1" in text and "7" in text
+
+
+class TestParseRegister:
+    def test_parses_r_names(self):
+        assert parse_register("r0") == 0
+        assert parse_register("r31") == 31
+
+    def test_accepts_bare_integers(self):
+        assert parse_register(7) == 7
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_register("r32")
+        with pytest.raises(ValueError):
+            parse_register(-1)
+
+    def test_rejects_malformed_names(self):
+        with pytest.raises(ValueError):
+            parse_register("x5")
+        with pytest.raises(ValueError):
+            parse_register("rx")

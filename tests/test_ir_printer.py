@@ -1,0 +1,99 @@
+"""Unit tests for the IR pretty-printer and linker-map listing."""
+
+from repro.interp.profiler import profile_program
+from repro.ir.printer import format_function, format_image, format_program
+from repro.placement.baselines import natural_image
+from repro.placement.image import MemoryImage
+
+
+class TestFormatProgram:
+    def test_lists_every_function_and_block(self, call_program):
+        text = format_program(call_program)
+        assert "function twice" in text and "function main" in text
+        for block in call_program.blocks:
+            assert f"{block.name}:" in text
+
+    def test_shows_branch_successors(self, branchy_program):
+        text = format_function(branchy_program.function("main"))
+        assert "taken done, fall test" in text
+
+    def test_shows_call_target_and_resume(self, call_program):
+        text = format_function(call_program.function("main"))
+        assert "call twice, resume after" in text
+
+    def test_shows_jmp_target(self, loop_program):
+        text = format_function(loop_program.function("main"))
+        assert "-> head" in text
+
+    def test_marks_syscalls(self):
+        from repro.ir.builder import ProgramBuilder
+
+        pb = ProgramBuilder()
+        pb.function("sys_x", is_syscall=True).block("entry").ret()
+        pb.function("main").block("entry").halt()
+        text = format_program(pb.build())
+        assert "sys_x [syscall]" in text
+
+    def test_instructions_rendered(self, loop_program):
+        text = format_program(loop_program)
+        assert "li r1 0" in text
+        assert "bge" in text
+
+
+class TestFormatImage:
+    def test_addresses_in_placed_order(self, call_program):
+        image = natural_image(call_program)
+        text = format_image(image)
+        # Hex addresses appear in increasing order down the listing.
+        addresses = [
+            int(line.split()[0], 16)
+            for line in text.splitlines()[1:-1]
+        ]
+        assert addresses == sorted(addresses)
+
+    def test_total_reported(self, call_program):
+        image = natural_image(call_program)
+        assert f"total: {image.total_bytes} bytes" in format_image(image)
+
+    def test_weights_shown_with_profile(self, call_program):
+        profile = profile_program(call_program, [[1, 2, 3]])
+        image = natural_image(call_program)
+        text = format_image(image, profile)
+        work = call_program.function("main").block("work")
+        line = next(
+            l for l in text.splitlines() if l.endswith("main/work")
+        )
+        assert str(profile.block_weight(work.bid)) in line
+
+    def test_function_filter(self, call_program):
+        image = natural_image(call_program)
+        text = format_image(image, function="twice")
+        assert "twice/entry" in text
+        assert "main/" not in text
+
+    def test_elision_and_insertion_marked(self):
+        from repro.ir.builder import ProgramBuilder
+
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        b = f.block("entry")
+        b.beq("r1", 0, taken="t", fall="f")
+        f.block("t").halt()
+        b = f.block("f")
+        b.jmp("t")
+        program = pb.build()
+        main = program.function("main")
+        entry, t, fb = (main.block(n) for n in ("entry", "t", "f"))
+        # Order entry, t, f: entry's fall (f) displaced -> insertion;
+        # f's jmp to t is backwards -> kept (no marker).
+        image = MemoryImage.build(program, [entry.bid, t.bid, fb.bid])
+        text = format_image(image)
+        entry_line = next(
+            l for l in text.splitlines() if "main/entry" in l
+        )
+        assert "[jmp inserted]" in entry_line
+        # Order entry, f, t: f's jmp lands on adjacent t -> elided.
+        image = MemoryImage.build(program, [entry.bid, fb.bid, t.bid])
+        text = format_image(image)
+        f_line = next(l for l in text.splitlines() if "main/f" in l)
+        assert "[jmp elided]" in f_line

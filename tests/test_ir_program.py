@@ -1,0 +1,145 @@
+"""Unit tests for Program finalization, call graphs, and control arcs."""
+
+import pytest
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.instructions import Opcode
+from tests.conftest import build_call_program, build_recursive_program
+
+
+class TestFinalize:
+    def test_bids_are_dense_and_ordered(self, call_program):
+        bids = [block.bid for block in call_program.blocks]
+        assert bids == list(range(call_program.num_blocks))
+
+    def test_taken_and_fall_resolve_to_bids(self, branchy_program):
+        p = branchy_program
+        loop = p.function("main").block("loop")
+        assert p.block_taken[loop.bid] == p.function("main").block("done").bid
+        assert p.block_fall[loop.bid] == p.function("main").block("test").bid
+
+    def test_callee_entry_resolves(self, call_program):
+        p = call_program
+        work = p.function("main").block("work")
+        assert p.block_callee_entry[work.bid] == p.function("twice").entry.bid
+
+    def test_non_call_blocks_have_no_callee_entry(self, loop_program):
+        assert all(c == -1 for c in loop_program.block_callee_entry)
+
+    def test_block_function_names(self, call_program):
+        p = call_program
+        assert p.block_function[p.function("twice").entry.bid] == "twice"
+
+    def test_unknown_callee_rejected(self):
+        pb = ProgramBuilder()
+        f = pb.function("main")
+        b = f.block("entry")
+        b.call("ghost", cont="after")
+        f.block("after").halt()
+        with pytest.raises(ValueError, match="ghost"):
+            pb.build()
+
+    def test_sizes_sum(self, call_program):
+        assert call_program.size_bytes == 4 * call_program.num_instructions
+
+
+class TestCallGraph:
+    def test_static_call_graph_counts_sites(self):
+        p = build_call_program()
+        graph = p.static_call_graph()
+        assert graph["main"] == {"twice": 1}
+        assert graph["twice"] == {}
+
+    def test_recursive_function_detected(self):
+        p = build_recursive_program()
+        assert p.recursive_functions() == {"tri"}
+
+    def test_non_recursive_program_has_no_cycles(self):
+        assert build_call_program().recursive_functions() == set()
+
+    def test_mutual_recursion_detected(self):
+        pb = ProgramBuilder()
+        fa = pb.function("a")
+        b = fa.block("entry")
+        b.ble("r1", 0, taken="stop", fall="go")
+        fa.block("stop").ret()
+        b = fa.block("go")
+        b.sub("r1", "r1", 1)
+        b.call("b", cont="back")
+        fa.block("back").ret()
+        fb = pb.function("b")
+        b = fb.block("entry")
+        b.call("a", cont="back")
+        fb.block("back").ret()
+        m = pb.function("main")
+        b = m.block("entry")
+        b.li("r1", 3)
+        b.call("a", cont="end")
+        m.block("end").halt()
+        assert pb.build().recursive_functions() == {"a", "b"}
+
+
+class TestControlArcs:
+    def test_branch_block_yields_two_arcs(self, branchy_program):
+        p = branchy_program
+        arcs = list(p.control_arcs(p.function("main")))
+        loop_bid = p.function("main").block("loop").bid
+        kinds = {(src, kind) for src, _dst, kind in arcs if src == loop_bid}
+        assert kinds == {(loop_bid, "taken"), (loop_bid, "fall")}
+
+    def test_call_block_yields_call_fall_arc(self, call_program):
+        p = call_program
+        work = p.function("main").block("work")
+        arcs = [
+            (src, dst, kind)
+            for src, dst, kind in p.control_arcs(p.function("main"))
+            if src == work.bid
+        ]
+        after = p.function("main").block("after")
+        assert arcs == [(work.bid, after.bid, "call_fall")]
+
+    def test_halt_block_yields_no_arcs(self, loop_program):
+        p = loop_program
+        done = p.function("main").block("done")
+        assert all(
+            src != done.bid for src, _d, _k in p.control_arcs(p.function("main"))
+        )
+
+    def test_jmp_block_yields_taken_arc(self, loop_program):
+        p = loop_program
+        body = p.function("main").block("body")
+        arcs = [
+            kind for src, _d, kind in p.control_arcs(p.function("main"))
+            if src == body.bid
+        ]
+        assert arcs == ["taken"]
+
+    def test_arcs_stay_within_function(self, call_program):
+        p = call_program
+        for function in p:
+            bids = {block.bid for block in function.blocks}
+            for src, dst, _kind in p.control_arcs(function):
+                assert src in bids and dst in bids
+
+
+class TestTerminatorKinds:
+    def test_kind_matches_last_opcode(self, call_program):
+        for block in call_program.blocks:
+            assert block.kind is block.instructions[-1].op
+
+    def test_every_block_ends_with_terminator(self, branchy_program):
+        for block in branchy_program.blocks:
+            assert block.terminator.is_terminator
+
+    def test_clone_renames_successors(self, branchy_program):
+        block = branchy_program.function("main").block("test")
+        clone = block.clone({"error": "E", "even_check": "C"})
+        assert clone.taken == "E" and clone.fall == "C"
+
+    def test_clone_without_rename_is_identity_shape(self, loop_program):
+        block = loop_program.function("main").block("head")
+        clone = block.clone({})
+        assert clone.name == block.name
+        assert clone.taken == block.taken and clone.fall == block.fall
+        assert clone.instructions == block.instructions
+        assert clone.kind is Opcode.BGE

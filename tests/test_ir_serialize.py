@@ -1,0 +1,110 @@
+"""Unit tests for program/profile serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.interp.interpreter import run_program
+from repro.interp.profiler import profile_program
+from repro.ir.serialize import (
+    load_program,
+    profile_from_dict,
+    profile_to_dict,
+    program_from_dict,
+    program_to_dict,
+    save_program,
+)
+
+
+class TestProgramRoundtrip:
+    def test_structure_preserved(self, call_program):
+        restored = program_from_dict(program_to_dict(call_program))
+        assert [f.name for f in restored] == [f.name for f in call_program]
+        assert restored.num_blocks == call_program.num_blocks
+        assert restored.num_instructions == call_program.num_instructions
+        assert restored.entry == call_program.entry
+
+    def test_semantics_preserved(self, branchy_program):
+        restored = program_from_dict(program_to_dict(branchy_program))
+        for inputs in ([], [1, 2, 3], [5, -2, 4]):
+            assert (
+                run_program(restored, inputs).output
+                == run_program(branchy_program, inputs).output
+            )
+
+    def test_syscall_flag_preserved(self):
+        from repro.ir.builder import ProgramBuilder
+
+        pb = ProgramBuilder()
+        pb.function("sys_x", is_syscall=True).block("entry").ret()
+        pb.function("main").block("entry").halt()
+        restored = program_from_dict(program_to_dict(pb.build()))
+        assert restored.function("sys_x").is_syscall
+
+    def test_json_serialisable(self, call_program):
+        text = json.dumps(program_to_dict(call_program))
+        restored = program_from_dict(json.loads(text))
+        assert restored.num_blocks == call_program.num_blocks
+
+    def test_file_roundtrip(self, tmp_path, loop_program):
+        path = str(tmp_path / "program.json")
+        save_program(loop_program, path)
+        restored = load_program(path)
+        assert run_program(restored).output == [15]
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro-program"):
+            program_from_dict({"format": "something-else"})
+
+    def test_workload_roundtrip(self):
+        from repro.workloads import get_workload
+
+        program = get_workload("compress").build()
+        restored = program_from_dict(program_to_dict(program))
+        stream = get_workload("compress").trace_input("small")
+        assert (
+            run_program(restored, stream).output
+            == run_program(program, stream).output
+        )
+
+
+class TestProfileRoundtrip:
+    def test_weights_preserved(self, call_program):
+        profile = profile_program(call_program, [[1, 2], [3]])
+        restored = profile_from_dict(
+            profile_to_dict(profile), call_program
+        )
+        assert np.array_equal(restored.block_weights, profile.block_weights)
+        assert np.array_equal(restored.taken_weights, profile.taken_weights)
+        assert restored.dynamic_calls == profile.dynamic_calls
+        assert restored.num_runs == profile.num_runs
+
+    def test_restored_profile_drives_placement(self, call_program):
+        from repro.placement.inline import InlinePolicy, inline_expand
+
+        profile = profile_program(call_program, [[1, 2, 3]])
+        restored = profile_from_dict(
+            profile_to_dict(profile), call_program
+        )
+        policy = InlinePolicy(
+            min_call_fraction=0.0, min_call_count=1, max_code_growth=10.0
+        )
+        _, from_original = inline_expand(call_program, profile, policy)
+        _, from_restored = inline_expand(call_program, restored, policy)
+        assert from_restored.inlined_sites == from_original.inlined_sites
+
+    def test_size_mismatch_rejected(self, call_program, loop_program):
+        profile = profile_program(call_program, [[1]])
+        with pytest.raises(ValueError, match="blocks"):
+            profile_from_dict(profile_to_dict(profile), loop_program)
+
+    def test_bad_format_rejected(self, call_program):
+        with pytest.raises(ValueError, match="not a repro-profile"):
+            profile_from_dict({"format": "nope"}, call_program)
+
+    def test_json_serialisable(self, call_program):
+        profile = profile_program(call_program, [[1]])
+        text = json.dumps(profile_to_dict(profile))
+        restored = profile_from_dict(json.loads(text), call_program)
+        assert restored.dynamic_instructions == profile.dynamic_instructions

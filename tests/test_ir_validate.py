@@ -1,0 +1,91 @@
+"""Unit tests for IR structural validation."""
+
+import pytest
+
+from repro.ir.block import BasicBlock
+from repro.ir.builder import ProgramBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.program import Program
+from repro.ir.validate import ValidationError, validate_program
+
+
+def _program_with_block(block: BasicBlock) -> Program:
+    return Program([Function("main", [block])], entry="main")
+
+
+class TestTerminatorRules:
+    def test_last_instruction_must_terminate(self):
+        block = BasicBlock("entry", [Instruction(Opcode.NOP)])
+        with pytest.raises(ValidationError, match="not a.*terminator"):
+            validate_program(_program_with_block(block))
+
+    def test_terminator_in_middle_rejected(self):
+        block = BasicBlock(
+            "entry",
+            [Instruction(Opcode.RET), Instruction(Opcode.HALT)],
+        )
+        with pytest.raises(ValidationError, match="in block middle"):
+            validate_program(_program_with_block(block))
+
+    def test_jmp_requires_taken_successor(self):
+        block = BasicBlock("entry", [Instruction(Opcode.JMP)])
+        with pytest.raises(ValidationError, match="requires a taken"):
+            validate_program(_program_with_block(block))
+
+    def test_halt_forbids_successors(self):
+        block = BasicBlock(
+            "entry", [Instruction(Opcode.HALT)], taken="entry"
+        )
+        with pytest.raises(ValidationError, match="forbids a taken"):
+            validate_program(_program_with_block(block))
+
+    def test_branch_requires_fall_successor(self):
+        block = BasicBlock(
+            "entry",
+            [Instruction(Opcode.BEQ, rs1=1, imm=0)],
+            taken="entry",
+        )
+        with pytest.raises(ValidationError, match="requires a fall"):
+            validate_program(_program_with_block(block))
+
+    def test_call_requires_callee(self):
+        block = BasicBlock(
+            "entry", [Instruction(Opcode.CALL)], fall="entry"
+        )
+        with pytest.raises(ValidationError, match="requires a callee"):
+            validate_program(_program_with_block(block))
+
+
+class TestReferenceRules:
+    def test_unknown_successor_label_rejected(self):
+        # Label resolution happens at Program construction (finalize).
+        block = BasicBlock(
+            "entry", [Instruction(Opcode.JMP)], taken="nowhere"
+        )
+        with pytest.raises(ValueError, match="nowhere"):
+            _program_with_block(block)
+
+    def test_write_to_r0_rejected(self):
+        block = BasicBlock(
+            "entry",
+            [Instruction(Opcode.LI, rd=0, imm=1), Instruction(Opcode.HALT)],
+        )
+        with pytest.raises(ValidationError, match="write to r0"):
+            validate_program(_program_with_block(block))
+
+    def test_read_of_r0_allowed(self):
+        pb = ProgramBuilder()
+        b = pb.function("main").block("entry")
+        b.add("r1", "r0", 5)
+        b.st("r0", "r1", 0)
+        b.halt()
+        validate_program(pb.build())   # should not raise
+
+    def test_valid_program_passes(self, call_program):
+        validate_program(call_program)
+
+    def test_empty_block_rejected(self):
+        block = BasicBlock("entry", [])
+        with pytest.raises(ValidationError, match="empty block"):
+            validate_program(_program_with_block(block))

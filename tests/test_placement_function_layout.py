@@ -1,0 +1,89 @@
+"""Unit tests for the appendix FunctionBodyLayout algorithm."""
+
+from repro.interp.profiler import profile_program
+from repro.placement.function_layout import layout_function
+from repro.placement.trace_selection import select_traces
+
+
+def _layout(program, inputs, function="main"):
+    profile = profile_program(program, inputs)
+    f = program.function(function)
+    selection = select_traces(f, profile)
+    return layout_function(f, selection, profile), selection, profile
+
+
+class TestPermutation:
+    def test_layout_covers_all_blocks(self, branchy_program):
+        layout, _, _ = _layout(branchy_program, [[1, 2, 3]])
+        expected = sorted(
+            b.bid for b in branchy_program.function("main").blocks
+        )
+        assert sorted(layout.blocks) == expected
+
+    def test_traces_stay_contiguous(self, branchy_program):
+        layout, selection, _ = _layout(branchy_program, [[2, 4, 5]])
+        position = {bid: i for i, bid in enumerate(layout.blocks)}
+        for trace in selection.traces:
+            positions = [position[b] for b in trace.blocks]
+            assert positions == list(
+                range(positions[0], positions[0] + len(positions))
+            )
+
+
+class TestEntryFirst:
+    def test_entry_block_placed_first(self, branchy_program):
+        layout, _, _ = _layout(branchy_program, [[1, 2]])
+        assert layout.blocks[0] == branchy_program.function("main").entry.bid
+
+    def test_entry_first_even_in_cold_function(self, call_program):
+        layout, _, _ = _layout(call_program, [[]], function="twice")
+        assert layout.blocks[0] == call_program.function("twice").entry.bid
+
+
+class TestRegionSplit:
+    def test_cold_blocks_move_to_bottom(self, branchy_program):
+        # Positive inputs only: 'error' never executes.
+        layout, _, profile = _layout(branchy_program, [[2, 4, 6]])
+        error = branchy_program.function("main").block("error").bid
+        assert error in layout.non_executed_blocks
+        assert error not in layout.effective_blocks
+
+    def test_effective_region_is_hot_prefix(self, branchy_program):
+        layout, _, profile = _layout(branchy_program, [[2, 4, 6]])
+        for bid in layout.effective_blocks:
+            assert profile.block_weight(bid) > 0
+        for bid in layout.non_executed_blocks:
+            assert profile.block_weight(bid) == 0
+
+    def test_fully_hot_function_has_empty_cold_region(self, loop_program):
+        layout, _, _ = _layout(loop_program, [[]])
+        assert layout.non_executed_blocks == ()
+        assert layout.effective_end == len(layout.blocks)
+
+    def test_unexecuted_function_is_all_cold(self, call_program):
+        layout, _, _ = _layout(call_program, [[]], function="twice")
+        assert layout.effective_end == 0
+        assert len(layout.non_executed_blocks) == len(
+            call_program.function("twice").blocks
+        )
+
+
+class TestChaining:
+    def test_tail_to_head_connection_followed(self, loop_program):
+        """The exit trace (done) should be placed right after the loop
+        trace whose tail branches to it."""
+        layout, selection, _ = _layout(loop_program, [[]])
+        main = loop_program.function("main")
+        done = main.block("done").bid
+        done_position = layout.blocks.index(done)
+        # The block placed just before 'done' is the tail of the trace
+        # with an arc into 'done'.
+        predecessor = layout.blocks[done_position - 1]
+        trace = selection.trace_containing(predecessor)
+        assert trace.tail == predecessor
+
+    def test_layout_is_deterministic(self, branchy_program):
+        first, _, _ = _layout(branchy_program, [[1, 2, 3]])
+        second, _, _ = _layout(branchy_program, [[1, 2, 3]])
+        assert first.blocks == second.blocks
+        assert first.effective_end == second.effective_end

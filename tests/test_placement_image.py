@@ -1,0 +1,161 @@
+"""Unit tests for the linker / memory image."""
+
+import numpy as np
+import pytest
+
+from repro.interp.interpreter import VIA_FALL, VIA_TAKEN, VIA_TERM
+from repro.ir.builder import ProgramBuilder
+from repro.placement.baselines import natural_image, natural_order
+from repro.placement.image import MemoryImage
+
+
+def _diamond_program():
+    pb = ProgramBuilder()
+    f = pb.function("main")
+    b = f.block("entry")
+    b.beq("r1", 0, taken="left", fall="right")
+    b = f.block("left")
+    b.li("r2", 1)
+    b.jmp("join")
+    b = f.block("right")
+    b.li("r2", 2)
+    b.jmp("join")
+    b = f.block("join")
+    b.out("r2")
+    b.halt()
+    return pb.build()
+
+
+class TestAddressAssignment:
+    def test_natural_order_is_contiguous(self, loop_program):
+        image = natural_image(loop_program)
+        addr = 0
+        for bid in image.order:
+            assert image.block_address(bid) == addr
+            addr += int(image.placed_bytes[bid])
+        assert image.total_bytes == addr
+
+    def test_base_address_offsets_everything(self, loop_program):
+        image = MemoryImage.build(
+            loop_program, natural_order(loop_program), base_address=4096
+        )
+        assert image.block_address(image.order[0]) == 4096
+        assert image.span() == (4096, 4096 + image.total_bytes)
+
+    def test_order_must_be_permutation(self, loop_program):
+        with pytest.raises(ValueError, match="permutation"):
+            MemoryImage.build(loop_program, [0, 0, 1, 2])
+
+    def test_function_entry_address(self, call_program):
+        image = natural_image(call_program)
+        twice = call_program.function("twice")
+        assert image.function_entry_address("twice") == image.block_address(
+            twice.entry.bid
+        )
+
+    def test_position_query(self, loop_program):
+        image = natural_image(loop_program)
+        for index, bid in enumerate(image.order):
+            assert image.position(bid) == index
+
+
+class TestJumpElision:
+    def test_adjacent_jmp_is_elided(self):
+        program = _diamond_program()
+        main = program.function("main")
+        right, join = main.block("right"), main.block("join")
+        image = natural_image(program)
+        # 'right' (li + jmp) immediately precedes 'join': jump elided.
+        assert image.placed_bytes[right.bid] == 4  # just the li
+        assert image.fetch_lengths[VIA_TERM, right.bid] == 1
+
+    def test_non_adjacent_jmp_is_kept(self):
+        program = _diamond_program()
+        main = program.function("main")
+        left = main.block("left")
+        image = natural_image(program)
+        # 'left' jumps over 'right' to 'join': jump kept.
+        assert image.placed_bytes[left.bid] == 8
+        assert image.fetch_lengths[VIA_TERM, left.bid] == 2
+
+    def test_adjacent_fall_branch_has_no_insertion(self):
+        program = _diamond_program()
+        entry = program.function("main").entry
+        image = natural_image(program)
+        # entry's fall successor ('right'... actually 'left' is next):
+        # natural order is entry, left, right, join; fall is 'right',
+        # which is NOT adjacent, so a jump is appended.
+        assert image.placed_bytes[entry.bid] == 8
+        assert image.fetch_lengths[VIA_TAKEN, entry.bid] == 1
+        assert image.fetch_lengths[VIA_FALL, entry.bid] == 2
+
+    def test_reordering_removes_insertion(self):
+        program = _diamond_program()
+        main = program.function("main")
+        entry, left, right, join = (
+            main.block(n) for n in ("entry", "left", "right", "join")
+        )
+        # Place 'right' directly after entry: the fall is adjacent now.
+        image = MemoryImage.build(
+            program, [entry.bid, right.bid, left.bid, join.bid]
+        )
+        assert image.placed_bytes[entry.bid] == 4
+        assert image.fetch_lengths[VIA_FALL, entry.bid] == 1
+
+    def test_layout_changes_total_size(self):
+        program = _diamond_program()
+        main = program.function("main")
+        entry, left, right, join = (
+            main.block(n) for n in ("entry", "left", "right", "join")
+        )
+        natural = natural_image(program)
+        better = MemoryImage.build(
+            program, [entry.bid, right.bid, left.bid, join.bid]
+        )
+        assert better.total_bytes < natural.total_bytes
+
+
+class TestScaledSizes:
+    def test_scaled_sizes_change_addresses(self, loop_program):
+        sizes = np.asarray(loop_program.block_num_instructions) * 2
+        image = MemoryImage.build(
+            loop_program, natural_order(loop_program), sizes=sizes
+        )
+        natural = natural_image(loop_program)
+        assert image.total_bytes > natural.total_bytes
+
+    def test_sizes_must_be_positive(self, loop_program):
+        sizes = np.zeros(loop_program.num_blocks, dtype=np.int64)
+        with pytest.raises(ValueError, match="positive"):
+            MemoryImage.build(
+                loop_program, natural_order(loop_program), sizes=sizes
+            )
+
+    def test_static_bytes_with_mask(self, loop_program):
+        image = natural_image(loop_program)
+        mask = np.zeros(loop_program.num_blocks, dtype=bool)
+        mask[loop_program.function("main").entry.bid] = True
+        assert image.static_bytes(mask) == int(
+            image.placed_bytes[loop_program.function("main").entry.bid]
+        )
+        assert image.static_bytes() == image.total_bytes
+
+
+class TestAlignment:
+    def test_function_alignment_pads_between_functions(self, call_program):
+        tight = MemoryImage.build(
+            call_program, natural_order(call_program), function_align=4
+        )
+        padded = MemoryImage.build(
+            call_program, natural_order(call_program), function_align=64
+        )
+        assert padded.total_bytes >= tight.total_bytes
+        # The second function starts on a 64-byte boundary.
+        second = call_program.functions[1]
+        assert padded.block_address(second.entry.bid) % 64 == 0
+
+    def test_bad_alignment_rejected(self, call_program):
+        with pytest.raises(ValueError, match="power of two"):
+            MemoryImage.build(
+                call_program, natural_order(call_program), function_align=48
+            )

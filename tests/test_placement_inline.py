@@ -1,0 +1,206 @@
+"""Unit tests for function inline expansion."""
+
+import pytest
+
+from repro.interp.interpreter import run_program
+from repro.interp.profiler import profile_program
+from repro.ir.builder import ProgramBuilder
+from repro.ir.instructions import Opcode
+from repro.ir.validate import validate_program
+from repro.placement.inline import InlinePolicy, inline_expand
+
+#: Policy with thresholds low enough that tiny test programs inline.
+EAGER = InlinePolicy(
+    min_call_fraction=0.0, min_call_count=1, max_code_growth=10.0
+)
+
+
+class TestMechanics:
+    def test_hot_site_is_expanded(self, call_program, call_profile):
+        inlined, report = inline_expand(call_program, call_profile, EAGER)
+        assert len(report.inlined_sites) == 1
+        assert report.inlined_sites[0].callee == "twice"
+        # The call block's CALL became a JMP.
+        work = inlined.function("main").block("work")
+        assert work.kind is Opcode.JMP and work.callee is None
+
+    def test_clone_blocks_spliced_into_caller(self, call_program, call_profile):
+        inlined, _ = inline_expand(call_program, call_profile, EAGER)
+        assert len(inlined.function("main").blocks) > len(
+            call_program.function("main").blocks
+        )
+
+    def test_cloned_ret_becomes_jmp_to_continuation(
+        self, call_program, call_profile
+    ):
+        inlined, _ = inline_expand(call_program, call_profile, EAGER)
+        main = inlined.function("main")
+        clones = [b for b in main.blocks if b.name.startswith("__inl")]
+        assert clones
+        for block in clones:
+            assert block.kind is not Opcode.RET
+        jmps = [b for b in clones if b.kind is Opcode.JMP]
+        assert any(b.taken == "after" for b in jmps)
+
+    def test_result_validates(self, call_program, call_profile):
+        inlined, _ = inline_expand(call_program, call_profile, EAGER)
+        validate_program(inlined)
+
+    def test_original_program_untouched(self, call_program, call_profile):
+        before = call_program.function("main").block("work").kind
+        inline_expand(call_program, call_profile, EAGER)
+        assert call_program.function("main").block("work").kind is before
+        assert call_program.function("main").block("work").callee == "twice"
+
+    def test_semantics_preserved(self, call_program, call_profile):
+        inlined, _ = inline_expand(call_program, call_profile, EAGER)
+        for inputs in ([], [5], [1, 2, 3, 4]):
+            assert (
+                run_program(inlined, inputs).output
+                == run_program(call_program, inputs).output
+            )
+
+
+class TestExclusions:
+    def test_recursive_callee_skipped(self, recursive_program):
+        profile = profile_program(recursive_program, [[8]])
+        inlined, report = inline_expand(recursive_program, profile, EAGER)
+        assert report.inlined_sites == []
+        assert report.skipped_recursive > 0
+        assert inlined.num_instructions == recursive_program.num_instructions
+
+    def test_syscall_callee_skipped(self):
+        pb = ProgramBuilder()
+        f = pb.function("sys_read", is_syscall=True)
+        b = f.block("entry")
+        b.in_("r1")
+        b.ret()
+        f = pb.function("main")
+        b = f.block("entry")
+        b.jmp("loop")
+        b = f.block("loop")
+        b.call("sys_read", cont="check")
+        b = f.block("check")
+        b.bne("r1", -1, taken="loop", fall="done")
+        b = f.block("done")
+        b.halt()
+        program = pb.build()
+        profile = profile_program(program, [[1, 2, 3]])
+        _, report = inline_expand(program, profile, EAGER)
+        assert report.inlined_sites == []
+        assert report.skipped_syscall > 0
+
+    def test_cold_site_skipped_by_fraction(self, call_program, call_profile):
+        policy = InlinePolicy(
+            min_call_fraction=1.1, min_call_count=1, max_code_growth=10.0
+        )
+        _, report = inline_expand(call_program, call_profile, policy)
+        assert report.inlined_sites == []
+        assert report.skipped_cold > 0
+
+    def test_rare_site_skipped_by_absolute_count(self, call_program):
+        profile = profile_program(call_program, [[1]])  # one dynamic call
+        policy = InlinePolicy(
+            min_call_fraction=0.0, min_call_count=50, max_code_growth=10.0
+        )
+        _, report = inline_expand(call_program, profile, policy)
+        assert report.inlined_sites == []
+
+    def test_budget_stops_expansion(self, call_program, call_profile):
+        policy = InlinePolicy(
+            min_call_fraction=0.0, min_call_count=1,
+            max_code_growth=1.0, min_growth_instructions=0,
+        )
+        _, report = inline_expand(call_program, call_profile, policy)
+        assert report.inlined_sites == []
+        assert report.skipped_budget > 0
+
+    def test_absolute_growth_floor_unblocks_small_programs(
+        self, call_program, call_profile
+    ):
+        tight = InlinePolicy(
+            min_call_fraction=0.0, min_call_count=1,
+            max_code_growth=1.0, min_growth_instructions=0,
+        )
+        floored = InlinePolicy(
+            min_call_fraction=0.0, min_call_count=1,
+            max_code_growth=1.0, min_growth_instructions=100,
+        )
+        _, blocked = inline_expand(call_program, call_profile, tight)
+        _, allowed = inline_expand(call_program, call_profile, floored)
+        assert blocked.inlined_sites == []
+        assert allowed.inlined_sites
+
+    def test_huge_callee_skipped(self, call_program, call_profile):
+        policy = InlinePolicy(
+            min_call_fraction=0.0, min_call_count=1,
+            max_code_growth=10.0, max_callee_instructions=1,
+        )
+        _, report = inline_expand(call_program, call_profile, policy)
+        assert report.inlined_sites == []
+        assert report.skipped_budget > 0
+
+
+class TestReport:
+    def test_code_increase_reflects_growth(self, call_program, call_profile):
+        inlined, report = inline_expand(call_program, call_profile, EAGER)
+        assert report.final_instructions == inlined.num_instructions
+        expected = 100.0 * (
+            inlined.num_instructions - call_program.num_instructions
+        ) / call_program.num_instructions
+        assert report.code_increase_pct == pytest.approx(expected)
+
+    def test_call_decrease_counts_eliminated_weight(
+        self, call_program, call_profile
+    ):
+        _, report = inline_expand(call_program, call_profile, EAGER)
+        assert report.call_decrease_pct == pytest.approx(100.0)
+
+    def test_no_inlining_means_zero_percentages(self, recursive_program):
+        profile = profile_program(recursive_program, [[4]])
+        _, report = inline_expand(recursive_program, profile, EAGER)
+        assert report.code_increase_pct == 0.0
+        assert report.call_decrease_pct == 0.0
+
+
+class TestMultipleSites:
+    def _two_site_program(self):
+        pb = ProgramBuilder()
+        f = pb.function("inc")
+        b = f.block("entry")
+        b.add("r1", "r1", 1)
+        b.ret()
+        f = pb.function("main")
+        b = f.block("entry")
+        b.jmp("loop")
+        b = f.block("loop")
+        b.in_("r1")
+        b.beq("r1", -1, taken="done", fall="first")
+        b = f.block("first")
+        b.call("inc", cont="second")
+        b = f.block("second")
+        b.call("inc", cont="emit")
+        b = f.block("emit")
+        b.out("r1")
+        b.jmp("loop")
+        b = f.block("done")
+        b.halt()
+        return pb.build()
+
+    def test_each_site_gets_its_own_clone(self):
+        program = self._two_site_program()
+        profile = profile_program(program, [[1, 2, 3]])
+        inlined, report = inline_expand(program, profile, EAGER)
+        assert len(report.inlined_sites) == 2
+        clone_entries = [
+            b for b in inlined.function("main").blocks
+            if b.name.startswith("__inl") and b.name.endswith("entry")
+        ]
+        assert len(clone_entries) == 2
+
+    def test_two_site_semantics_preserved(self):
+        program = self._two_site_program()
+        profile = profile_program(program, [[1, 2]])
+        inlined, _ = inline_expand(program, profile, EAGER)
+        assert run_program(inlined, [10, 20]).output == [12, 22]
+        assert run_program(program, [10, 20]).output == [12, 22]

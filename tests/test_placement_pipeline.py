@@ -1,0 +1,149 @@
+"""Unit tests for the five-step placement pipeline driver."""
+
+import pytest
+
+from repro.interp.interpreter import run_program
+from repro.interp.trace import BlockTrace
+from repro.placement.inline import InlinePolicy
+from repro.placement.pipeline import (
+    PlacementOptions,
+    optimize_program,
+    place,
+)
+
+#: Pipeline options that inline eagerly on tiny test programs.
+EAGER = PlacementOptions(
+    inline=InlinePolicy(
+        min_call_fraction=0.0, min_call_count=1, max_code_growth=10.0
+    )
+)
+
+
+class TestOptimizeProgram:
+    def test_produces_an_image_covering_all_blocks(self, call_program):
+        result = optimize_program(call_program, [[1, 2]], EAGER)
+        assert sorted(result.order) == list(range(result.program.num_blocks))
+
+    def test_inlined_program_preserves_semantics(self, call_program):
+        result = optimize_program(call_program, [[1, 2]], EAGER)
+        for inputs in ([], [7], [1, 2, 3]):
+            assert (
+                run_program(result.program, inputs).output
+                == run_program(call_program, inputs).output
+            )
+
+    def test_profiles_cover_both_programs(self, call_program):
+        result = optimize_program(call_program, [[1, 2]], EAGER)
+        assert result.pre_inline_profile.program is call_program
+        assert result.profile.program is result.program
+
+    def test_selections_cover_every_function(self, call_program):
+        result = optimize_program(call_program, [[1]], EAGER)
+        assert set(result.selections) == {f.name for f in result.program}
+
+    def test_no_inline_option(self, call_program):
+        options = PlacementOptions(inline=None)
+        result = optimize_program(call_program, [[1, 2]], options)
+        assert result.program is call_program
+        assert result.inline_report.inlined_sites == []
+        assert result.profile is result.pre_inline_profile
+
+    def test_hot_code_placed_before_cold(self, branchy_program):
+        result = optimize_program(branchy_program, [[2, 4, 6]], EAGER)
+        profile = result.profile
+        image = result.image
+        hot = [b for b in range(result.program.num_blocks)
+               if profile.block_weights[b] > 0]
+        cold = [b for b in range(result.program.num_blocks)
+                if profile.block_weights[b] == 0]
+        assert cold, "test needs a cold block"
+        assert max(image.position(b) for b in hot) < min(
+            image.position(b) for b in cold
+        )
+
+    def test_entry_function_placed_at_base(self, call_program):
+        result = optimize_program(call_program, [[1]], EAGER)
+        assert result.image.function_entry_address("main") == 0
+
+
+class TestPlaceOptions:
+    def test_no_traces_gives_singleton_selection(self, branchy_program):
+        from repro.interp.profiler import profile_program
+
+        profile = profile_program(branchy_program, [[1, 2]])
+        result = place(
+            branchy_program, profile,
+            PlacementOptions(select_traces=False),
+        )
+        for selection in result.selections.values():
+            assert all(len(t) == 1 for t in selection.traces)
+
+    def test_no_split_keeps_cold_in_place(self, branchy_program):
+        from repro.interp.profiler import profile_program
+
+        profile = profile_program(branchy_program, [[2, 4]])
+        result = place(
+            branchy_program, profile,
+            PlacementOptions(split_regions=False),
+        )
+        for layout in result.function_layouts.values():
+            assert layout.effective_end == len(layout.blocks)
+
+    def test_no_global_dfs_keeps_declaration_order(self, call_program):
+        from repro.interp.profiler import profile_program
+
+        profile = profile_program(call_program, [[1]])
+        result = place(
+            call_program, profile, PlacementOptions(global_dfs=False)
+        )
+        assert tuple(result.global_layout) == tuple(
+            f.name for f in call_program
+        )
+
+    def test_min_prob_is_forwarded(self, branchy_program):
+        from repro.interp.profiler import profile_program
+
+        profile = profile_program(branchy_program, [[1, 2, 3, 4, 5, 6]])
+        strict = place(
+            branchy_program, profile, PlacementOptions(min_prob=0.95)
+        )
+        loose = place(
+            branchy_program, profile, PlacementOptions(min_prob=0.3)
+        )
+        # Looser threshold chains more blocks -> fewer traces.
+        assert len(loose.selections["main"].traces) <= len(
+            strict.selections["main"].traces
+        )
+
+
+class TestOptimizedExecution:
+    def test_trace_replays_through_optimized_image(self, call_program):
+        result = optimize_program(call_program, [[1, 2]], EAGER)
+        execution = run_program(result.program, [3, 4])
+        trace = BlockTrace.from_execution(execution)
+        addresses = trace.addresses(result.image)
+        assert len(addresses) == trace.instruction_count(result.image)
+        low, high = result.image.span()
+        assert addresses.min() >= low and addresses.max() < high
+
+    def test_pipeline_beats_random_layout_on_hot_loop(self, call_program):
+        """The optimized image keeps the hot loop denser than a bad
+        random layout: strictly fewer distinct 64-byte blocks touched."""
+        from repro.cache.vectorized import simulate_direct_vectorized
+        from repro.placement.baselines import random_image
+
+        result = optimize_program(call_program, [[1, 2, 3]], EAGER)
+        inputs = list(range(50))
+        optimized_trace = BlockTrace.from_execution(
+            run_program(result.program, inputs)
+        )
+        original_trace = BlockTrace.from_execution(
+            run_program(call_program, inputs)
+        )
+        opt = simulate_direct_vectorized(
+            optimized_trace.addresses(result.image), 64, 16
+        )
+        rnd = simulate_direct_vectorized(
+            original_trace.addresses(random_image(call_program, 1)), 64, 16
+        )
+        assert opt.miss_ratio <= rnd.miss_ratio

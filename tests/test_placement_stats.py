@@ -1,0 +1,92 @@
+"""Unit tests for the Table 3/4 statistics."""
+
+import pytest
+
+from repro.interp.profiler import profile_program
+from repro.placement.inline import InlinePolicy, inline_expand
+from repro.placement.stats import inline_stats, trace_selection_stats
+from repro.placement.trace_selection import select_traces
+
+
+def _selections(program, profile):
+    return {
+        f.name: select_traces(f, profile) for f in program
+    }
+
+
+class TestTraceStats:
+    def test_percentages_sum_to_100(self, branchy_program):
+        profile = profile_program(branchy_program, [[1, 2, 3, 4]])
+        stats = trace_selection_stats(
+            branchy_program, profile, _selections(branchy_program, profile)
+        )
+        total = stats.neutral_pct + stats.undesirable_pct + stats.desirable_pct
+        assert total == pytest.approx(100.0)
+
+    def test_hot_loop_is_mostly_desirable(self, loop_program):
+        profile = profile_program(loop_program, [[]])
+        stats = trace_selection_stats(
+            loop_program, profile, _selections(loop_program, profile)
+        )
+        # head->body chains into one trace (desirable); the loop back-edge
+        # body->head is tail-to-head (neutral).  Almost nothing should be
+        # undesirable.
+        assert stats.desirable_pct > 40.0
+        assert stats.neutral_pct + stats.desirable_pct > 85.0
+
+    def test_all_transfers_counted(self, loop_program):
+        profile = profile_program(loop_program, [[]])
+        stats = trace_selection_stats(
+            loop_program, profile, _selections(loop_program, profile)
+        )
+        expected = sum(
+            arc.weight
+            for arc in profile.control_arcs(loop_program.function("main"))
+            if arc.weight > 0
+        )
+        assert stats.total_transfers == expected
+
+    def test_average_trace_length_counts_hot_traces(self, branchy_program):
+        profile = profile_program(branchy_program, [[2, 4, 6]])
+        selections = _selections(branchy_program, profile)
+        stats = trace_selection_stats(branchy_program, profile, selections)
+        hot_traces = [
+            t for s in selections.values() for t in s.traces if t.weight > 0
+        ]
+        expected = sum(len(t) for t in hot_traces) / len(hot_traces)
+        assert stats.avg_trace_length == pytest.approx(expected)
+
+    def test_unexecuted_program_gives_zeroes(self, call_program):
+        profile = profile_program(call_program, [])  # zero runs
+        stats = trace_selection_stats(
+            call_program, profile, _selections(call_program, profile)
+        )
+        assert stats.total_transfers == 0
+        assert stats.desirable_pct == 0.0
+
+
+class TestInlineStats:
+    def test_columns_come_from_report_and_profile(self, call_program):
+        profile = profile_program(call_program, [[1, 2, 3]])
+        policy = InlinePolicy(
+            min_call_fraction=0.0, min_call_count=1, max_code_growth=10.0
+        )
+        inlined, report = inline_expand(call_program, profile, policy)
+        post = profile_program(inlined, [[1, 2, 3]])
+        stats = inline_stats(report, post)
+        assert stats.code_increase_pct == report.code_increase_pct
+        assert stats.call_decrease_pct == report.call_decrease_pct
+        assert stats.instructions_per_call == post.instructions_per_call
+
+    def test_full_inline_raises_instructions_per_call(self, call_program):
+        profile = profile_program(call_program, [[1, 2, 3]])
+        policy = InlinePolicy(
+            min_call_fraction=0.0, min_call_count=1, max_code_growth=10.0
+        )
+        inlined, report = inline_expand(call_program, profile, policy)
+        post = profile_program(inlined, [[1, 2, 3]])
+        # All calls gone: instructions-per-call degenerates to the total.
+        assert post.dynamic_calls == 0
+        assert inline_stats(report, post).instructions_per_call == (
+            post.dynamic_instructions
+        )

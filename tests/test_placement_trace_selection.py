@@ -1,0 +1,110 @@
+"""Unit tests for the appendix TraceSelection algorithm."""
+
+from repro.interp.profiler import profile_program
+from repro.placement.trace_selection import MIN_PROB, select_traces
+
+
+def _select(program, inputs, min_prob=MIN_PROB, function="main"):
+    profile = profile_program(program, inputs)
+    return select_traces(program.function(function), profile, min_prob), profile
+
+
+class TestPartition:
+    def test_every_block_in_exactly_one_trace(self, branchy_program):
+        selection, _ = _select(branchy_program, [[1, 2, 3]])
+        seen = [b for t in selection.traces for b in t.blocks]
+        expected = [b.bid for b in branchy_program.function("main").blocks]
+        assert sorted(seen) == sorted(expected)
+
+    def test_trace_of_is_consistent(self, branchy_program):
+        selection, _ = _select(branchy_program, [[1, 2]])
+        for trace in selection.traces:
+            for bid in trace.blocks:
+                assert selection.trace_of[bid] == trace.tid
+
+    def test_trace_weight_is_sum_of_members(self, branchy_program):
+        selection, profile = _select(branchy_program, [[2, 4]])
+        for trace in selection.traces:
+            assert trace.weight == sum(
+                profile.block_weight(b) for b in trace.blocks
+            )
+
+    def test_tids_match_positions(self, loop_program):
+        selection, _ = _select(loop_program, [[]])
+        for index, trace in enumerate(selection.traces):
+            assert trace.tid == index
+
+
+class TestHotPathGrouping:
+    def test_loop_body_chains_with_header(self, loop_program):
+        selection, _ = _select(loop_program, [[]])
+        main = loop_program.function("main")
+        head, body = main.block("head").bid, main.block("body").bid
+        # head -> body dominates (5/6 > 0.7 both ways): same trace,
+        # body directly after head.
+        trace = selection.trace_containing(head)
+        assert selection.trace_of[body] == trace.tid
+        assert trace.blocks.index(body) == trace.blocks.index(head) + 1
+
+    def test_cold_path_excluded_from_hot_trace(self, branchy_program):
+        # All inputs positive: the error path never runs.
+        selection, _ = _select(branchy_program, [[2, 4, 6, 8]])
+        main = branchy_program.function("main")
+        error = main.block("error").bid
+        test = main.block("test").bid
+        assert selection.trace_of[error] != selection.trace_of[test]
+        assert selection.trace_containing(error).weight == 0
+
+    def test_balanced_branch_does_not_chain(self, branchy_program):
+        # Half even, half odd: neither arm reaches MIN_PROB = 0.7.
+        selection, _ = _select(branchy_program, [[1, 2, 3, 4, 5, 6]])
+        main = branchy_program.function("main")
+        check = main.block("even_check").bid
+        even, odd = main.block("even").bid, main.block("odd").bid
+        assert selection.trace_of[even] != selection.trace_of[check]
+        assert selection.trace_of[odd] != selection.trace_of[check]
+
+    def test_skewed_branch_chains_with_low_min_prob(self, branchy_program):
+        selection, _ = _select(
+            branchy_program, [[1, 2, 3, 4, 5, 6]], min_prob=0.4
+        )
+        main = branchy_program.function("main")
+        check = main.block("even_check").bid
+        # With MIN_PROB = 0.4 a 50% arm qualifies: one arm joins.
+        check_trace = selection.trace_containing(check)
+        arms = {main.block("even").bid, main.block("odd").bid}
+        assert arms & set(check_trace.blocks)
+
+    def test_entry_is_always_a_trace_head(self, branchy_program):
+        selection, _ = _select(branchy_program, [[2, 3, 4]])
+        entry = branchy_program.function("main").entry.bid
+        assert selection.trace_containing(entry).head == entry
+
+
+class TestZeroWeightFunction:
+    def test_unexecuted_function_gets_singleton_traces(self, call_program):
+        # Run with no inputs: 'twice' never executes.
+        profile = profile_program(call_program, [[]])
+        selection = select_traces(call_program.function("twice"), profile)
+        assert all(len(t) == 1 for t in selection.traces)
+
+    def test_singletons_follow_declaration_order(self, call_program):
+        profile = profile_program(call_program, [[]])
+        selection = select_traces(call_program.function("twice"), profile)
+        bids = [t.blocks[0] for t in selection.traces]
+        assert bids == [b.bid for b in call_program.function("twice").blocks]
+
+
+class TestDeterminism:
+    def test_same_profile_same_traces(self, branchy_program):
+        first, _ = _select(branchy_program, [[1, 2, 3]])
+        second, _ = _select(branchy_program, [[1, 2, 3]])
+        assert [t.blocks for t in first.traces] == [
+            t.blocks for t in second.traces
+        ]
+
+    def test_position_in_trace(self, loop_program):
+        selection, _ = _select(loop_program, [[]])
+        for trace in selection.traces:
+            for index, bid in enumerate(trace.blocks):
+                assert selection.position_in_trace(bid) == index

@@ -1,0 +1,81 @@
+"""Directed semantic tests for the cccp workload's preprocessor logic.
+
+The other workloads have whole-algorithm reference tests; cccp's
+conditional-compilation state machine deserves targeted cases built from
+hand-crafted token streams.
+"""
+
+from repro.interp.interpreter import run_program
+from repro.workloads import get_workload
+from repro.workloads.wl_cccp import (
+    TOK_DEFINE,
+    TOK_ELSE,
+    TOK_ENDIF,
+    TOK_IF,
+)
+
+
+def _run(tokens):
+    program = get_workload("cccp").build()
+    return run_program(program, tokens, max_instructions=2_000_000)
+
+
+def _acc(tokens):
+    """The expansion accumulator (second output)."""
+    return _run(tokens).output[1]
+
+
+class TestMacroExpansion:
+    def test_undefined_identifier_counts_one(self):
+        # Identifier 1: 1*7 % 3 != 0 -> undefined -> accumulator += 1.
+        assert _acc([1]) == 1
+
+    def test_defined_identifier_expands(self):
+        # Identifier 3: 3*7 % 3 == 0 -> defined with body length 3+1 = 4;
+        # the expansion contributes more than the undefined path's +1.
+        assert _acc([3]) != 1
+
+    def test_token_count_reported(self):
+        result = _run([1, 2, 3, 4, 5])
+        assert result.output[0] == 5
+
+    def test_define_installs_macro(self):
+        # Identifier 1 is undefined by init (7 % 3 == 1); after a
+        # #define of id 1 the identifier expands instead of counting 1.
+        before = _acc([1, 1])
+        after = _acc([TOK_DEFINE, 1, 1, 1])
+        assert before == 2              # two undefined uses
+        assert after != 2               # both uses now expand
+
+
+class TestConditionalSkipping:
+    def test_false_if_skips_identifiers(self):
+        # acc starts 0 (even) -> #if is false -> skip until #endif.
+        skipped = _acc([TOK_IF, 1, 1, 1, TOK_ENDIF])
+        assert skipped == 0
+
+    def test_true_if_keeps_identifiers(self):
+        # One undefined identifier first makes acc odd -> #if true.
+        kept = _acc([1, TOK_IF, 1, 1, TOK_ENDIF])
+        assert kept == 3
+
+    def test_endif_restores_processing(self):
+        after = _acc([TOK_IF, 1, TOK_ENDIF, 1, 1])
+        assert after == 2
+
+    def test_else_flips_skip_mode(self):
+        # False #if: first arm skipped, #else arm processed.
+        value = _acc([TOK_IF, 1, TOK_ELSE, 1, 1, TOK_ENDIF])
+        assert value == 2
+
+    def test_stray_endif_is_harmless(self):
+        assert _acc([TOK_ENDIF, 1]) == 1
+
+    def test_skipped_directives_not_dispatched(self):
+        from repro.workloads.wl_cccp import TOK_DIRECTIVE0
+
+        # The same directive inside a false #if contributes nothing.
+        active = _acc([1, TOK_DIRECTIVE0 + 2])      # acc odd then handler
+        skipped = _acc([TOK_IF, TOK_DIRECTIVE0 + 2, TOK_ENDIF])
+        assert skipped == 0
+        assert active != 0

@@ -1,0 +1,137 @@
+"""Behavioural tests for the extended workload suite."""
+
+import pytest
+
+from repro.interp.interpreter import Interpreter, run_program
+from repro.ir.validate import validate_program
+from repro.workloads import all_workloads, extended_workload_names, get_workload
+
+MAX_SMALL = 5_000_000
+
+EXTENDED = extended_workload_names()
+
+
+class TestSuiteSeparation:
+    def test_extended_suite_members(self):
+        assert set(EXTENDED) == {"sort", "diff", "awk", "espresso"}
+
+    def test_paper_suite_unaffected(self):
+        assert len(all_workloads("paper")) == 10
+        assert "sort" not in [w.name for w in all_workloads("paper")]
+
+    def test_get_workload_finds_both_suites(self):
+        assert get_workload("sort").name == "sort"
+        assert get_workload("wc").name == "wc"
+
+    def test_unknown_suite_rejected(self):
+        from repro.workloads.registry import Workload, register
+
+        with pytest.raises(ValueError, match="unknown suite"):
+            register(
+                Workload("x", "d", lambda: None, lambda s, sc: [], (1,), 1),
+                suite="bogus",
+            )
+
+
+@pytest.mark.parametrize("name", EXTENDED)
+class TestExecution:
+    def test_builds_and_validates(self, name):
+        validate_program(get_workload(name).build())
+
+    def test_terminates_on_all_small_inputs(self, name):
+        workload = get_workload(name)
+        interp = Interpreter(workload.build())
+        for stream in workload.profiling_inputs("small")[:3]:
+            assert interp.run(stream, max_instructions=MAX_SMALL).halted
+
+    def test_deterministic(self, name):
+        workload = get_workload(name)
+        stream = workload.trace_input("small")
+        interp = Interpreter(workload.build())
+        a = interp.run(stream, max_instructions=MAX_SMALL)
+        b = interp.run(stream, max_instructions=MAX_SMALL)
+        assert a.output == b.output
+
+
+class TestAlgorithms:
+    def test_sort_output_is_sorted(self):
+        workload = get_workload("sort")
+        stream = workload.trace_input("small")
+        result = run_program(workload.build(), stream,
+                             max_instructions=MAX_SMALL)
+        n, values = stream[0], stream[1:]
+        # The program samples every 100th element plus a checksum; at
+        # small scale that's just element 0 (the minimum after sorting).
+        assert result.output[0] == min(values)
+        assert result.output[-1] == sum(values)
+
+    def test_sort_full_array_in_memory(self):
+        from repro.workloads.wl_sort import ARRAY_BASE
+
+        workload = get_workload("sort")
+        stream = workload.trace_input("small")
+        result = run_program(workload.build(), stream,
+                             max_instructions=MAX_SMALL)
+        n, values = stream[0], sorted(stream[1:])
+        stored = [result.state.read(ARRAY_BASE + i) for i in range(n)]
+        assert stored == values
+
+    def test_diff_matches_python_lcs(self):
+        workload = get_workload("diff")
+        stream = workload.trace_input("small")
+        m = stream[0]
+        a = stream[1:1 + m]
+        n = stream[1 + m]
+        b = stream[2 + m:]
+        assert len(b) == n
+
+        # Reference LCS.
+        prev = [0] * (n + 1)
+        for x in a:
+            curr = [0] * (n + 1)
+            for j, y in enumerate(b):
+                curr[j + 1] = (
+                    prev[j] + 1 if x == y else max(prev[j + 1], curr[j])
+                )
+            prev = curr
+        result = run_program(workload.build(), stream,
+                             max_instructions=MAX_SMALL)
+        lcs, deletions, insertions = result.output
+        assert lcs == prev[n]
+        assert deletions == m - lcs and insertions == n - lcs
+
+    def test_awk_counts_matches(self):
+        workload = get_workload("awk")
+        stream = workload.trace_input("small")
+        result = run_program(workload.build(), stream,
+                             max_instructions=MAX_SMALL)
+        records, matches, _acc = result.output
+        assert records == 30
+        assert matches >= 0
+
+    def test_espresso_merges_reduce_cover(self):
+        workload = get_workload("espresso")
+        stream = workload.trace_input("small")
+        result = run_program(workload.build(), stream,
+                             max_instructions=MAX_SMALL)
+        survivors, merges, _checksum = result.output
+        n = stream[0]
+        assert survivors + merges == n  # every merge kills one cube
+        assert merges > 0               # the inputs are built to merge
+
+    def test_espresso_survivors_pairwise_distance_above_one(self):
+        from repro.workloads.wl_espresso import CUBE_BASE, LIVE_BASE
+
+        workload = get_workload("espresso")
+        stream = workload.trace_input("small")
+        result = run_program(workload.build(), stream,
+                             max_instructions=MAX_SMALL)
+        n = stream[0]
+        cubes = [
+            result.state.read(CUBE_BASE + i)
+            for i in range(n)
+            if result.state.read(LIVE_BASE + i)
+        ]
+        for i, a in enumerate(cubes):
+            for b in cubes[i + 1:]:
+                assert bin(a ^ b).count("1") != 1

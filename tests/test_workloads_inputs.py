@@ -1,0 +1,107 @@
+"""Unit tests for the synthetic input generators."""
+
+from repro.workloads.inputs import (
+    NEWLINE,
+    SPACE,
+    archive_stream,
+    csource_stream,
+    dependency_graph_stream,
+    file_pair_stream,
+    text_stream,
+    token_stream,
+)
+
+
+class TestTextStreams:
+    def test_exact_length(self):
+        assert len(text_stream(1, 500)) == 500
+
+    def test_deterministic_in_seed(self):
+        assert text_stream(5, 300) == text_stream(5, 300)
+
+    def test_different_seeds_differ(self):
+        assert text_stream(1, 300) != text_stream(2, 300)
+
+    def test_contains_words_and_structure(self):
+        chars = text_stream(3, 2000)
+        assert NEWLINE in chars and SPACE in chars
+        letters = [c for c in chars if 97 <= c < 123]
+        assert len(letters) > 1000
+
+    def test_alphabet_respected(self):
+        chars = text_stream(4, 1000, alphabet=5)
+        letters = {c for c in chars if c >= 97}
+        assert letters <= set(range(97, 102))
+
+    def test_csource_has_punctuation(self):
+        chars = csource_stream(1, 2000)
+        assert any(c in (40, 41, 59, 123, 125) for c in chars)
+
+
+class TestFilePairs:
+    def test_header_carries_length(self):
+        stream = file_pair_stream(1, 100)
+        assert stream[0] == 100
+        assert len(stream) == 201
+
+    def test_high_similarity_mostly_matches(self):
+        stream = file_pair_stream(2, 1000, similarity=0.95)
+        n = stream[0]
+        a, b = stream[1:n + 1], stream[n + 1:]
+        matches = sum(1 for x, y in zip(a, b) if x == y)
+        assert matches > 0.85 * n
+
+    def test_low_similarity_mostly_differs(self):
+        stream = file_pair_stream(2, 1000, similarity=0.1)
+        n = stream[0]
+        a, b = stream[1:n + 1], stream[n + 1:]
+        matches = sum(1 for x, y in zip(a, b) if x == y)
+        assert matches < 0.5 * n
+
+
+class TestTokenStreams:
+    def test_length_and_range(self):
+        tokens = token_stream(1, 500, num_kinds=32)
+        assert len(tokens) == 500
+        assert all(0 <= t < 32 for t in tokens)
+
+    def test_hot_head_dominates(self):
+        tokens = token_stream(1, 5000, num_kinds=32, hot_fraction=0.9,
+                              hot_kinds=4)
+        hot = sum(1 for t in tokens if t < 4)
+        assert hot > 0.8 * len(tokens)
+
+
+class TestStructuredStreams:
+    def test_dependency_graph_is_acyclic(self):
+        stream = dependency_graph_stream(1, 50)
+        assert stream[-1] == -2
+        i = 0
+        while stream[i] != -2:
+            target = stream[i]
+            ndeps = stream[i + 1]
+            deps = stream[i + 2:i + 2 + ndeps]
+            assert all(d < target for d in deps)
+            i += 2 + ndeps + 1
+
+    def test_dependency_graph_enumerates_all_targets(self):
+        stream = dependency_graph_stream(2, 30)
+        targets = []
+        i = 0
+        while stream[i] != -2:
+            targets.append(stream[i])
+            i += 2 + stream[i + 1] + 1
+        assert targets == list(range(30))
+
+    def test_archive_structure(self):
+        stream = archive_stream(1, 10)
+        assert stream[0] in (0, 1)
+        assert stream[-1] == -2
+        i = 1
+        files = 0
+        while stream[i] != -2:
+            length = stream[i + 1]
+            assert length >= 4
+            i += 2 + length
+            files += 1
+        assert files == 10

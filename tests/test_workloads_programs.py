@@ -1,0 +1,186 @@
+"""Behavioural tests for the ten benchmark programs.
+
+Each workload must build, validate, terminate on its inputs, behave
+deterministically, and produce output consistent with its algorithm
+(checked against a Python reference where the algorithm is checkable).
+"""
+
+import pytest
+
+from repro.interp.interpreter import Interpreter, run_program
+from repro.ir.validate import validate_program
+from repro.workloads import all_workloads, get_workload
+from repro.workloads.inputs import file_pair_stream, text_stream
+
+MAX_SMALL = 5_000_000
+
+ALL_NAMES = [w.name for w in all_workloads()]
+
+
+@pytest.fixture(scope="module")
+def built():
+    """Build every workload once for this module."""
+    return {w.name: w.build() for w in all_workloads()}
+
+
+class TestSuiteShape:
+    def test_ten_benchmarks_registered(self):
+        assert len(ALL_NAMES) == 10
+
+    def test_paper_benchmark_names(self):
+        assert set(ALL_NAMES) == {
+            "cccp", "cmp", "compress", "grep", "lex",
+            "make", "tee", "tar", "wc", "yacc",
+        }
+
+    def test_every_program_validates(self, built):
+        for program in built.values():
+            validate_program(program)
+
+    def test_every_workload_has_multiple_profile_runs(self):
+        for workload in all_workloads():
+            assert workload.num_runs >= 4
+
+    def test_builds_are_deterministic(self):
+        for workload in all_workloads():
+            a, b = workload.build(), workload.build()
+            assert a.num_instructions == b.num_instructions
+            assert [f.name for f in a] == [f.name for f in b]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestExecution:
+    def test_trace_input_terminates(self, built, name):
+        workload = get_workload(name)
+        result = run_program(
+            built[name], workload.trace_input("small"),
+            max_instructions=MAX_SMALL,
+        )
+        assert result.halted
+        assert result.output  # every benchmark reports something
+
+    def test_profiling_inputs_terminate(self, built, name):
+        workload = get_workload(name)
+        interp = Interpreter(built[name])
+        for stream in workload.profiling_inputs("small")[:3]:
+            assert interp.run(stream, max_instructions=MAX_SMALL).halted
+
+    def test_execution_is_deterministic(self, built, name):
+        workload = get_workload(name)
+        stream = workload.trace_input("small")
+        interp = Interpreter(built[name])
+        first = interp.run(stream, max_instructions=MAX_SMALL)
+        second = interp.run(stream, max_instructions=MAX_SMALL)
+        assert first.output == second.output
+        assert list(first.block_ids) == list(second.block_ids)
+
+    def test_default_inputs_are_larger(self, name):
+        workload = get_workload(name)
+        assert len(workload.trace_input("default")) > len(
+            workload.trace_input("small")
+        )
+
+
+class TestAlgorithms:
+    def test_wc_counts_match_reference(self):
+        text = text_stream(12, 800)
+        result = run_program(get_workload("wc").build(), text)
+        lines = sum(1 for c in text if c == 10)
+        chars = len(text)
+        words = 0
+        in_word = False
+        for c in text:
+            if c in (10, 32, 9):
+                in_word = False
+            elif not in_word:
+                in_word = True
+                words += 1
+        assert result.output[:3] == [lines, words, chars]
+
+    def test_cmp_identical_files_report_no_diff(self):
+        stream = file_pair_stream(4, 200, similarity=1.0)
+        result = run_program(get_workload("cmp").build(), stream)
+        assert result.output[-2:] == [0, -1]  # zero diffs, no first offset
+
+    def test_cmp_counts_differences(self):
+        text = [97] * 50
+        stream = [50] + text + [97] * 25 + [98] * 25
+        result = run_program(get_workload("cmp").build(), stream)
+        diff_count, first = result.output[-2], result.output[-1]
+        assert diff_count == 25
+        assert first == 25
+
+    def test_tee_copies_input_to_output(self):
+        text = text_stream(9, 300)
+        result = run_program(get_workload("tee").build(), text)
+        assert result.output[:-2] == text        # the copied bytes
+        assert result.output[-2] == len(text)    # byte count
+
+    def test_compress_produces_fewer_codes_than_symbols(self):
+        workload = get_workload("compress")
+        stream = workload.trace_input("small")
+        result = run_program(workload.build(), stream,
+                             max_instructions=MAX_SMALL)
+        # output[-3] is the emitted-code count (see wl_compress).
+        code_count = result.output[-3]
+        assert 0 < code_count < len(stream)
+
+    def test_grep_count_is_bounded_by_lines(self):
+        workload = get_workload("grep")
+        stream = workload.trace_input("small")
+        result = run_program(workload.build(), stream,
+                             max_instructions=MAX_SMALL)
+        text = stream[5:]
+        lines = sum(1 for c in text if c == 10)
+        assert 0 <= result.output[-1] <= lines
+
+    def test_make_runs_some_rules_but_not_all(self):
+        workload = get_workload("make")
+        result = run_program(workload.build(),
+                             workload.trace_input("small"),
+                             max_instructions=MAX_SMALL)
+        targets, rules_run = result.output
+        assert targets == 40
+        assert 0 < rules_run <= targets
+
+    def test_yacc_consumes_every_token(self):
+        workload = get_workload("yacc")
+        stream = workload.trace_input("small")
+        result = run_program(workload.build(), stream,
+                             max_instructions=MAX_SMALL)
+        shifts, reduces = result.output
+        assert shifts == len(stream)
+        assert reduces > 0
+
+    def test_lex_finds_tokens(self):
+        workload = get_workload("lex")
+        result = run_program(workload.build(),
+                             workload.trace_input("small"),
+                             max_instructions=MAX_SMALL)
+        tokens = result.output[0]
+        assert tokens > 10
+
+    def test_tar_processes_all_files(self):
+        workload = get_workload("tar")
+        result = run_program(workload.build(),
+                             workload.trace_input("small"),
+                             max_instructions=MAX_SMALL)
+        files_processed = result.output[-2]
+        assert files_processed == 12
+
+
+class TestRegistry:
+    def test_get_workload_by_name(self):
+        assert get_workload("wc").name == "wc"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("doom")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            get_workload("wc").trace_input("huge")
+
+    def test_descriptions_are_paperlike(self):
+        assert "text files" in get_workload("wc").description
+        assert "options" in get_workload("grep").description
