@@ -4,6 +4,11 @@ The session-scoped ``runner`` fixture builds, profiles, places, and traces
 all ten workloads once (the expensive part); each benchmark then measures
 its own table's computation and persists the rendered table under
 ``results/`` so EXPERIMENTS.md can cite the regenerated numbers.
+
+The runner is backed by the engine's content-addressed artifact store
+(``~/.cache/repro``, override with ``REPRO_CACHE_DIR``, disable with
+``REPRO_NO_CACHE=1``), so every benchmark session after the first skips
+interpretation and re-measures only the table computations themselves.
 """
 
 from __future__ import annotations

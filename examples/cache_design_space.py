@@ -22,7 +22,7 @@ from repro.cache import (
     simulate_sectored,
 )
 from repro.experiments.report import fmt_pct, render_table
-from repro.experiments.runner import ExperimentRunner
+from repro.engine import cached_runner
 
 CACHE_SIZES = (512, 1024, 2048, 4096)
 BLOCK_SIZES = (16, 32, 64, 128)
@@ -30,7 +30,7 @@ BLOCK_SIZES = (16, 32, 64, 128)
 
 def main() -> None:
     name = sys.argv[1] if len(sys.argv) > 1 else "cccp"
-    runner = ExperimentRunner()
+    runner = cached_runner()
     addresses = runner.addresses(name, "optimized")
     model = TimingModel(initial_latency=10)
 

@@ -13,7 +13,7 @@ import sys
 
 from repro.cache import simulate_direct_vectorized, simulate_partial
 from repro.experiments.report import fmt_pct, render_table
-from repro.experiments.runner import ExperimentRunner
+from repro.engine import cached_runner
 from repro.placement import SCALING_FACTORS
 
 CACHE_BYTES = 2048
@@ -22,7 +22,7 @@ BLOCK_BYTES = 64
 
 def main() -> None:
     names = sys.argv[1:] or ["cccp", "make", "wc"]
-    runner = ExperimentRunner()
+    runner = cached_runner()
 
     rows = []
     for name in names:

@@ -21,7 +21,7 @@ import time
 
 from repro.cache import simulate_direct_vectorized
 from repro.experiments.report import fmt_pct, render_table
-from repro.experiments.runner import ExperimentRunner
+from repro.engine import cached_runner
 from repro.placement import estimate_direct_mapped
 
 CACHE_SIZES = (512, 1024, 2048, 4096, 8192)
@@ -30,7 +30,7 @@ BLOCK_SIZES = (16, 32, 64, 128)
 
 def main() -> None:
     name = sys.argv[1] if len(sys.argv) > 1 else "make"
-    runner = ExperimentRunner()
+    runner = cached_runner()
     art = runner.artifacts(name)
     addresses = runner.addresses(name, "optimized")
 

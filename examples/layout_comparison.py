@@ -12,7 +12,7 @@ import sys
 
 from repro.cache import simulate_direct_vectorized
 from repro.experiments.report import fmt_pct, render_table
-from repro.experiments.runner import ExperimentRunner
+from repro.engine import cached_runner
 from repro.placement import hot_first_image
 
 CACHE_SIZES = (8192, 4096, 2048, 1024, 512)
@@ -21,7 +21,7 @@ BLOCK_BYTES = 64
 
 def main() -> None:
     name = sys.argv[1] if len(sys.argv) > 1 else "lex"
-    runner = ExperimentRunner()
+    runner = cached_runner()
     art = runner.artifacts(name)
 
     layouts = {

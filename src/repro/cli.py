@@ -8,7 +8,15 @@ Commands
 ``table NAME``
     Regenerate a paper table (``table1``..``table9``), the Section 4.2.4
     ``comparison``, an extension study (``ablation``, ``paging``,
-    ``estimator``, ``associativity``), or ``all``.
+    ``estimator``, ``associativity``), or ``all``.  Table names are also
+    accepted directly (``python -m repro table6``).  Runs through the
+    parallel engine: ``--jobs N`` fans the per-workload pipeline out over
+    N processes, and the content-addressed artifact cache (under
+    ``~/.cache/repro`` or ``--cache-dir``) makes warm reruns skip
+    interpretation entirely.  ``--telemetry PATH`` dumps per-job wall
+    times, interpreter step counts, and cache hit/miss counters as JSON.
+``cache {ls,stats,clear}``
+    Inspect or empty the artifact cache.
 ``optimize``
     Run the placement pipeline on one benchmark and report inline /
     trace-selection / footprint statistics plus cache ratios for a chosen
@@ -23,17 +31,25 @@ inputs.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "TABLE_CHOICES"]
 
-#: Table names accepted by ``table``.
+#: Table names accepted by ``table`` (and as direct shorthand commands).
 TABLE_CHOICES = (
     "table1", "table2", "table3", "table4", "table5",
     "table6", "table7", "table8", "table9",
     "comparison", "ablation", "paging", "estimator", "associativity",
     "extended", "prefetch_study", "all",
 )
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="artifact cache location (default ~/.cache/repro)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,9 +66,26 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the bundled benchmarks")
 
     table = sub.add_parser("table", help="regenerate a paper table")
-    table.add_argument("name", choices=TABLE_CHOICES)
+    table.add_argument("name", metavar="NAME",
+                       help=f"one of: {', '.join(TABLE_CHOICES)}")
     table.add_argument("--scale", default="default",
                        choices=("default", "small"))
+    table.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the experiment DAG")
+    table.add_argument("--no-cache", action="store_true",
+                       help="do not persist artifacts to the cache")
+    table.add_argument("--telemetry", default=None, metavar="PATH",
+                       help="dump per-job engine telemetry as JSON")
+    _add_cache_arguments(table)
+
+    cache = sub.add_parser("cache", help="inspect the artifact cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("ls", "list cached artifact entries"),
+        ("stats", "aggregate cache statistics"),
+        ("clear", "remove every cached entry"),
+    ):
+        _add_cache_arguments(cache_sub.add_parser(name, help=help_text))
 
     optimize = sub.add_parser(
         "optimize", help="run the placement pipeline on one benchmark"
@@ -108,19 +141,92 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_table(name: str, scale: str) -> int:
-    from repro import experiments
-    from repro.experiments.runner import ExperimentRunner
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.engine.jobs import ALL_TABLE_NAMES, table_plan
+    from repro.engine.scheduler import run_jobs
+    from repro.engine.telemetry import Telemetry
 
-    runner = ExperimentRunner(scale=scale)
-    if name == "all":
-        print(experiments.run_all(runner))
-        return 0
-    if name == "table1":
-        print(experiments.table1.run())
-        return 0
-    module = getattr(experiments, name)
-    print(module.run(runner))
+    name = args.name
+    if name not in TABLE_CHOICES:
+        print(
+            f"repro table: unknown table {name!r}\n"
+            f"usage: repro table NAME [--scale {{default,small}}] "
+            f"[--jobs N] [--cache-dir PATH] [--no-cache] "
+            f"[--telemetry PATH]\n"
+            f"NAME is one of: {', '.join(TABLE_CHOICES)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    tables = list(ALL_TABLE_NAMES) if name == "all" else [name]
+    telemetry = Telemetry()
+    use_cache = not args.no_cache
+    cache_dir = args.cache_dir
+    temp_cache = None
+    if not use_cache and args.jobs > 1:
+        # Workers can only exchange artifacts through a store; honour
+        # --no-cache by using a throwaway one.
+        import tempfile
+
+        temp_cache = tempfile.TemporaryDirectory(prefix="repro-cache-")
+        cache_dir, use_cache = temp_cache.name, True
+    try:
+        values = run_jobs(
+            table_plan(tables, args.scale),
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+            telemetry=telemetry,
+        )
+    finally:
+        if temp_cache is not None:
+            temp_cache.cleanup()
+    print("\n".join(values[f"table:{table}"] for table in tables))
+    if args.telemetry:
+        telemetry.meta["tables"] = tables
+        telemetry.meta["scale"] = args.scale
+        telemetry.dump(args.telemetry)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.engine.store import ArtifactStore
+    from repro.experiments.report import render_table
+
+    store = ArtifactStore(args.cache_dir)
+    if args.cache_command == "ls":
+        rows = [
+            [
+                entry.key,
+                entry.workload,
+                entry.scale,
+                f"{entry.nbytes / 1024:.1f}K",
+                entry.hits,
+                time.strftime(
+                    "%Y-%m-%d %H:%M", time.localtime(entry.last_used)
+                ),
+            ]
+            for entry in store.entries()
+        ]
+        print(render_table(
+            f"Artifact cache at {store.root}",
+            ["key", "workload", "scale", "size", "hits", "last used"],
+            rows,
+        ))
+    elif args.cache_command == "stats":
+        stats = store.stats()
+        print(f"root:           {stats['root']}")
+        print(f"entries:        {stats['entries']}")
+        print(f"bytes:          {stats['bytes']}")
+        print(f"persisted hits: {stats['persisted_hits']}")
+    elif args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached entr"
+              f"{'y' if removed == 1 else 'ies'} from {store.root}")
+    else:  # pragma: no cover - subparser enforces the choice
+        raise AssertionError(args.cache_command)
     return 0
 
 
@@ -128,11 +234,11 @@ def _cmd_optimize(
     workload_name: str, scale: str, cache: int, block: int, layout: str
 ) -> int:
     from repro.cache.vectorized import simulate_direct_vectorized
+    from repro.engine import cached_runner
     from repro.experiments.report import fmt_pct
-    from repro.experiments.runner import ExperimentRunner
     from repro.placement.stats import trace_selection_stats
 
-    runner = ExperimentRunner(scale=scale)
+    runner = cached_runner(scale=scale)
     art = runner.artifacts(workload_name)
     placement = art.placement
 
@@ -169,9 +275,9 @@ def _cmd_disasm(
 
     workload = get_workload(workload_name)
     if as_map:
-        from repro.experiments.runner import ExperimentRunner
+        from repro.engine import cached_runner
 
-        runner = ExperimentRunner(scale=scale)
+        runner = cached_runner(scale=scale)
         art = runner.artifacts(workload_name)
         print(format_image(
             art.image, art.placement.profile, function=function
@@ -187,17 +293,30 @@ def _cmd_disasm(
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in TABLE_CHOICES:
+        # Shorthand: ``repro table6 --scale small`` == ``repro table table6``.
+        argv.insert(0, "table")
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "table":
-        return _cmd_table(args.name, args.scale)
-    if args.command == "optimize":
-        return _cmd_optimize(
-            args.workload, args.scale, args.cache, args.block, args.layout
-        )
-    if args.command == "disasm":
-        return _cmd_disasm(args.workload, args.function, args.map, args.scale)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "table":
+            return _cmd_table(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
+        if args.command == "optimize":
+            return _cmd_optimize(
+                args.workload, args.scale, args.cache, args.block, args.layout
+            )
+        if args.command == "disasm":
+            return _cmd_disasm(args.workload, args.function, args.map, args.scale)
+    except BrokenPipeError:
+        # The reader went away (``repro cache ls | head``); exit quietly.
+        # Point stdout at devnull so the interpreter's shutdown flush does
+        # not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

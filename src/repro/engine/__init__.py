@@ -1,0 +1,86 @@
+"""The parallel experiment engine.
+
+Three pieces turn the in-memory :class:`~repro.experiments.runner.
+ExperimentRunner` into a persistent, parallel system:
+
+* :mod:`repro.engine.store` — a content-addressed artifact store that
+  persists traces, profiles and placement inputs under ``~/.cache/repro``
+  (or any ``--cache-dir``), keyed by a stable hash of (workload, scale,
+  pipeline options, code version), with an index and LRU eviction;
+* :mod:`repro.engine.jobs` / :mod:`repro.engine.scheduler` — experiments
+  expressed as a DAG of (workload × table) jobs, fanned out over a
+  ``ProcessPoolExecutor`` with deterministic per-job seeding;
+* :mod:`repro.engine.telemetry` — per-job wall time, interpreter step
+  counts and store hit/miss counters, dumpable as JSON.
+
+``jobs``/``scheduler`` import the experiment layer, which itself uses the
+store, so they are re-exported lazily to keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from repro.engine.store import (
+    ArtifactPayload,
+    ArtifactStore,
+    artifact_key,
+    code_version,
+    default_cache_dir,
+    options_fingerprint,
+)
+from repro.engine.telemetry import JobRecord, Telemetry
+
+__all__ = [
+    "ArtifactPayload",
+    "ArtifactStore",
+    "JobRecord",
+    "JobSpec",
+    "Telemetry",
+    "artifact_key",
+    "cached_runner",
+    "code_version",
+    "default_cache_dir",
+    "execute_job",
+    "options_fingerprint",
+    "run_jobs",
+    "table_plan",
+]
+
+#: Names resolved lazily from the scheduler/jobs layer (PEP 562).
+_LAZY = {
+    "JobSpec": "repro.engine.jobs",
+    "execute_job": "repro.engine.jobs",
+    "table_plan": "repro.engine.jobs",
+    "run_jobs": "repro.engine.scheduler",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def cached_runner(
+    scale: str = "default",
+    cache_dir=None,
+    telemetry: Telemetry | None = None,
+    options=None,
+):
+    """An :class:`ExperimentRunner` backed by the persistent store.
+
+    This is what the CLI, the benchmark suite, and the examples share:
+    the first run pays the full interpret→profile→place→trace cost and
+    persists the artifacts; every later run (in any process) rehydrates
+    them without executing a single interpreter step.
+    """
+    from repro.experiments.runner import ExperimentRunner
+
+    return ExperimentRunner(
+        scale=scale,
+        options=options,
+        store=ArtifactStore(cache_dir),
+        telemetry=telemetry,
+    )

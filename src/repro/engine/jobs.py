@@ -1,0 +1,170 @@
+"""Experiment work expressed as a DAG of picklable job specs.
+
+Two job kinds cover the whole evaluation:
+
+* ``artifacts`` — build+profile+place+trace one workload at one scale and
+  persist the result in the artifact store;
+* ``table`` — regenerate one experiment table, rehydrating every workload
+  it replays from the store (its dependencies guarantee the entries
+  exist, so a table job never interprets anything itself).
+
+:func:`table_plan` builds the DAG for any set of tables: one artifact job
+per distinct (workload, scale), then one table job depending on exactly
+the workloads that table sweeps.  :func:`execute_job` is the single entry
+point both the sequential path and the process-pool workers run; it seeds
+the PRNGs deterministically from the job id so a parallel run is as
+reproducible as a serial one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.store import ArtifactStore
+from repro.engine.telemetry import JobRecord, Telemetry
+
+__all__ = [
+    "ALL_TABLE_NAMES",
+    "JobOutcome",
+    "JobSpec",
+    "execute_job",
+    "table_plan",
+    "workloads_for_table",
+]
+
+#: Every table the CLI can regenerate, in ``run_all`` presentation order.
+ALL_TABLE_NAMES = (
+    "table1", "table2", "table3", "table4", "table5",
+    "table6", "table7", "table8", "table9", "comparison", "ablation",
+    "associativity", "estimator", "paging", "extended", "prefetch_study",
+)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable unit: a kind, its parameters, and its dependencies."""
+
+    job_id: str
+    kind: str                     # "artifacts" | "table"
+    params: dict = field(default_factory=dict)
+    deps: tuple[str, ...] = ()
+
+
+@dataclass
+class JobOutcome:
+    """What a worker sends back: the value plus its telemetry records."""
+
+    job_id: str
+    value: object
+    records: list[JobRecord] = field(default_factory=list)
+
+
+def workloads_for_table(table: str) -> tuple[str, ...]:
+    """The workloads one table replays (== its artifact dependencies)."""
+    from repro.workloads.registry import extended_workload_names, workload_names
+
+    if table == "table1":
+        return ()          # Smith's published design targets; no simulation
+    if table == "extended":
+        return tuple(extended_workload_names())
+    return tuple(workload_names())
+
+
+def table_plan(tables: list[str], scale: str = "default") -> list[JobSpec]:
+    """The DAG regenerating ``tables``: artifact fan-out, then table jobs."""
+    unknown = [t for t in tables if t not in ALL_TABLE_NAMES]
+    if unknown:
+        raise ValueError(f"unknown tables {unknown!r}")
+    needed: list[str] = []
+    for table in tables:
+        for workload in workloads_for_table(table):
+            if workload not in needed:
+                needed.append(workload)
+    specs = [
+        JobSpec(
+            job_id=f"artifacts:{name}",
+            kind="artifacts",
+            params={"workload": name, "scale": scale},
+        )
+        for name in needed
+    ]
+    specs.extend(
+        JobSpec(
+            job_id=f"table:{table}",
+            kind="table",
+            params={"table": table, "scale": scale},
+            deps=tuple(
+                f"artifacts:{name}" for name in workloads_for_table(table)
+            ),
+        )
+        for table in tables
+    )
+    return specs
+
+
+def _seed_for(job_id: str) -> int:
+    """A stable per-job PRNG seed (independent of worker identity)."""
+    return int.from_bytes(
+        hashlib.sha256(job_id.encode()).digest()[:4], "big"
+    )
+
+
+def execute_job(
+    spec: JobSpec,
+    cache_dir: str | None = None,
+    use_cache: bool = True,
+    runner=None,
+) -> JobOutcome:
+    """Run one job; the sequential scheduler and pool workers both use this.
+
+    ``runner`` lets the sequential path share one in-process
+    :class:`ExperimentRunner` across jobs; workers leave it ``None`` and
+    communicate exclusively through the artifact store.
+    """
+    from repro.experiments.runner import ExperimentRunner
+
+    seed = _seed_for(spec.job_id)
+    random.seed(seed)
+    np.random.seed(seed)
+
+    telemetry = Telemetry()
+    if runner is None:
+        store = ArtifactStore(cache_dir) if use_cache else None
+        runner = ExperimentRunner(
+            scale=spec.params.get("scale", "default"),
+            store=store,
+            telemetry=telemetry,
+        )
+    else:
+        runner.telemetry = telemetry
+
+    started = time.perf_counter()
+    if spec.kind == "artifacts":
+        runner.artifacts(spec.params["workload"])
+        value = None
+    elif spec.kind == "table":
+        value = _run_table(spec.params["table"], runner)
+        telemetry.record(
+            job_id=spec.job_id,
+            kind="table",
+            wall_s=time.perf_counter() - started,
+        )
+    else:
+        raise ValueError(f"unknown job kind {spec.kind!r}")
+    return JobOutcome(
+        job_id=spec.job_id, value=value, records=telemetry.records
+    )
+
+
+def _run_table(table: str, runner) -> str:
+    """Regenerate one table's text through the shared runner."""
+    from repro import experiments
+
+    if table == "table1":
+        return experiments.table1.run()
+    return getattr(experiments, table).run(runner)

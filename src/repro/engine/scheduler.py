@@ -1,0 +1,167 @@
+"""Deterministic DAG scheduler over a process pool.
+
+Jobs are validated (unique ids, known dependencies, no cycles) and then
+executed either in-process (``jobs=1`` — one shared runner, the
+reference path whose output every parallel run must match bit-for-bit)
+or fanned out over a ``ProcessPoolExecutor`` (``jobs=N``).  Workers share
+results exclusively through the artifact store, so a table job scheduled
+after its workloads' artifact jobs rehydrates everything without
+interpreting; ready jobs are always submitted in plan order, keeping the
+schedule deterministic up to completion timing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+from repro.engine.jobs import JobOutcome, JobSpec, execute_job
+from repro.engine.store import ArtifactStore
+from repro.engine.telemetry import Telemetry
+
+__all__ = ["run_jobs", "toposort"]
+
+
+def toposort(specs: list[JobSpec]) -> list[JobSpec]:
+    """Validate the DAG and return it in a stable topological order.
+
+    Kahn's algorithm, always releasing ready jobs in plan order, so the
+    result (and therefore the sequential execution order) is a pure
+    function of the plan.
+    """
+    by_id = {}
+    for spec in specs:
+        if spec.job_id in by_id:
+            raise ValueError(f"duplicate job id {spec.job_id!r}")
+        by_id[spec.job_id] = spec
+    for spec in specs:
+        for dep in spec.deps:
+            if dep not in by_id:
+                raise ValueError(
+                    f"job {spec.job_id!r} depends on unknown job {dep!r}"
+                )
+    remaining = {spec.job_id: set(spec.deps) for spec in specs}
+    ordered: list[JobSpec] = []
+    while remaining:
+        ready = [
+            spec for spec in specs
+            if spec.job_id in remaining and not remaining[spec.job_id]
+        ]
+        if not ready:
+            raise ValueError(
+                f"dependency cycle among jobs {sorted(remaining)!r}"
+            )
+        for spec in ready:
+            ordered.append(spec)
+            del remaining[spec.job_id]
+        for deps in remaining.values():
+            deps.difference_update(s.job_id for s in ready)
+    return ordered
+
+
+def run_jobs(
+    specs: list[JobSpec],
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    use_cache: bool = True,
+    telemetry: Telemetry | None = None,
+) -> dict[str, object]:
+    """Execute a job DAG; returns ``{job_id: value}``.
+
+    With ``jobs=1`` everything runs in this process against one shared
+    runner (no pickling, no respawn).  With ``jobs>1`` a process pool
+    executes up to ``jobs`` ready jobs at a time; the artifact store is
+    then mandatory, because it is the only channel between workers.
+    """
+    ordered = toposort(specs)
+    started = time.perf_counter()
+    if jobs <= 1:
+        values = _run_sequential(ordered, cache_dir, use_cache, telemetry)
+    else:
+        if not use_cache:
+            raise ValueError(
+                "parallel execution requires the artifact store; "
+                "combine --jobs with a (temporary) cache directory"
+            )
+        values = _run_parallel(ordered, jobs, cache_dir, telemetry)
+    if telemetry is not None:
+        telemetry.meta.update(
+            n_jobs=len(ordered),
+            workers=max(1, jobs),
+            elapsed_s=time.perf_counter() - started,
+            cache_dir=(
+                os.path.abspath(cache_dir) if cache_dir else
+                ("default" if use_cache else None)
+            ),
+        )
+    return values
+
+
+def _run_sequential(
+    ordered: list[JobSpec],
+    cache_dir: str | None,
+    use_cache: bool,
+    telemetry: Telemetry | None,
+) -> dict[str, object]:
+    from repro.experiments.runner import ExperimentRunner
+
+    store = ArtifactStore(cache_dir) if use_cache else None
+    runners: dict[str, ExperimentRunner] = {}
+    values: dict[str, object] = {}
+    for spec in ordered:
+        scale = spec.params.get("scale", "default")
+        runner = runners.get(scale)
+        if runner is None:
+            runner = runners[scale] = ExperimentRunner(
+                scale=scale, store=store
+            )
+        outcome = execute_job(spec, runner=runner)
+        values[spec.job_id] = outcome.value
+        if telemetry is not None:
+            telemetry.extend(outcome.records)
+    return values
+
+
+def _run_parallel(
+    ordered: list[JobSpec],
+    jobs: int,
+    cache_dir: str | None,
+    telemetry: Telemetry | None,
+) -> dict[str, object]:
+    pending = {spec.job_id: set(spec.deps) for spec in ordered}
+    values: dict[str, object] = {}
+    in_flight = {}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        def submit_ready() -> None:
+            for spec in ordered:
+                if (
+                    spec.job_id in pending
+                    and spec.job_id not in in_flight
+                    and not pending[spec.job_id]
+                    and len(in_flight) < jobs
+                ):
+                    future = pool.submit(
+                        execute_job, spec, cache_dir, True
+                    )
+                    in_flight[spec.job_id] = future
+
+        submit_ready()
+        while pending:
+            done, _ = wait(
+                in_flight.values(), return_when=FIRST_COMPLETED
+            )
+            finished = [
+                job_id for job_id, future in in_flight.items()
+                if future in done
+            ]
+            for job_id in finished:
+                outcome: JobOutcome = in_flight.pop(job_id).result()
+                values[job_id] = outcome.value
+                if telemetry is not None:
+                    telemetry.extend(outcome.records)
+                del pending[job_id]
+                for deps in pending.values():
+                    deps.discard(job_id)
+            submit_ready()
+    return values

@@ -1,0 +1,332 @@
+"""Content-addressed artifact store for experiment pipelines.
+
+Every expensive pipeline product — profiling runs, evaluation traces, and
+the profile inputs the placement stages re-derive from — is keyed by a
+stable hash of four ingredients::
+
+    (workload name, input scale, placement options, code version)
+
+where the code version is itself a hash of the ``ir``/``interp``/
+``placement``/``workloads`` sources, so editing anything that could change
+an artifact automatically invalidates it.  Entries persist under
+``~/.cache/repro`` (override with ``--cache-dir`` or ``REPRO_CACHE_DIR``)
+as one directory per key::
+
+    <root>/objects/<key>/meta.json       provenance, hit counts, timestamps
+    <root>/objects/<key>/profiles.json   serialised ProfileData documents
+    <root>/objects/<key>/arrays.npz      block traces (compressed numpy)
+    <root>/index.json                    summary of all entries
+
+The store is safe for concurrent writers (entries are staged in a
+temporary directory and renamed into place) and degrades gracefully: any
+I/O failure turns into a cache miss, never an experiment failure.
+Least-recently-used entries are evicted once the store exceeds
+``REPRO_CACHE_MAX_BYTES`` (default 4 GiB).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "ArtifactPayload",
+    "ArtifactStore",
+    "StoreEntry",
+    "artifact_key",
+    "code_version",
+    "default_cache_dir",
+    "options_fingerprint",
+]
+
+#: Format tag written into every entry's meta.json.
+ENTRY_FORMAT = "repro-artifact-v1"
+
+#: Default eviction threshold, overridable via ``REPRO_CACHE_MAX_BYTES``.
+DEFAULT_MAX_BYTES = 4 * 1024**3
+
+#: Source packages whose content defines the artifact code version.
+_VERSIONED_PACKAGES = ("ir", "interp", "placement", "workloads")
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR``, or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(
+        os.environ.get("XDG_CACHE_HOME", os.path.expanduser("~/.cache")),
+        "repro",
+    )
+
+
+_CODE_VERSION: str | None = None
+
+
+def code_version() -> str:
+    """Hash of every source file that can influence an artifact.
+
+    Covers the IR, interpreter, placement, and workload packages; the
+    engine and experiment layers only orchestrate, so they are excluded
+    and editing them keeps caches warm.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        digest = hashlib.sha256()
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        for package in _VERSIONED_PACKAGES:
+            package_dir = os.path.join(src_root, package)
+            for name in sorted(os.listdir(package_dir)):
+                if not name.endswith(".py"):
+                    continue
+                digest.update(f"{package}/{name}\0".encode())
+                with open(os.path.join(package_dir, name), "rb") as handle:
+                    digest.update(handle.read())
+                digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def options_fingerprint(options) -> str:
+    """Canonical JSON of a (possibly nested) options dataclass."""
+    if options is None:
+        return "null"
+    if dataclasses.is_dataclass(options):
+        options = dataclasses.asdict(options)
+    return json.dumps(options, sort_keys=True, default=repr)
+
+
+def artifact_key(
+    workload: str, scale: str, options, version: str | None = None
+) -> str:
+    """The content address of one workload's pipeline artifacts."""
+    payload = "\0".join(
+        (workload, scale, options_fingerprint(options),
+         version if version is not None else code_version())
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+@dataclass
+class ArtifactPayload:
+    """What one store entry holds, independent of its on-disk encoding."""
+
+    profiles: dict            # name -> serialised ProfileData document
+    arrays: dict[str, np.ndarray]
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One line of the store index."""
+
+    key: str
+    workload: str
+    scale: str
+    created: float
+    last_used: float
+    hits: int
+    nbytes: int
+
+
+class ArtifactStore:
+    """A content-addressed, LRU-evicted artifact cache on disk.
+
+    ``hits``/``misses`` count this process's lookups (for telemetry);
+    the persisted per-entry hit counts aggregate across processes.
+    """
+
+    def __init__(
+        self, root: str | None = None, max_bytes: int | None = None
+    ) -> None:
+        self.root = os.path.abspath(root or default_cache_dir())
+        if max_bytes is None:
+            max_bytes = int(
+                os.environ.get("REPRO_CACHE_MAX_BYTES", DEFAULT_MAX_BYTES)
+            )
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> str:
+        return os.path.join(self.root, "objects")
+
+    def _entry_dir(self, key: str) -> str:
+        return os.path.join(self.objects_dir, key)
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key: str) -> ArtifactPayload | None:
+        """Load an entry, or ``None`` (counted as a miss) if absent/corrupt."""
+        entry_dir = self._entry_dir(key)
+        try:
+            with open(os.path.join(entry_dir, "meta.json")) as handle:
+                meta = json.load(handle)
+            if meta.get("format") != ENTRY_FORMAT:
+                raise ValueError(f"bad entry format {meta.get('format')!r}")
+            with open(os.path.join(entry_dir, "profiles.json")) as handle:
+                profiles = json.load(handle)
+            with np.load(os.path.join(entry_dir, "arrays.npz")) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        meta["hits"] = int(meta.get("hits", 0)) + 1
+        meta["last_used"] = time.time()
+        self._write_json(os.path.join(entry_dir, "meta.json"), meta)
+        return ArtifactPayload(profiles=profiles, arrays=arrays, meta=meta)
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(os.path.join(self._entry_dir(key), "meta.json"))
+
+    # -- insertion ---------------------------------------------------------
+
+    def put(self, key: str, payload: ArtifactPayload) -> bool:
+        """Persist an entry (idempotent; failures degrade to a no-op)."""
+        if key in self:
+            return True
+        stage = os.path.join(self.root, f"tmp-{key}-{os.getpid()}")
+        try:
+            os.makedirs(stage, exist_ok=True)
+            now = time.time()
+            meta = dict(payload.meta)
+            meta.update(format=ENTRY_FORMAT, key=key, created=now,
+                        last_used=now, hits=0)
+            with open(os.path.join(stage, "profiles.json"), "w") as handle:
+                json.dump(payload.profiles, handle)
+            buffer = io.BytesIO()
+            np.savez_compressed(buffer, **payload.arrays)
+            with open(os.path.join(stage, "arrays.npz"), "wb") as handle:
+                handle.write(buffer.getvalue())
+            self._write_json(os.path.join(stage, "meta.json"), meta)
+            os.makedirs(self.objects_dir, exist_ok=True)
+            try:
+                os.replace(stage, self._entry_dir(key))
+            except OSError:
+                # A concurrent worker published the same key first.
+                shutil.rmtree(stage, ignore_errors=True)
+            self.prune(self.max_bytes)
+            self._write_index()
+            return True
+        except OSError:
+            shutil.rmtree(stage, ignore_errors=True)
+            return False
+
+    # -- maintenance -------------------------------------------------------
+
+    def entries(self) -> list[StoreEntry]:
+        """Scan the object directory (the source of truth, not the index)."""
+        results = []
+        try:
+            keys = sorted(os.listdir(self.objects_dir))
+        except OSError:
+            return []
+        for key in keys:
+            entry_dir = self._entry_dir(key)
+            try:
+                with open(os.path.join(entry_dir, "meta.json")) as handle:
+                    meta = json.load(handle)
+                nbytes = sum(
+                    os.path.getsize(os.path.join(entry_dir, name))
+                    for name in os.listdir(entry_dir)
+                )
+            except (OSError, json.JSONDecodeError):
+                continue
+            results.append(StoreEntry(
+                key=key,
+                workload=meta.get("workload", "?"),
+                scale=meta.get("scale", "?"),
+                created=float(meta.get("created", 0.0)),
+                last_used=float(meta.get("last_used", 0.0)),
+                hits=int(meta.get("hits", 0)),
+                nbytes=nbytes,
+            ))
+        return results
+
+    def stats(self) -> dict:
+        """Aggregate store statistics (persisted entries + session counters)."""
+        entries = self.entries()
+        return {
+            "root": self.root,
+            "entries": len(entries),
+            "bytes": sum(entry.nbytes for entry in entries),
+            "persisted_hits": sum(entry.hits for entry in entries),
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for entry in self.entries():
+            shutil.rmtree(self._entry_dir(entry.key), ignore_errors=True)
+            removed += 1
+        self._write_index()
+        return removed
+
+    def prune(
+        self, max_bytes: int | None = None, max_entries: int | None = None
+    ) -> int:
+        """Evict least-recently-used entries beyond the given limits."""
+        entries = sorted(self.entries(), key=lambda e: e.last_used)
+        total = sum(entry.nbytes for entry in entries)
+        removed = 0
+        while entries and (
+            (max_bytes is not None and total > max_bytes)
+            or (max_entries is not None and len(entries) > max_entries)
+        ):
+            victim = entries.pop(0)
+            shutil.rmtree(self._entry_dir(victim.key), ignore_errors=True)
+            total -= victim.nbytes
+            removed += 1
+        if removed:
+            self._write_index()
+        return removed
+
+    # -- internals ---------------------------------------------------------
+
+    def _write_index(self) -> None:
+        """Best-effort summary of the store (derived; rebuilt after writes)."""
+        try:
+            index = {
+                "format": "repro-index-v1",
+                "entries": {
+                    entry.key: {
+                        "workload": entry.workload,
+                        "scale": entry.scale,
+                        "created": entry.created,
+                        "last_used": entry.last_used,
+                        "hits": entry.hits,
+                        "bytes": entry.nbytes,
+                    }
+                    for entry in self.entries()
+                },
+            }
+            self._write_json(os.path.join(self.root, "index.json"), index)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _write_json(path: str, document: dict) -> None:
+        tmp = f"{path}.tmp-{os.getpid()}"
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(document, handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -1,0 +1,95 @@
+"""Progress and metrics for engine runs.
+
+Every unit of work — an artifact build (or rehydration) and a table job —
+appends one :class:`JobRecord`: wall time, how many interpreter steps it
+actually executed, whether the artifact store hit, and how long the traces
+involved were.  A warm-cache run is therefore *assertable*: its telemetry
+must show ``totals()["interp_instructions"] == 0``.
+
+The JSON dump (``--telemetry PATH`` on the CLI) is what the benchmark
+trajectory records.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["JobRecord", "Telemetry"]
+
+
+@dataclass
+class JobRecord:
+    """One unit of engine work.
+
+    ``store`` is ``"hit"`` (rehydrated from the artifact store),
+    ``"miss"`` (computed and persisted), or ``"off"`` (no store attached).
+    ``wall_s`` of a table record includes its artifact rehydrations, so
+    walls are reported per record rather than summed in totals.
+    """
+
+    job_id: str
+    kind: str                       # "artifacts" | "table" | ...
+    wall_s: float
+    interp_instructions: int = 0
+    store: str = "off"
+    trace_blocks: int = 0
+    detail: dict = field(default_factory=dict)
+
+
+class Telemetry:
+    """An append-only log of job records plus run-level metadata."""
+
+    def __init__(self) -> None:
+        self.records: list[JobRecord] = []
+        self.meta: dict = {}
+
+    def record(self, **kwargs) -> JobRecord:
+        """Append one record (keyword form of :class:`JobRecord`)."""
+        record = JobRecord(**kwargs)
+        self.records.append(record)
+        return record
+
+    def extend(self, records: list[JobRecord]) -> None:
+        self.records.extend(records)
+
+    def timer(self) -> float:
+        """Monotonic start timestamp; pair with another call to measure."""
+        return time.perf_counter()
+
+    def totals(self) -> dict:
+        """Aggregates the acceptance checks and benchmarks key off."""
+        return {
+            "jobs": len(self.records),
+            "interp_instructions": sum(
+                record.interp_instructions for record in self.records
+            ),
+            "store_hits": sum(
+                1 for record in self.records if record.store == "hit"
+            ),
+            "store_misses": sum(
+                1 for record in self.records if record.store == "miss"
+            ),
+            "trace_blocks": sum(
+                record.trace_blocks for record in self.records
+            ),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "meta": dict(self.meta),
+            "totals": self.totals(),
+            "jobs": [asdict(record) for record in self.records],
+        }
+
+    def dump(self, path: str) -> None:
+        """Write the telemetry document as JSON."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+
+    @staticmethod
+    def load(path: str) -> dict:
+        """Read back a dumped telemetry document."""
+        with open(path) as handle:
+            return json.load(handle)

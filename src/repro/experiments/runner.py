@@ -5,17 +5,29 @@ This mirrors the paper's methodology exactly: placement comes from the
 profiling runs, the evaluation trace comes from one randomly-selected
 input, and the same trace is replayed against every cache configuration
 (and, via :meth:`addresses`, every layout and code-scaling factor).
+
+A runner can additionally be backed by the content-addressed
+:class:`~repro.engine.store.ArtifactStore`: the first build of a
+(workload, scale, options, code-version) tuple persists its profiles and
+traces; later builds — in this process or any other — rehydrate them and
+re-run only the cheap deterministic placement stages, executing **zero**
+interpreter steps.  Attach a :class:`~repro.engine.telemetry.Telemetry`
+to observe exactly that.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.store import ArtifactPayload, ArtifactStore, artifact_key
+from repro.engine.telemetry import Telemetry
 from repro.interp.interpreter import Interpreter
 from repro.interp.trace import BlockTrace
 from repro.ir.program import Program
+from repro.ir.serialize import profile_from_dict, profile_to_dict
 from repro.placement.baselines import natural_order, random_order
 from repro.placement.conflict_aware import conflict_aware_order
 from repro.placement.pettis_hansen import pettis_hansen_order
@@ -23,6 +35,7 @@ from repro.placement.image import MemoryImage
 from repro.placement.pipeline import (
     PlacementOptions,
     PlacementResult,
+    optimize_from_profiles,
     optimize_program,
 )
 from repro.placement.scaling import scaled_sizes
@@ -56,15 +69,24 @@ class WorkloadArtifacts:
 
 
 class ExperimentRunner:
-    """Caches per-workload artifacts and derived address traces."""
+    """Caches per-workload artifacts and derived address traces.
+
+    ``store`` (optional) persists artifacts across processes; ``telemetry``
+    (optional) records one job per artifact build with its wall time,
+    interpreter step count, and store hit/miss outcome.
+    """
 
     def __init__(
         self,
         scale: str = "default",
         options: PlacementOptions | None = None,
+        store: ArtifactStore | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.scale = scale
         self.options = options or PlacementOptions()
+        self.store = store
+        self.telemetry = telemetry
         self._artifacts: dict[str, WorkloadArtifacts] = {}
         self._addresses: dict[tuple, np.ndarray] = {}
 
@@ -73,28 +95,136 @@ class ExperimentRunner:
         return workload_names()
 
     def artifacts(self, name: str) -> WorkloadArtifacts:
-        """Build+profile+place+trace one workload (cached)."""
-        if name not in self._artifacts:
-            workload = get_workload(name)
+        """Build+profile+place+trace one workload (cached, store-backed)."""
+        if name in self._artifacts:
+            return self._artifacts[name]
+        started = time.perf_counter()
+        workload = get_workload(name)
+        art = interp_steps = None
+        outcome = "off"
+        if self.store is not None:
+            payload = self.store.get(
+                artifact_key(name, self.scale, self.options)
+            )
+            if payload is not None:
+                art = self._hydrate(workload, payload)
+                if art is not None:
+                    interp_steps = 0
+                    outcome = "hit"
+        if art is None:
+            art, interp_steps = self._compute(workload)
+            if self.store is not None:
+                outcome = "miss"
+                self.store.put(
+                    artifact_key(name, self.scale, self.options),
+                    self._dehydrate(art, interp_steps),
+                )
+        self._artifacts[name] = art
+        if self.telemetry is not None:
+            self.telemetry.record(
+                job_id=f"artifacts:{name}@{self.scale}",
+                kind="artifacts",
+                wall_s=time.perf_counter() - started,
+                interp_instructions=interp_steps,
+                store=outcome,
+                trace_blocks=len(art.trace) + len(art.original_trace),
+            )
+        return art
+
+    # -- cold path: run the interpreter ------------------------------------
+
+    def _compute(self, workload: Workload) -> tuple[WorkloadArtifacts, int]:
+        """Full build+profile+place+trace; returns interpreter step count."""
+        program = workload.build()
+        placement = optimize_program(
+            program, workload.profiling_inputs(self.scale), self.options
+        )
+        trace_input = workload.trace_input(self.scale)
+        result = Interpreter(placement.program).run(
+            trace_input, max_instructions=MAX_TRACE_INSTRUCTIONS
+        )
+        original_result = Interpreter(program).run(
+            trace_input, max_instructions=MAX_TRACE_INSTRUCTIONS
+        )
+        pre = placement.pre_inline_profile
+        post = placement.profile
+        interp_steps = (
+            pre.dynamic_instructions
+            + (post.dynamic_instructions if post is not pre else 0)
+            + result.instructions
+            + original_result.instructions
+        )
+        art = WorkloadArtifacts(
+            workload=workload,
+            original_program=program,
+            placement=placement,
+            trace=BlockTrace.from_execution(result),
+            original_trace=BlockTrace.from_execution(original_result),
+        )
+        return art, interp_steps
+
+    # -- store (de)hydration -----------------------------------------------
+
+    def _dehydrate(
+        self, art: WorkloadArtifacts, interp_steps: int
+    ) -> ArtifactPayload:
+        """Persistable form: the two profiles and the two block traces.
+
+        The programs themselves are *not* stored — ``Workload.build`` and
+        the placement stages are deterministic, so rehydration rebuilds
+        them bit-identically from the stored profiles.
+        """
+        placement = art.placement
+        return ArtifactPayload(
+            profiles={
+                "pre": profile_to_dict(placement.pre_inline_profile),
+                "post": profile_to_dict(placement.profile),
+            },
+            arrays={
+                "trace_block_ids": art.trace.block_ids,
+                "trace_via": art.trace.via,
+                "original_block_ids": art.original_trace.block_ids,
+                "original_via": art.original_trace.via,
+            },
+            meta={
+                "workload": art.workload.name,
+                "scale": self.scale,
+                "interp_instructions": interp_steps,
+            },
+        )
+
+    def _hydrate(
+        self, workload: Workload, payload: ArtifactPayload
+    ) -> WorkloadArtifacts | None:
+        """Reconstruct artifacts without any interpreter execution."""
+        try:
             program = workload.build()
-            placement = optimize_program(
-                program, workload.profiling_inputs(self.scale), self.options
+            pre_profile = profile_from_dict(payload.profiles["pre"], program)
+            placement = optimize_from_profiles(
+                program,
+                pre_profile,
+                lambda inlined: profile_from_dict(
+                    payload.profiles["post"], inlined
+                ),
+                self.options,
             )
-            trace_input = workload.trace_input(self.scale)
-            result = Interpreter(placement.program).run(
-                trace_input, max_instructions=MAX_TRACE_INSTRUCTIONS
-            )
-            original_result = Interpreter(program).run(
-                trace_input, max_instructions=MAX_TRACE_INSTRUCTIONS
-            )
-            self._artifacts[name] = WorkloadArtifacts(
+            arrays = payload.arrays
+            return WorkloadArtifacts(
                 workload=workload,
                 original_program=program,
                 placement=placement,
-                trace=BlockTrace.from_execution(result),
-                original_trace=BlockTrace.from_execution(original_result),
+                trace=BlockTrace(
+                    block_ids=arrays["trace_block_ids"],
+                    via=arrays["trace_via"],
+                ),
+                original_trace=BlockTrace(
+                    block_ids=arrays["original_block_ids"],
+                    via=arrays["original_via"],
+                ),
             )
-        return self._artifacts[name]
+        except (KeyError, ValueError):
+            # Corrupt or structurally stale entry: fall back to computing.
+            return None
 
     # -- derived images and address traces ---------------------------------
 
@@ -167,8 +297,15 @@ _DEFAULT_RUNNER: ExperimentRunner | None = None
 
 
 def default_runner() -> ExperimentRunner:
-    """The process-wide runner the benchmark suite shares."""
+    """The process-wide runner the benchmark suite shares.
+
+    Backed by the default artifact store so repeated table regenerations
+    skip interpretation; set ``REPRO_NO_CACHE=1`` to opt out.
+    """
     global _DEFAULT_RUNNER
     if _DEFAULT_RUNNER is None:
-        _DEFAULT_RUNNER = ExperimentRunner()
+        import os
+
+        store = None if os.environ.get("REPRO_NO_CACHE") else ArtifactStore()
+        _DEFAULT_RUNNER = ExperimentRunner(store=store)
     return _DEFAULT_RUNNER

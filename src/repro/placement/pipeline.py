@@ -19,7 +19,7 @@ which is what the ablation benchmarks exercise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.ir.program import Program
 from repro.placement.function_layout import FunctionLayout, layout_function
@@ -37,7 +37,13 @@ from repro.placement.trace_selection import (
     select_traces,
 )
 
-__all__ = ["PlacementOptions", "PlacementResult", "optimize_program", "place"]
+__all__ = [
+    "PlacementOptions",
+    "PlacementResult",
+    "optimize_from_profiles",
+    "optimize_program",
+    "place",
+]
 
 
 @dataclass(frozen=True)
@@ -89,11 +95,31 @@ def optimize_program(
     # depends on repro.placement.profile_data.
     from repro.interp.profiler import profile_program
 
-    pre_profile = profile_program(program, profiling_inputs)
+    return optimize_from_profiles(
+        program,
+        profile_program(program, profiling_inputs),
+        lambda inlined: profile_program(inlined, profiling_inputs),
+        options,
+    )
 
+
+def optimize_from_profiles(
+    program: Program,
+    pre_profile: ProfileData,
+    reprofile: Callable[[Program], ProfileData],
+    options: PlacementOptions = PlacementOptions(),
+) -> PlacementResult:
+    """Steps 2-5 given a pre-inline profile and a post-inline profile source.
+
+    ``reprofile`` maps the inlined program to its profile.  In the normal
+    path that is a fresh set of profiling runs; the artifact store instead
+    rebinds a persisted profile document, which is how a warm-cache run
+    reproduces the identical :class:`PlacementResult` with zero interpreter
+    steps.
+    """
     if options.inline is not None:
         inlined, report = inline_expand(program, pre_profile, options.inline)
-        profile = profile_program(inlined, profiling_inputs)
+        profile = reprofile(inlined)
     else:
         inlined = program
         profile = pre_profile

@@ -2,11 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.interp.profiler import profile_program
 from repro.ir.builder import ProgramBuilder
 from repro.ir.program import Program
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_artifact_cache(tmp_path_factory):
+    """Point the engine's artifact store at a throwaway directory.
+
+    Keeps the suite from reading or polluting the user's real
+    ``~/.cache/repro`` (CLI tests and the default runner would otherwise
+    persist artifacts there).
+    """
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("artifact-cache")
+    )
+    yield
 
 
 def build_counted_loop(iterations: int = 5) -> Program:

@@ -10,10 +10,6 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_table_name_validated(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["table", "table42"])
-
     def test_every_paper_table_is_a_choice(self):
         for n in range(1, 10):
             assert f"table{n}" in TABLE_CHOICES
@@ -23,6 +19,27 @@ class TestParser:
         args = build_parser().parse_args(["optimize", "wc"])
         assert args.cache == 2048 and args.block == 64
         assert args.layout == "optimized"
+
+    def test_table_engine_defaults(self):
+        args = build_parser().parse_args(["table", "table6"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+        assert args.telemetry is None
+
+
+class TestUnknownTable:
+    def test_exits_with_code_2_and_usage(self, capsys):
+        assert main(["table", "table42"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown table 'table42'" in err
+        assert "usage: repro table" in err
+        assert "table6" in err          # the valid names are listed
+
+    def test_does_not_traceback(self, capsys):
+        # A bad name must be a clean exit, never an exception.
+        assert main(["table", ""]) == 2
+        assert main(["table", "TABLE6"]) == 2
 
 
 class TestCommands:
@@ -81,3 +98,64 @@ class TestCommands:
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):
             main(["disasm", "nope"])
+
+
+class TestEngineFlags:
+    def test_table_shorthand(self, capsys, tmp_path):
+        code = main([
+            "table4", "--scale", "small",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert "Trace Selection Results" in capsys.readouterr().out
+
+    def test_warm_rerun_via_telemetry(self, capsys, tmp_path):
+        from repro.engine.telemetry import Telemetry
+
+        cache = str(tmp_path / "cache")
+        for run in ("cold", "warm"):
+            path = str(tmp_path / f"{run}.json")
+            assert main([
+                "table", "table6", "--scale", "small",
+                "--cache-dir", cache, "--telemetry", path,
+            ]) == 0
+        outputs = capsys.readouterr().out
+        cold = Telemetry.load(str(tmp_path / "cold.json"))
+        warm = Telemetry.load(str(tmp_path / "warm.json"))
+        assert cold["totals"]["interp_instructions"] > 0
+        assert warm["totals"]["interp_instructions"] == 0
+        assert warm["totals"]["store_hits"] == 10
+        first, second = outputs.split("Table 6.")[1:]
+        assert first == second          # warm output is bit-identical
+
+    def test_no_cache_leaves_directory_untouched(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main([
+            "table", "table6", "--scale", "small",
+            "--cache-dir", str(cache), "--no-cache",
+        ]) == 0
+        assert not cache.exists()
+
+
+class TestCacheCommands:
+    def test_ls_stats_clear(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main([
+            "table6", "--scale", "small", "--cache-dir", cache,
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "wc" in out and "small" in out
+
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries:        10" in out
+
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "removed 10" in out
+
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        assert "entries:        0" in capsys.readouterr().out

@@ -1,0 +1,138 @@
+"""Tests for the job DAG, the scheduler, and engine telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.jobs import (
+    ALL_TABLE_NAMES,
+    JobSpec,
+    execute_job,
+    table_plan,
+    workloads_for_table,
+)
+from repro.engine.scheduler import run_jobs, toposort
+from repro.engine.telemetry import Telemetry
+
+
+class TestPlan:
+    def test_all_table_names_match_run_all_order(self):
+        from repro import experiments
+
+        assert [m.__name__.rsplit(".", 1)[1]
+                for m in experiments.ALL_TABLES] == list(ALL_TABLE_NAMES)
+
+    def test_table1_needs_no_artifacts(self):
+        assert workloads_for_table("table1") == ()
+
+    def test_extended_table_uses_extended_suite(self):
+        assert workloads_for_table("extended") == (
+            "sort", "diff", "awk", "espresso",
+        )
+
+    def test_plan_shape(self):
+        specs = table_plan(["table6", "table1"], "small")
+        artifact_ids = [s.job_id for s in specs if s.kind == "artifacts"]
+        table_specs = {s.params["table"]: s for s in specs
+                       if s.kind == "table"}
+        assert len(artifact_ids) == 10          # the paper suite
+        assert table_specs["table1"].deps == ()
+        assert set(table_specs["table6"].deps) == set(artifact_ids)
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(ValueError, match="unknown tables"):
+            table_plan(["table42"], "small")
+
+
+class TestToposort:
+    def test_stable_dependency_order(self):
+        specs = [
+            JobSpec("c", "artifacts", deps=("a", "b")),
+            JobSpec("a", "artifacts"),
+            JobSpec("b", "artifacts", deps=("a",)),
+        ]
+        assert [s.job_id for s in toposort(specs)] == ["a", "b", "c"]
+
+    def test_cycle_detected(self):
+        specs = [
+            JobSpec("a", "artifacts", deps=("b",)),
+            JobSpec("b", "artifacts", deps=("a",)),
+        ]
+        with pytest.raises(ValueError, match="cycle"):
+            toposort(specs)
+
+    def test_unknown_dependency_detected(self):
+        with pytest.raises(ValueError, match="unknown job"):
+            toposort([JobSpec("a", "artifacts", deps=("ghost",))])
+
+    def test_duplicate_id_detected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            toposort([JobSpec("a", "artifacts"), JobSpec("a", "table")])
+
+
+class TestExecution:
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            execute_job(JobSpec("x", "mystery"), cache_dir=str(tmp_path))
+
+    def test_parallel_requires_store(self):
+        with pytest.raises(ValueError, match="artifact store"):
+            run_jobs([JobSpec("a", "artifacts")], jobs=2, use_cache=False)
+
+    def test_sequential_matches_direct_run(self, tmp_path, small_runner):
+        from repro.experiments import table6
+
+        telemetry = Telemetry()
+        values = run_jobs(
+            table_plan(["table6"], "small"),
+            jobs=1,
+            cache_dir=str(tmp_path),
+            telemetry=telemetry,
+        )
+        assert values["table:table6"] == table6.run(small_runner)
+        assert telemetry.meta["n_jobs"] == 11
+        assert telemetry.totals()["store_misses"] == 10
+
+    def test_warm_rerun_interprets_nothing(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_jobs(table_plan(["table6"], "small"), cache_dir=cache)
+        telemetry = Telemetry()
+        values = run_jobs(
+            table_plan(["table6"], "small"),
+            cache_dir=cache,
+            telemetry=telemetry,
+        )
+        totals = telemetry.totals()
+        assert totals["interp_instructions"] == 0
+        assert totals["store_hits"] == 10
+        assert "Table 6" in values["table:table6"]
+
+    def test_parallel_output_is_bit_identical(self, tmp_path):
+        sequential = run_jobs(
+            table_plan(["table6"], "small"),
+            cache_dir=str(tmp_path / "seq"),
+        )
+        parallel = run_jobs(
+            table_plan(["table6"], "small"),
+            jobs=2,
+            cache_dir=str(tmp_path / "par"),
+        )
+        assert parallel["table:table6"] == sequential["table:table6"]
+
+
+class TestTelemetry:
+    def test_dump_and_load(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.record(
+            job_id="artifacts:wc@small", kind="artifacts",
+            wall_s=0.25, interp_instructions=1000, store="miss",
+            trace_blocks=42,
+        )
+        telemetry.meta["scale"] = "small"
+        path = str(tmp_path / "telemetry.json")
+        telemetry.dump(path)
+        document = Telemetry.load(path)
+        assert document["totals"]["interp_instructions"] == 1000
+        assert document["totals"]["store_misses"] == 1
+        assert document["jobs"][0]["job_id"] == "artifacts:wc@small"
+        assert document["meta"]["scale"] == "small"

@@ -1,0 +1,182 @@
+"""Unit tests for the content-addressed artifact store."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine.store import (
+    ArtifactPayload,
+    ArtifactStore,
+    artifact_key,
+    code_version,
+    options_fingerprint,
+)
+from repro.engine.telemetry import Telemetry
+from repro.experiments.runner import ExperimentRunner
+from repro.placement.pipeline import PlacementOptions
+
+
+def _payload(tag: int = 0) -> ArtifactPayload:
+    return ArtifactPayload(
+        profiles={"pre": {"tag": tag}, "post": {"tag": tag}},
+        arrays={
+            "trace_block_ids": np.arange(10, dtype=np.int32) + tag,
+            "trace_via": np.zeros(10, dtype=np.uint8),
+        },
+        meta={"workload": f"wl{tag}", "scale": "small"},
+    )
+
+
+class TestKeys:
+    def test_fingerprint_is_canonical_json(self):
+        fp = options_fingerprint(PlacementOptions())
+        assert fp == options_fingerprint(PlacementOptions())
+        assert json.loads(fp)["min_prob"] > 0
+
+    def test_fingerprint_none(self):
+        assert options_fingerprint(None) == "null"
+
+    def test_key_sensitivity(self):
+        base = artifact_key("wc", "small", PlacementOptions())
+        assert base == artifact_key("wc", "small", PlacementOptions())
+        assert base != artifact_key("wc", "default", PlacementOptions())
+        assert base != artifact_key("lex", "small", PlacementOptions())
+        assert base != artifact_key(
+            "wc", "small", PlacementOptions(min_prob=0.9)
+        )
+        assert base != artifact_key(
+            "wc", "small", PlacementOptions(), version="other"
+        )
+
+    def test_code_version_is_stable_and_short(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+
+class TestStore:
+    def test_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.get("k" * 24) is None
+        assert store.misses == 1
+        store.put("k" * 24, _payload(3))
+        loaded = store.get("k" * 24)
+        assert loaded is not None and store.hits == 1
+        assert loaded.profiles["pre"] == {"tag": 3}
+        assert np.array_equal(
+            loaded.arrays["trace_block_ids"],
+            np.arange(10, dtype=np.int32) + 3,
+        )
+        assert loaded.arrays["trace_via"].dtype == np.uint8
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.put("a" * 24, _payload(1))
+        assert store.put("a" * 24, _payload(2))   # keeps the first write
+        assert store.get("a" * 24).profiles["pre"] == {"tag": 1}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("b" * 24, _payload())
+        with open(
+            os.path.join(store._entry_dir("b" * 24), "profiles.json"), "w"
+        ) as handle:
+            handle.write("{not json")
+        assert store.get("b" * 24) is None
+        assert store.misses == 1
+
+    def test_entries_and_index(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("c" * 24, _payload(1))
+        store.put("d" * 24, _payload(2))
+        entries = store.entries()
+        assert {entry.workload for entry in entries} == {"wl1", "wl2"}
+        assert all(entry.nbytes > 0 for entry in entries)
+        with open(os.path.join(store.root, "index.json")) as handle:
+            index = json.load(handle)
+        assert set(index["entries"]) == {"c" * 24, "d" * 24}
+
+    def test_hit_counts_persist(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("e" * 24, _payload())
+        store.get("e" * 24)
+        store.get("e" * 24)
+        (entry,) = store.entries()
+        assert entry.hits == 2
+
+    def test_clear(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("f" * 24, _payload())
+        assert store.clear() == 1
+        assert store.entries() == []
+
+    def test_lru_eviction(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for i in range(4):
+            store.put(f"{i}" * 24, _payload(i))
+        store.get("0" * 24)   # freshen the oldest entry
+        removed = store.prune(max_entries=2)
+        assert removed == 2
+        keys = {entry.key for entry in store.entries()}
+        assert "0" * 24 in keys and len(keys) == 2
+
+    def test_put_respects_max_bytes(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=1)   # evict everything old
+        store.put("g" * 24, _payload(1))
+        store.put("h" * 24, _payload(2))
+        assert len(store.entries()) <= 1
+
+
+class TestRunnerIntegration:
+    def test_warm_run_executes_zero_interpreter_steps(self, tmp_path):
+        cold_tel, warm_tel = Telemetry(), Telemetry()
+        cold = ExperimentRunner(
+            scale="small", store=ArtifactStore(tmp_path), telemetry=cold_tel
+        )
+        warm = ExperimentRunner(
+            scale="small", store=ArtifactStore(tmp_path), telemetry=warm_tel
+        )
+        cold_art = cold.artifacts("tee")
+        warm_art = warm.artifacts("tee")
+
+        assert cold_tel.records[0].store == "miss"
+        assert cold_tel.totals()["interp_instructions"] > 0
+        assert warm_tel.records[0].store == "hit"
+        assert warm_tel.totals()["interp_instructions"] == 0
+
+        from repro.ir.printer import format_program
+
+        assert format_program(warm_art.placement.program) == format_program(
+            cold_art.placement.program
+        )
+        assert warm_art.placement.order == cold_art.placement.order
+        assert np.array_equal(
+            warm.addresses("tee", "optimized"),
+            cold.addresses("tee", "optimized"),
+        )
+        assert np.array_equal(
+            warm.addresses("tee", "natural"),
+            cold.addresses("tee", "natural"),
+        )
+
+    def test_different_options_do_not_share_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        plain = ExperimentRunner(scale="small", store=store)
+        ablated = ExperimentRunner(
+            scale="small",
+            options=PlacementOptions(inline=None),
+            store=store,
+        )
+        plain.artifacts("tee")
+        ablated.artifacts("tee")
+        assert len(store.entries()) == 2
+
+    def test_store_off_still_works(self):
+        telemetry = Telemetry()
+        runner = ExperimentRunner(scale="small", telemetry=telemetry)
+        runner.artifacts("tee")
+        assert telemetry.records[0].store == "off"
+        assert telemetry.totals()["interp_instructions"] > 0

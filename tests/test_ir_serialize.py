@@ -108,3 +108,41 @@ class TestProfileRoundtrip:
         text = json.dumps(profile_to_dict(profile))
         restored = profile_from_dict(json.loads(text), call_program)
         assert restored.dynamic_instructions == profile.dynamic_instructions
+
+
+def _all_registered_workloads():
+    from repro.workloads.registry import all_workloads
+
+    return all_workloads("paper") + all_workloads("extended")
+
+
+class TestRegisteredWorkloadRoundtrips:
+    """Every bundled benchmark must survive serialise→deserialise exactly.
+
+    The artifact store rebuilds programs from ``Workload.build`` and relies
+    on the serialised form being stable and faithful; the printer output is
+    the strictest observable equality we have (names, operands, successor
+    labels, and syscall flags all surface there).
+    """
+
+    @pytest.mark.parametrize(
+        "workload", _all_registered_workloads(), ids=lambda w: w.name
+    )
+    def test_roundtrip_is_printer_identical(self, workload):
+        from repro.ir.printer import format_program
+
+        program = workload.build()
+        restored = program_from_dict(
+            json.loads(json.dumps(program_to_dict(program)))
+        )
+        assert format_program(restored) == format_program(program)
+
+    @pytest.mark.parametrize(
+        "workload", _all_registered_workloads(), ids=lambda w: w.name
+    )
+    def test_roundtrip_preserves_counts(self, workload):
+        program = workload.build()
+        restored = program_from_dict(program_to_dict(program))
+        assert restored.entry == program.entry
+        assert restored.num_blocks == program.num_blocks
+        assert restored.num_instructions == program.num_instructions

@@ -1,0 +1,82 @@
+"""The MAX_TRACE_INSTRUCTIONS safety net must actually trip.
+
+A workload that never halts on its trace input has to raise
+:class:`ExecutionLimitExceeded` — both directly in the interpreter and
+through the experiment runner — instead of hanging the whole table
+regeneration or silently truncating the trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interp.interpreter import ExecutionLimitExceeded, Interpreter
+from repro.ir.builder import ProgramBuilder
+from repro.workloads import registry
+from repro.workloads.registry import Workload
+
+
+def build_input_gated_loop():
+    """Reads one value; halts if non-zero, spins forever on zero."""
+    pb = ProgramBuilder()
+    f = pb.function("main")
+    b = f.block("entry")
+    b.in_("r1")
+    b.beq("r1", 0, taken="spin", fall="done")
+    b = f.block("spin")
+    b.jmp("spin")
+    b = f.block("done")
+    b.out("r1")
+    b.halt()
+    return pb.build()
+
+
+@pytest.fixture
+def looping_workload():
+    """A registered synthetic workload that diverges only on its trace
+    input (profiling seeds are non-zero, so profiling terminates)."""
+    workload = Workload(
+        name="synthetic_spin",
+        description="diverges on the trace input",
+        builder=build_input_gated_loop,
+        input_maker=lambda seed, scale: [seed],
+        profile_seeds=(1, 2),
+        trace_seed=0,
+    )
+    registry.register(workload, suite="extended")
+    try:
+        yield workload
+    finally:
+        registry._REGISTRY.pop(workload.name, None)
+        registry._SUITE_OF.pop(workload.name, None)
+
+
+class TestInterpreterLimit:
+    def test_limit_raises_instead_of_hanging(self):
+        program = build_input_gated_loop()
+        with pytest.raises(ExecutionLimitExceeded, match="10000"):
+            Interpreter(program).run([0], max_instructions=10_000)
+
+    def test_terminating_input_is_unaffected(self):
+        program = build_input_gated_loop()
+        result = Interpreter(program).run([7], max_instructions=10_000)
+        assert result.halted and result.output == [7]
+
+
+class TestRunnerLimit:
+    def test_runner_enforces_trace_budget(self, looping_workload, monkeypatch):
+        from repro.experiments import runner as runner_module
+
+        monkeypatch.setattr(
+            runner_module, "MAX_TRACE_INSTRUCTIONS", 5_000
+        )
+        runner = runner_module.ExperimentRunner(scale="small")
+        with pytest.raises(ExecutionLimitExceeded):
+            runner.artifacts(looping_workload.name)
+
+    def test_budget_is_generous_for_real_workloads(self):
+        # Every bundled benchmark's documented dynamic size fits well
+        # under the budget, so the net only catches genuine divergence.
+        from repro.experiments.runner import MAX_TRACE_INSTRUCTIONS
+
+        assert MAX_TRACE_INSTRUCTIONS == 200_000_000
