@@ -13,10 +13,17 @@ Commands
     parallel engine: ``--jobs N`` fans the per-workload pipeline out over
     N processes, and the content-addressed artifact cache (under
     ``~/.cache/repro`` or ``--cache-dir``) makes warm reruns skip
-    interpretation entirely.  ``--telemetry PATH`` dumps per-job wall
-    times, interpreter step counts, and cache hit/miss counters as JSON.
-``cache {ls,stats,clear}``
-    Inspect or empty the artifact cache.
+    interpretation entirely.  ``--retries N`` retries failing jobs with
+    backoff, ``--job-timeout S`` bounds each parallel job's wall time,
+    and a run with exhausted retries exits 3 with a partial-failure
+    summary (failed and skipped jobs) instead of a traceback.
+    ``--telemetry PATH`` dumps per-job wall times, interpreter step
+    counts, cache hit/miss counters, and robustness counters (retries,
+    timeouts, quarantined entries, pool restarts) as JSON.
+``cache {ls,stats,verify,clear}``
+    Inspect, integrity-check, or empty the artifact cache.  ``verify``
+    checks every entry's SHA-256 manifest and quarantines corrupt ones
+    (exit 1 when any are found).
 ``optimize``
     Run the placement pipeline on one benchmark and report inline /
     trace-selection / footprint statistics plus cache ratios for a chosen
@@ -72,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("default", "small"))
     table.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for the experiment DAG")
+    table.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retry a failing job up to N times "
+                            "(exponential backoff, default 0)")
+    table.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-time limit (parallel runs only); "
+                            "a timed-out attempt counts against --retries")
     table.add_argument("--no-cache", action="store_true",
                        help="do not persist artifacts to the cache")
     table.add_argument("--telemetry", default=None, metavar="PATH",
@@ -83,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     for name, help_text in (
         ("ls", "list cached artifact entries"),
         ("stats", "aggregate cache statistics"),
+        ("verify", "integrity-check all entries, quarantining corrupt ones"),
         ("clear", "remove every cached entry"),
     ):
         _add_cache_arguments(cache_sub.add_parser(name, help=help_text))
@@ -141,9 +156,13 @@ def _cmd_list() -> int:
     return 0
 
 
+#: Exit code for a run that finished with failed/skipped jobs.
+EXIT_PARTIAL_FAILURE = 3
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.engine.jobs import ALL_TABLE_NAMES, table_plan
-    from repro.engine.scheduler import run_jobs
+    from repro.engine.scheduler import ExperimentFailure, run_jobs
     from repro.engine.telemetry import Telemetry
 
     name = args.name
@@ -151,8 +170,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
         print(
             f"repro table: unknown table {name!r}\n"
             f"usage: repro table NAME [--scale {{default,small}}] "
-            f"[--jobs N] [--cache-dir PATH] [--no-cache] "
-            f"[--telemetry PATH]\n"
+            f"[--jobs N] [--retries N] [--job-timeout SECONDS] "
+            f"[--cache-dir PATH] [--no-cache] [--telemetry PATH]\n"
             f"NAME is one of: {', '.join(TABLE_CHOICES)}",
             file=sys.stderr,
         )
@@ -170,6 +189,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
         temp_cache = tempfile.TemporaryDirectory(prefix="repro-cache-")
         cache_dir, use_cache = temp_cache.name, True
+    failure = None
     try:
         values = run_jobs(
             table_plan(tables, args.scale),
@@ -177,15 +197,28 @@ def _cmd_table(args: argparse.Namespace) -> int:
             cache_dir=cache_dir,
             use_cache=use_cache,
             telemetry=telemetry,
+            retries=args.retries,
+            job_timeout=args.job_timeout,
         )
+    except ExperimentFailure as exc:
+        failure = exc
+        values = exc.values
     finally:
         if temp_cache is not None:
             temp_cache.cleanup()
-    print("\n".join(values[f"table:{table}"] for table in tables))
+    rendered = [
+        values[f"table:{table}"] for table in tables
+        if f"table:{table}" in values
+    ]
+    if rendered:
+        print("\n".join(rendered))
     if args.telemetry:
         telemetry.meta["tables"] = tables
         telemetry.meta["scale"] = args.scale
         telemetry.dump(args.telemetry)
+    if failure is not None:
+        print(f"repro table: {failure.summary()}", file=sys.stderr)
+        return EXIT_PARTIAL_FAILURE
     return 0
 
 
@@ -196,6 +229,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.experiments.report import render_table
 
     store = ArtifactStore(args.cache_dir)
+    if args.cache_command in ("ls", "stats"):
+        # Derived state self-heals: a missing or unparsable index.json is
+        # rebuilt from objects/ before anything reads it.
+        store.load_index()
     if args.cache_command == "ls":
         rows = [
             [
@@ -221,6 +258,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"entries:        {stats['entries']}")
         print(f"bytes:          {stats['bytes']}")
         print(f"persisted hits: {stats['persisted_hits']}")
+    elif args.cache_command == "verify":
+        report = store.verify()
+        print(f"checked {report['checked']} entr"
+              f"{'y' if report['checked'] == 1 else 'ies'}: "
+              f"{report['ok']} ok, {len(report['corrupt'])} corrupt")
+        if report["corrupt"]:
+            for key in report["corrupt"]:
+                print(f"  quarantined {key}")
+            print(f"corrupt entries moved under {store.quarantine_dir}")
+            return 1
     elif args.cache_command == "clear":
         removed = store.clear()
         print(f"removed {removed} cached entr"

@@ -11,7 +11,10 @@ ExperimentRunner` into a persistent, parallel system:
   expressed as a DAG of (workload × table) jobs, fanned out over a
   ``ProcessPoolExecutor`` with deterministic per-job seeding;
 * :mod:`repro.engine.telemetry` — per-job wall time, interpreter step
-  counts and store hit/miss counters, dumpable as JSON.
+  counts, store hit/miss counters, and robustness counters (retries,
+  timeouts, quarantines, pool restarts), dumpable as JSON;
+* :mod:`repro.engine.faults` — deterministic fault injection
+  (``REPRO_FAULTS``) exercising every failure path above on purpose.
 
 ``jobs``/``scheduler`` import the experiment layer, which itself uses the
 store, so they are re-exported lazily to keep the import graph acyclic.
@@ -32,6 +35,8 @@ from repro.engine.telemetry import JobRecord, Telemetry
 __all__ = [
     "ArtifactPayload",
     "ArtifactStore",
+    "ExperimentFailure",
+    "JobError",
     "JobRecord",
     "JobSpec",
     "Telemetry",
@@ -50,6 +55,8 @@ _LAZY = {
     "JobSpec": "repro.engine.jobs",
     "execute_job": "repro.engine.jobs",
     "table_plan": "repro.engine.jobs",
+    "ExperimentFailure": "repro.engine.scheduler",
+    "JobError": "repro.engine.scheduler",
     "run_jobs": "repro.engine.scheduler",
 }
 

@@ -1,0 +1,255 @@
+"""Deterministic fault injection for the experiment engine.
+
+The fault-tolerance layer is only trustworthy if its failure paths are
+exercised on purpose.  Setting ``REPRO_FAULTS`` activates injected
+failures at well-defined sites inside the engine; because the decision
+for each (rule, unit, attempt) triple is a pure hash, a faulty run is
+exactly reproducible — rerunning with the same spec injects the same
+failures at the same places.
+
+Spec grammar (semicolon-separated clauses)::
+
+    REPRO_FAULTS = clause[;clause...]
+    clause       = kind ":" site ["=" pattern] [":" option]...
+    kind         = "crash" | "kill" | "hang" | "corrupt"
+    site         = "job" | "store-read" | "store-write"
+    option       = "p=" float       probability per decision (default 1.0)
+                 | "times=" int     fire only on attempts < N (default: all)
+                 | "seconds=" float hang duration (default 60)
+
+``times`` is attempt-scoped, not a per-process counter, so it stays
+deterministic however jobs land on pool workers: ``times=1`` means "only
+the first attempt can fault", which guarantees one retry clears it.
+
+Examples::
+
+    crash:job=artifacts:wc:p=0.5    # raise inside the wc artifact job
+    crash:job:p=0.5:times=2         # any job; attempts 0-1 crash at p=0.5
+    kill:job=artifacts:*            # hard-exit the worker (breaks the pool)
+    hang:job=table:table6:times=1   # first table6 attempt sleeps 60s
+    corrupt:store-read              # every store read looks corrupt
+    corrupt:store-write:p=0.25      # a quarter of store writes are torn
+
+Sites:
+
+* ``job`` — entered at the top of :func:`~repro.engine.jobs.execute_job`;
+  ``pattern`` is an ``fnmatch`` glob against the job id.  ``crash`` raises
+  :class:`FaultInjected`; ``kill`` calls ``os._exit`` in pool workers
+  (downgraded to a raise in the main process so sequential runs stay
+  debuggable); ``hang`` sleeps for ``seconds``.
+* ``store-read`` / ``store-write`` — consulted by the artifact store;
+  ``corrupt`` makes a read fail integrity verification (the entry is
+  quarantined, a miss) or truncates a staged write so a *later* read
+  fails verification.
+
+Probabilities are decided by hashing ``(kind, site, unit, attempt)`` —
+never by a live PRNG — so retries of the same job legitimately re-roll
+while reruns of the same command replay identically.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "fires",
+    "maybe_fail_job",
+    "parse_faults",
+]
+
+#: Environment variable holding the fault spec (inherited by pool workers).
+FAULTS_ENV = "REPRO_FAULTS"
+
+_KINDS = ("crash", "kill", "hang", "corrupt")
+_SITES = ("job", "store-read", "store-write")
+_OPTION_KEYS = ("p", "times", "seconds")
+
+
+class FaultInjected(RuntimeError):
+    """Raised by an injected ``crash`` (or an in-process ``kill``)."""
+
+
+@dataclass
+class FaultRule:
+    """One clause of a ``REPRO_FAULTS`` spec."""
+
+    kind: str
+    site: str
+    pattern: str = "*"
+    p: float = 1.0
+    times: int | None = None
+    seconds: float = 60.0
+    fired: int = field(default=0, compare=False)
+
+    def matches(self, site: str, unit: str) -> bool:
+        return self.site == site and fnmatch.fnmatchcase(unit, self.pattern)
+
+    def decide(self, unit: str, attempt: int) -> bool:
+        """Deterministically decide whether this rule fires.
+
+        The hash covers the rule identity, the unit (job id or store
+        key), and the attempt number, so retrying a job re-rolls while
+        rerunning the whole command replays the same outcome.  Nothing
+        here depends on per-process state — a rule fires (or not)
+        identically wherever the attempt executes.
+        """
+        if self.times is not None and attempt >= self.times:
+            return False
+        if self.p < 1.0:
+            digest = hashlib.sha256(
+                f"{self.kind}|{self.site}|{self.pattern}|{unit}|{attempt}"
+                .encode()
+            ).digest()
+            roll = int.from_bytes(digest[:8], "big") / 2**64
+            if roll >= self.p:
+                return False
+        self.fired += 1
+        return True
+
+
+def parse_faults(spec: str) -> list[FaultRule]:
+    """Parse a ``REPRO_FAULTS`` spec; raises ``ValueError`` on bad input."""
+    rules: list[FaultRule] = []
+    for raw_clause in spec.split(";"):
+        clause = raw_clause.strip()
+        if not clause:
+            continue
+        tokens = clause.split(":")
+        kind = tokens[0].strip()
+        if kind not in _KINDS:
+            raise ValueError(
+                f"bad fault kind {kind!r} in {clause!r} "
+                f"(expected one of {', '.join(_KINDS)})"
+            )
+        # Options are `key=value` tokens with a known key; everything
+        # else after the kind belongs to the site spec, which may itself
+        # contain ":" (job ids like ``artifacts:wc``) and "=" (the
+        # site/pattern separator), so it is re-joined before splitting.
+        site_tokens: list[str] = []
+        options: dict[str, str] = {}
+        for token in tokens[1:]:
+            key, sep, value = token.partition("=")
+            if sep and key in _OPTION_KEYS:
+                options[key] = value
+            else:
+                site_tokens.append(token)
+        if not site_tokens:
+            raise ValueError(f"fault clause {clause!r} names no site")
+        site_spec = ":".join(site_tokens)
+        site, sep, pattern = site_spec.partition("=")
+        if site not in _SITES:
+            raise ValueError(
+                f"bad fault site {site!r} in {clause!r} "
+                f"(expected one of {', '.join(_SITES)})"
+            )
+        try:
+            rule = FaultRule(
+                kind=kind,
+                site=site,
+                pattern=pattern if sep else "*",
+                p=float(options.get("p", 1.0)),
+                times=(int(options["times"]) if "times" in options else None),
+                seconds=float(options.get("seconds", 60.0)),
+            )
+        except ValueError as exc:
+            raise ValueError(
+                f"bad option value in fault clause {clause!r}: {exc}"
+            ) from None
+        if not 0.0 <= rule.p <= 1.0:
+            raise ValueError(f"fault probability out of range in {clause!r}")
+        rules.append(rule)
+    return rules
+
+
+class FaultPlan:
+    """The parsed, stateful form of one process's ``REPRO_FAULTS``."""
+
+    def __init__(self, rules: list[FaultRule]) -> None:
+        self.rules = rules
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def first_firing(
+        self, site: str, unit: str, attempt: int = 0
+    ) -> FaultRule | None:
+        for rule in self.rules:
+            if rule.matches(site, unit) and rule.decide(unit, attempt):
+                return rule
+        return None
+
+
+_PLAN: FaultPlan | None = None
+_PLAN_SPEC: str | None = None
+
+
+def active_plan() -> FaultPlan:
+    """The process-wide plan parsed from ``REPRO_FAULTS`` (cached per spec).
+
+    Workers inherit the environment from the scheduler process, so one
+    exported spec governs every process of a run.  An unparsable spec is
+    an immediate error — silently ignoring a typo'd fault spec would let
+    a "tested" failure mode go untested.
+    """
+    global _PLAN, _PLAN_SPEC
+    spec = os.environ.get(FAULTS_ENV, "")
+    if _PLAN is None or spec != _PLAN_SPEC:
+        _PLAN = FaultPlan(parse_faults(spec))
+        _PLAN_SPEC = spec
+    return _PLAN
+
+
+def _in_worker_process() -> bool:
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+def maybe_fail_job(job_id: str, attempt: int = 0) -> None:
+    """Inject a ``job``-site fault, if one fires for this attempt.
+
+    Called at the top of ``execute_job``; firing *before* any work keeps
+    injected failures free of partial side effects (store publishes are
+    atomic regardless).
+    """
+    plan = active_plan()
+    if not plan:
+        return
+    rule = plan.first_firing("job", job_id, attempt)
+    if rule is None:
+        return
+    if rule.kind == "hang":
+        time.sleep(rule.seconds)
+        return
+    if rule.kind == "kill" and _in_worker_process():
+        os._exit(3)
+    raise FaultInjected(
+        f"injected {rule.kind} in job {job_id!r} (attempt {attempt})"
+    )
+
+
+def fires(kind: str, site: str, unit: str, attempt: int = 0) -> bool:
+    """True when a ``kind`` rule at ``site`` fires for ``unit``.
+
+    The store uses this for ``corrupt:store-read`` / ``corrupt:store-write``
+    decisions; it never raises.
+    """
+    plan = active_plan()
+    if not plan:
+        return False
+    for rule in plan.rules:
+        if (
+            rule.kind == kind
+            and rule.matches(site, unit)
+            and rule.decide(unit, attempt)
+        ):
+            return True
+    return False

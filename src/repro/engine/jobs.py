@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine import faults
 from repro.engine.store import ArtifactStore
 from repro.engine.telemetry import JobRecord, Telemetry
 
@@ -57,11 +58,16 @@ class JobSpec:
 
 @dataclass
 class JobOutcome:
-    """What a worker sends back: the value plus its telemetry records."""
+    """What a worker sends back: the value plus its telemetry records.
+
+    ``counters`` carries store-side robustness counts (today just
+    ``quarantined``) for the scheduler to fold into the run telemetry.
+    """
 
     job_id: str
     value: object
     records: list[JobRecord] = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
 
 
 def workloads_for_table(table: str) -> tuple[str, ...]:
@@ -119,14 +125,20 @@ def execute_job(
     cache_dir: str | None = None,
     use_cache: bool = True,
     runner=None,
+    attempt: int = 0,
 ) -> JobOutcome:
     """Run one job; the sequential scheduler and pool workers both use this.
 
     ``runner`` lets the sequential path share one in-process
     :class:`ExperimentRunner` across jobs; workers leave it ``None`` and
-    communicate exclusively through the artifact store.
+    communicate exclusively through the artifact store.  ``attempt`` is
+    the retry index — it feeds fault injection (so a retried job re-rolls
+    its injected failures) but **not** the PRNG seed, which depends only
+    on the job id so retried work stays byte-identical.
     """
     from repro.experiments.runner import ExperimentRunner
+
+    faults.maybe_fail_job(spec.job_id, attempt)
 
     seed = _seed_for(spec.job_id)
     random.seed(seed)
@@ -142,6 +154,8 @@ def execute_job(
         )
     else:
         runner.telemetry = telemetry
+    store = runner.store
+    quarantined_before = store.quarantined if store is not None else 0
 
     started = time.perf_counter()
     if spec.kind == "artifacts":
@@ -156,8 +170,12 @@ def execute_job(
         )
     else:
         raise ValueError(f"unknown job kind {spec.kind!r}")
+    counters = {}
+    if store is not None and store.quarantined > quarantined_before:
+        counters["quarantined"] = store.quarantined - quarantined_before
     return JobOutcome(
-        job_id=spec.job_id, value=value, records=telemetry.records
+        job_id=spec.job_id, value=value, records=telemetry.records,
+        counters=counters,
     )
 
 

@@ -12,20 +12,36 @@ an artifact automatically invalidates it.  Entries persist under
 ``~/.cache/repro`` (override with ``--cache-dir`` or ``REPRO_CACHE_DIR``)
 as one directory per key::
 
-    <root>/objects/<key>/meta.json       provenance, hit counts, timestamps
+    <root>/objects/<key>/meta.json       provenance, checksums, hit counts
     <root>/objects/<key>/profiles.json   serialised ProfileData documents
     <root>/objects/<key>/arrays.npz      block traces (compressed numpy)
-    <root>/index.json                    summary of all entries
+    <root>/quarantine/<key>[...]         entries that failed verification
+    <root>/index.json                    summary of all entries (derived)
+    <root>/.lock                         inter-process flock
 
-The store is safe for concurrent writers (entries are staged in a
-temporary directory and renamed into place) and degrades gracefully: any
-I/O failure turns into a cache miss, never an experiment failure.
-Least-recently-used entries are evicted once the store exceeds
-``REPRO_CACHE_MAX_BYTES`` (default 4 GiB).
+Integrity and concurrency guarantees:
+
+* every entry's ``meta.json`` carries SHA-256 checksums of its payload
+  files, verified on read; a mismatched, truncated, or unparsable entry
+  is **quarantined** (moved under ``<root>/quarantine/``) and reported as
+  a miss — corruption can cost a recompute, never an experiment;
+* any mid-read disappearance (a concurrent eviction between file reads)
+  is a clean miss;
+* mutations (publish, eviction, quarantine, index writes) hold an
+  exclusive ``flock`` on ``<root>/.lock``, so concurrent ``repro``
+  processes never observe half-published entries or race evictions;
+* ``index.json`` is derived state: when missing or unparsable it is
+  rebuilt from ``objects/`` (:meth:`ArtifactStore.load_index`).
+
+:meth:`ArtifactStore.verify` checks every entry and quarantines the
+corrupt ones (``repro cache verify`` on the CLI).  Least-recently-used
+entries are evicted once the store exceeds ``REPRO_CACHE_MAX_BYTES``
+(default 4 GiB).
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import io
@@ -37,6 +53,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine import faults
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
 __all__ = [
     "ArtifactPayload",
     "ArtifactStore",
@@ -47,14 +70,18 @@ __all__ = [
     "options_fingerprint",
 ]
 
-#: Format tag written into every entry's meta.json.
-ENTRY_FORMAT = "repro-artifact-v1"
+#: Format tag written into every entry's meta.json.  v2 added payload
+#: checksums; v1 entries fail verification and are quarantined.
+ENTRY_FORMAT = "repro-artifact-v2"
 
 #: Default eviction threshold, overridable via ``REPRO_CACHE_MAX_BYTES``.
 DEFAULT_MAX_BYTES = 4 * 1024**3
 
 #: Source packages whose content defines the artifact code version.
 _VERSIONED_PACKAGES = ("ir", "interp", "placement", "workloads")
+
+#: Payload files covered by the per-entry checksum manifest.
+_PAYLOAD_FILES = ("profiles.json", "arrays.npz")
 
 
 def default_cache_dir() -> str:
@@ -137,11 +164,16 @@ class StoreEntry:
     nbytes: int
 
 
-class ArtifactStore:
-    """A content-addressed, LRU-evicted artifact cache on disk.
+class _EntryCorrupt(Exception):
+    """Internal: an entry exists on disk but failed verification."""
 
-    ``hits``/``misses`` count this process's lookups (for telemetry);
-    the persisted per-entry hit counts aggregate across processes.
+
+class ArtifactStore:
+    """A content-addressed, LRU-evicted, integrity-checked artifact cache.
+
+    ``hits``/``misses``/``quarantined`` count this process's lookups (for
+    telemetry); the persisted per-entry hit counts aggregate across
+    processes.
     """
 
     def __init__(
@@ -155,6 +187,7 @@ class ArtifactStore:
         self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     # -- paths -------------------------------------------------------------
 
@@ -162,31 +195,133 @@ class ArtifactStore:
     def objects_dir(self) -> str:
         return os.path.join(self.root, "objects")
 
+    @property
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.root, "quarantine")
+
     def _entry_dir(self, key: str) -> str:
         return os.path.join(self.objects_dir, key)
+
+    # -- locking -----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _lock(self):
+        """Exclusive inter-process lock on the store root.
+
+        Serialises publishes, evictions, quarantines, and index writes
+        across ``repro`` processes.  Degrades to a no-op when the lock
+        file cannot be created (read-only store) or ``fcntl`` is
+        unavailable; payload *reads* stay lock-free — publication and
+        quarantine are single atomic renames, so a reader sees either a
+        complete entry or a miss.
+        """
+        if fcntl is None:
+            yield
+            return
+        handle = None
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            handle = open(os.path.join(self.root, ".lock"), "a+")
+            fcntl.flock(handle, fcntl.LOCK_EX)
+        except OSError:
+            handle = None
+        try:
+            yield
+        finally:
+            if handle is not None:
+                handle.close()   # closing releases the flock
 
     # -- lookup ------------------------------------------------------------
 
     def get(self, key: str) -> ArtifactPayload | None:
-        """Load an entry, or ``None`` (counted as a miss) if absent/corrupt."""
-        entry_dir = self._entry_dir(key)
+        """Load and verify an entry, or ``None`` (a miss) if absent/corrupt.
+
+        Corrupt entries (bad checksum, truncated archive, unparsable
+        JSON, missing manifest) are quarantined so the next lookup pays
+        only a directory miss, not another failed parse.
+        """
         try:
-            with open(os.path.join(entry_dir, "meta.json")) as handle:
-                meta = json.load(handle)
-            if meta.get("format") != ENTRY_FORMAT:
-                raise ValueError(f"bad entry format {meta.get('format')!r}")
-            with open(os.path.join(entry_dir, "profiles.json")) as handle:
-                profiles = json.load(handle)
-            with np.load(os.path.join(entry_dir, "arrays.npz")) as npz:
-                arrays = {name: npz[name] for name in npz.files}
-        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            meta, profiles, arrays = self._read_entry(key)
+        except _EntryCorrupt:
+            self._quarantine(key)
+            self.misses += 1
+            return None
+        except Exception:
+            # Absent entry, or one that vanished mid-read (a concurrent
+            # eviction between file opens): a clean miss either way.
             self.misses += 1
             return None
         self.hits += 1
         meta["hits"] = int(meta.get("hits", 0)) + 1
         meta["last_used"] = time.time()
-        self._write_json(os.path.join(entry_dir, "meta.json"), meta)
+        with self._lock():
+            self._write_json(
+                os.path.join(self._entry_dir(key), "meta.json"), meta
+            )
         return ArtifactPayload(profiles=profiles, arrays=arrays, meta=meta)
+
+    def _read_entry(self, key: str) -> tuple[dict, dict, dict]:
+        """Read and verify one entry's three files.
+
+        Raises :class:`_EntryCorrupt` for an entry that is present but
+        fails verification, and lets absence errors (``FileNotFoundError``
+        from the first open) propagate for the caller to treat as a plain
+        miss.
+        """
+        entry_dir = self._entry_dir(key)
+        with open(os.path.join(entry_dir, "meta.json"), "rb") as handle:
+            meta_bytes = handle.read()
+        try:
+            meta = json.loads(meta_bytes)
+            if meta.get("format") != ENTRY_FORMAT:
+                raise ValueError(f"bad entry format {meta.get('format')!r}")
+            checksums = meta["checksums"]
+            payload_bytes = {}
+            for name in _PAYLOAD_FILES:
+                with open(os.path.join(entry_dir, name), "rb") as handle:
+                    data = handle.read()
+                digest = hashlib.sha256(data).hexdigest()
+                if digest != checksums.get(name):
+                    raise ValueError(f"checksum mismatch on {name}")
+                payload_bytes[name] = data
+            if faults.fires("corrupt", "store-read", key):
+                raise ValueError(f"injected corruption reading {key}")
+            profiles = json.loads(payload_bytes["profiles.json"])
+            with np.load(io.BytesIO(payload_bytes["arrays.npz"])) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+        except FileNotFoundError as exc:
+            # A payload file vanished after meta.json was read.  If the
+            # whole entry is gone this is a concurrent eviction — a clean
+            # miss.  If the directory survives, the entry is half-present
+            # (a torn manual delete): corruption, so it gets quarantined
+            # instead of missing forever (``put`` keys presence off
+            # meta.json and would never repair it).
+            if os.path.isdir(entry_dir):
+                raise _EntryCorrupt(str(exc)) from exc
+            raise
+        except Exception as exc:
+            raise _EntryCorrupt(str(exc)) from exc
+        return meta, profiles, arrays
+
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt entry aside (never delete evidence)."""
+        entry_dir = self._entry_dir(key)
+        with self._lock():
+            try:
+                os.makedirs(self.quarantine_dir, exist_ok=True)
+                destination = os.path.join(self.quarantine_dir, key)
+                suffix = 0
+                while os.path.exists(destination):
+                    suffix += 1
+                    destination = os.path.join(
+                        self.quarantine_dir, f"{key}.{suffix}"
+                    )
+                os.replace(entry_dir, destination)
+            except OSError:
+                # Already gone (or quarantined by a concurrent process).
+                return
+            self.quarantined += 1
+            self._write_index_locked()
 
     def __contains__(self, key: str) -> bool:
         return os.path.exists(os.path.join(self._entry_dir(key), "meta.json"))
@@ -201,24 +336,37 @@ class ArtifactStore:
         try:
             os.makedirs(stage, exist_ok=True)
             now = time.time()
-            meta = dict(payload.meta)
-            meta.update(format=ENTRY_FORMAT, key=key, created=now,
-                        last_used=now, hits=0)
-            with open(os.path.join(stage, "profiles.json"), "w") as handle:
-                json.dump(payload.profiles, handle)
+            profiles_bytes = json.dumps(payload.profiles).encode()
             buffer = io.BytesIO()
             np.savez_compressed(buffer, **payload.arrays)
+            arrays_bytes = buffer.getvalue()
+            meta = dict(payload.meta)
+            meta.update(
+                format=ENTRY_FORMAT, key=key, created=now,
+                last_used=now, hits=0,
+                checksums={
+                    "profiles.json": hashlib.sha256(profiles_bytes).hexdigest(),
+                    "arrays.npz": hashlib.sha256(arrays_bytes).hexdigest(),
+                },
+            )
+            if faults.fires("corrupt", "store-write", key):
+                # Simulate a torn write: the manifest records the intended
+                # bytes, the file holds a truncated prefix.
+                arrays_bytes = arrays_bytes[: len(arrays_bytes) // 2]
+            with open(os.path.join(stage, "profiles.json"), "wb") as handle:
+                handle.write(profiles_bytes)
             with open(os.path.join(stage, "arrays.npz"), "wb") as handle:
-                handle.write(buffer.getvalue())
+                handle.write(arrays_bytes)
             self._write_json(os.path.join(stage, "meta.json"), meta)
-            os.makedirs(self.objects_dir, exist_ok=True)
-            try:
-                os.replace(stage, self._entry_dir(key))
-            except OSError:
-                # A concurrent worker published the same key first.
-                shutil.rmtree(stage, ignore_errors=True)
-            self.prune(self.max_bytes)
-            self._write_index()
+            with self._lock():
+                os.makedirs(self.objects_dir, exist_ok=True)
+                try:
+                    os.replace(stage, self._entry_dir(key))
+                except OSError:
+                    # A concurrent worker published the same key first.
+                    shutil.rmtree(stage, ignore_errors=True)
+                self._prune_locked(self.max_bytes, None)
+                self._write_index_locked()
             return True
         except OSError:
             shutil.rmtree(stage, ignore_errors=True)
@@ -255,6 +403,31 @@ class ArtifactStore:
             ))
         return results
 
+    def verify(self) -> dict:
+        """Check every entry's integrity; quarantine the corrupt ones.
+
+        Returns ``{"checked": n, "ok": n, "corrupt": [keys]}`` —
+        the backing of ``repro cache verify``.
+        """
+        corrupt: list[str] = []
+        try:
+            keys = sorted(os.listdir(self.objects_dir))
+        except OSError:
+            keys = []
+        for key in keys:
+            try:
+                self._read_entry(key)
+            except _EntryCorrupt:
+                corrupt.append(key)
+                self._quarantine(key)
+            except Exception:
+                continue          # vanished mid-scan: not ours to judge
+        return {
+            "checked": len(keys),
+            "ok": len(keys) - len(corrupt),
+            "corrupt": corrupt,
+        }
+
     def stats(self) -> dict:
         """Aggregate store statistics (persisted entries + session counters)."""
         entries = self.entries()
@@ -265,21 +438,29 @@ class ArtifactStore:
             "persisted_hits": sum(entry.hits for entry in entries),
             "session_hits": self.hits,
             "session_misses": self.misses,
+            "session_quarantined": self.quarantined,
         }
 
     def clear(self) -> int:
         """Remove every entry; returns how many were removed."""
-        removed = 0
-        for entry in self.entries():
-            shutil.rmtree(self._entry_dir(entry.key), ignore_errors=True)
-            removed += 1
-        self._write_index()
+        with self._lock():
+            removed = 0
+            for entry in self.entries():
+                shutil.rmtree(self._entry_dir(entry.key), ignore_errors=True)
+                removed += 1
+            self._write_index_locked()
         return removed
 
     def prune(
         self, max_bytes: int | None = None, max_entries: int | None = None
     ) -> int:
         """Evict least-recently-used entries beyond the given limits."""
+        with self._lock():
+            return self._prune_locked(max_bytes, max_entries)
+
+    def _prune_locked(
+        self, max_bytes: int | None, max_entries: int | None
+    ) -> int:
         entries = sorted(self.entries(), key=lambda e: e.last_used)
         total = sum(entry.nbytes for entry in entries)
         removed = 0
@@ -292,12 +473,36 @@ class ArtifactStore:
             total -= victim.nbytes
             removed += 1
         if removed:
-            self._write_index()
+            self._write_index_locked()
         return removed
 
-    # -- internals ---------------------------------------------------------
+    # -- index -------------------------------------------------------------
 
-    def _write_index(self) -> None:
+    def load_index(self) -> dict:
+        """The store index, rebuilding it from ``objects/`` if damaged.
+
+        ``index.json`` is purely derived state; a missing or unparsable
+        index (a crashed writer, a manual edit) is repaired in place
+        rather than trusted or propagated.
+        """
+        path = os.path.join(self.root, "index.json")
+        try:
+            with open(path) as handle:
+                index = json.load(handle)
+            if index.get("format") != "repro-index-v1":
+                raise ValueError(f"bad index format {index.get('format')!r}")
+            return index
+        except (OSError, ValueError, json.JSONDecodeError):
+            pass
+        with self._lock():
+            self._write_index_locked()
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return {"format": "repro-index-v1", "entries": {}}
+
+    def _write_index_locked(self) -> None:
         """Best-effort summary of the store (derived; rebuilt after writes)."""
         try:
             index = {

@@ -16,7 +16,12 @@ import json
 import time
 from dataclasses import asdict, dataclass, field
 
-__all__ = ["JobRecord", "Telemetry"]
+__all__ = ["COUNTER_NAMES", "JobRecord", "Telemetry"]
+
+#: Robustness counters every telemetry document reports (zero on a clean
+#: run): scheduler retries, job timeouts, store quarantines, and process
+#: pool restarts.
+COUNTER_NAMES = ("retries", "timeouts", "quarantined", "pool_restarts")
 
 
 @dataclass
@@ -44,6 +49,11 @@ class Telemetry:
     def __init__(self) -> None:
         self.records: list[JobRecord] = []
         self.meta: dict = {}
+        self.counters: dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+
+    def bump(self, name: str, count: int = 1) -> None:
+        """Increment a robustness counter (``retries``, ``timeouts``, ...)."""
+        self.counters[name] = self.counters.get(name, 0) + count
 
     def record(self, **kwargs) -> JobRecord:
         """Append one record (keyword form of :class:`JobRecord`)."""
@@ -80,6 +90,7 @@ class Telemetry:
         return {
             "meta": dict(self.meta),
             "totals": self.totals(),
+            "counters": dict(self.counters),
             "jobs": [asdict(record) for record in self.records],
         }
 

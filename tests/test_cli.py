@@ -26,6 +26,15 @@ class TestParser:
         assert args.cache_dir is None
         assert not args.no_cache
         assert args.telemetry is None
+        assert args.retries == 0
+        assert args.job_timeout is None
+
+    def test_table_fault_tolerance_flags(self):
+        args = build_parser().parse_args([
+            "table", "table6", "--retries", "2", "--job-timeout", "30",
+        ])
+        assert args.retries == 2
+        assert args.job_timeout == 30.0
 
 
 class TestUnknownTable:
@@ -159,3 +168,64 @@ class TestCacheCommands:
 
         assert main(["cache", "stats", "--cache-dir", cache]) == 0
         assert "entries:        0" in capsys.readouterr().out
+
+    def test_verify_clean_then_corrupt(self, capsys, tmp_path):
+        import os
+
+        cache = str(tmp_path / "cache")
+        assert main([
+            "table4", "--scale", "small", "--cache-dir", cache,
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "verify", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "checked 10 entries: 10 ok, 0 corrupt" in out
+
+        objects = os.path.join(cache, "objects")
+        victim = sorted(os.listdir(objects))[0]
+        with open(
+            os.path.join(objects, victim, "arrays.npz"), "r+b"
+        ) as handle:
+            handle.truncate(6)
+        assert main(["cache", "verify", "--cache-dir", cache]) == 1
+        out = capsys.readouterr().out
+        assert "9 ok, 1 corrupt" in out
+        assert f"quarantined {victim}" in out
+        assert os.path.exists(os.path.join(cache, "quarantine", victim))
+
+        # The store self-healed: a re-verify is clean again.
+        assert main(["cache", "verify", "--cache-dir", cache]) == 0
+
+    def test_ls_rebuilds_damaged_index(self, capsys, tmp_path):
+        import json
+        import os
+
+        cache = str(tmp_path / "cache")
+        assert main([
+            "table4", "--scale", "small", "--cache-dir", cache,
+        ]) == 0
+        capsys.readouterr()
+        index_path = os.path.join(cache, "index.json")
+        with open(index_path, "w") as handle:
+            handle.write("garbage {")
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        assert "wc" in capsys.readouterr().out
+        assert len(json.load(open(index_path))["entries"]) == 10
+
+
+class TestPartialFailure:
+    def test_exhausted_retries_exit_3_with_summary(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "crash:job=artifacts:wc")
+        code = main([
+            "table", "table4", "--scale", "small",
+            "--cache-dir", str(tmp_path / "cache"), "--retries", "1",
+        ])
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "1 of 11 jobs failed, 1 skipped" in captured.err
+        assert "artifacts:wc" in captured.err
+        assert "table:table4" in captured.err
+        assert "Traceback" not in captured.err

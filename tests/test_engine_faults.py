@@ -1,0 +1,277 @@
+"""Fault-injection harness tests and the engine fault matrix.
+
+The matrix tests drive the real CLI under ``REPRO_FAULTS`` and assert
+the acceptance contract: every injected failure mode either recovers
+(producing output byte-identical to a clean sequential run) or fails
+cleanly — exit 3, a structured partial-failure summary, no traceback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import faults
+from repro.engine.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    maybe_fail_job,
+    parse_faults,
+)
+from repro.engine.jobs import table_plan
+from repro.engine.scheduler import run_jobs
+from repro.engine.telemetry import Telemetry
+
+
+class TestSpecParsing:
+    def test_full_clause(self):
+        (rule,) = parse_faults("crash:job=artifacts:wc:p=0.5")
+        assert rule.kind == "crash"
+        assert rule.site == "job"
+        assert rule.pattern == "artifacts:wc"
+        assert rule.p == 0.5
+        assert rule.times is None
+
+    def test_site_without_pattern_matches_everything(self):
+        (rule,) = parse_faults("hang:job")
+        assert rule.pattern == "*"
+        assert rule.matches("job", "artifacts:anything")
+
+    def test_multiple_clauses_and_options(self):
+        rules = parse_faults(
+            "crash:job:p=0.5:times=2; corrupt:store-read;"
+            "hang:job=table:table6:times=1:seconds=2"
+        )
+        assert [r.kind for r in rules] == ["crash", "corrupt", "hang"]
+        assert rules[0].times == 2
+        assert rules[1].site == "store-read"
+        assert rules[2].pattern == "table:table6"
+        assert rules[2].seconds == 2.0
+
+    def test_empty_spec(self):
+        assert parse_faults("") == []
+        assert not FaultPlan(parse_faults(""))
+
+    @pytest.mark.parametrize("spec", [
+        "explode:job",                 # unknown kind
+        "crash:disk",                  # unknown site
+        "crash",                       # no site
+        "crash:job:p=nope",            # bad option value
+        "crash:job:p=1.5",             # probability out of range
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_faults(spec)
+
+    def test_active_plan_tracks_env(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "crash:job")
+        assert faults.active_plan().rules[0].kind == "crash"
+        monkeypatch.setenv(faults.FAULTS_ENV, "hang:job")
+        assert faults.active_plan().rules[0].kind == "hang"
+        monkeypatch.delenv(faults.FAULTS_ENV)
+        assert not faults.active_plan()
+
+
+class TestDeterminism:
+    def test_decisions_are_pure(self):
+        rule = FaultRule(kind="crash", site="job", p=0.5)
+        first = [rule.decide("artifacts:wc", a) for a in range(16)]
+        again = [rule.decide("artifacts:wc", a) for a in range(16)]
+        assert first == again
+        # p=0.5 over 16 attempts must show both outcomes.
+        assert True in first and False in first
+
+    def test_decisions_vary_by_unit(self):
+        rule = FaultRule(kind="crash", site="job", p=0.5)
+        outcomes = {
+            unit: rule.decide(unit, 0)
+            for unit in (f"artifacts:wl{i}" for i in range(16))
+        }
+        assert set(outcomes.values()) == {True, False}
+
+    def test_times_bounds_attempts_not_processes(self):
+        rule = FaultRule(kind="crash", site="job", times=2)
+        assert rule.decide("x", 0) and rule.decide("x", 1)
+        assert not rule.decide("x", 2)
+        # Re-deciding attempt 0 still fires: no hidden per-process state.
+        assert rule.decide("x", 0)
+
+
+class TestJobFaults:
+    def test_no_spec_is_a_no_op(self, monkeypatch):
+        monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+        maybe_fail_job("artifacts:wc")
+
+    def test_crash_raises(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "crash:job=artifacts:wc")
+        with pytest.raises(FaultInjected, match="artifacts:wc"):
+            maybe_fail_job("artifacts:wc")
+        maybe_fail_job("artifacts:tee")     # pattern does not match
+
+    def test_kill_degrades_to_raise_in_main_process(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "kill:job")
+        with pytest.raises(FaultInjected):
+            maybe_fail_job("artifacts:wc")
+
+    def test_hang_sleeps(self, monkeypatch):
+        import time
+
+        monkeypatch.setenv(faults.FAULTS_ENV, "hang:job:seconds=0.05")
+        started = time.perf_counter()
+        maybe_fail_job("artifacts:wc")
+        assert time.perf_counter() - started >= 0.05
+
+    def test_store_fires(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "corrupt:store-read")
+        assert faults.fires("corrupt", "store-read", "somekey")
+        assert not faults.fires("corrupt", "store-write", "somekey")
+
+
+@pytest.fixture(scope="module")
+def reference_table6(tmp_path_factory):
+    """The clean sequential table6 text every faulty run must reproduce."""
+    import os
+
+    assert not os.environ.get(faults.FAULTS_ENV)
+    cache = str(tmp_path_factory.mktemp("ref-cache"))
+    values = run_jobs(table_plan(["table6"], "small"), cache_dir=cache)
+    return values["table:table6"]
+
+
+def _run_cli_table6(monkeypatch, capsys, spec, cache, *extra):
+    """Run ``repro table6 --scale small`` under a fault spec."""
+    from repro.cli import main
+
+    monkeypatch.setenv(faults.FAULTS_ENV, spec)
+    code = main([
+        "table6", "--scale", "small", "--cache-dir", cache, *extra,
+    ])
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestFaultMatrix:
+    """Injected crashes, corruption, pool loss, and hangs, end to end."""
+
+    def test_worker_crashes_recover_byte_identically(
+        self, monkeypatch, capsys, tmp_path, reference_table6
+    ):
+        # p=0.5 per attempt, but only attempts 0-1 may crash, so
+        # --retries 2 deterministically suffices for every job.
+        code, out, err = _run_cli_table6(
+            monkeypatch, capsys, "crash:job:p=0.5:times=2",
+            str(tmp_path / "cache"), "--jobs", "4", "--retries", "2",
+            "--telemetry", str(tmp_path / "tel.json"),
+        )
+        assert code == 0
+        assert out == reference_table6 + "\n"
+        document = Telemetry.load(str(tmp_path / "tel.json"))
+        assert document["counters"]["retries"] > 0
+        assert document["counters"]["timeouts"] == 0
+
+    def test_store_read_corruption_recovers(
+        self, monkeypatch, capsys, tmp_path, reference_table6
+    ):
+        code, out, err = _run_cli_table6(
+            monkeypatch, capsys, "corrupt:store-read:p=0.5",
+            str(tmp_path / "cache"), "--jobs", "4",
+            "--telemetry", str(tmp_path / "tel.json"),
+        )
+        assert code == 0
+        assert out == reference_table6 + "\n"
+        document = Telemetry.load(str(tmp_path / "tel.json"))
+        assert document["counters"]["quarantined"] > 0
+
+    def test_store_write_corruption_detected_on_reread(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.engine.store import ArtifactStore
+
+        # Write one entry torn, then read it back without faults: the
+        # checksum manifest must catch it and quarantine the entry.
+        import numpy as np
+
+        from repro.engine.store import ArtifactPayload
+
+        store = ArtifactStore(str(tmp_path))
+        payload = ArtifactPayload(
+            profiles={"pre": {}}, arrays={"x": np.arange(8)},
+            meta={"workload": "wl", "scale": "small"},
+        )
+        monkeypatch.setenv(faults.FAULTS_ENV, "corrupt:store-write")
+        store.put("k" * 24, payload)
+        monkeypatch.setenv(faults.FAULTS_ENV, "")
+        assert store.get("k" * 24) is None
+        assert store.quarantined == 1
+
+    def test_worker_kill_breaks_and_respawns_pool(
+        self, monkeypatch, capsys, tmp_path, reference_table6
+    ):
+        code, out, err = _run_cli_table6(
+            monkeypatch, capsys, "kill:job=artifacts:wc:times=1",
+            str(tmp_path / "cache"), "--jobs", "4", "--retries", "2",
+            "--telemetry", str(tmp_path / "tel.json"),
+        )
+        assert code == 0
+        assert out == reference_table6 + "\n"
+        document = Telemetry.load(str(tmp_path / "tel.json"))
+        assert document["counters"]["pool_restarts"] >= 1
+
+    def test_hung_job_times_out_and_recovers(
+        self, monkeypatch, capsys, tmp_path, reference_table6
+    ):
+        # The table job's first attempt sleeps far past --job-timeout;
+        # the scheduler tears the pool down, charges the attempt as a
+        # timeout, and the retry (attempt 1, beyond times=1) is clean.
+        code, out, err = _run_cli_table6(
+            monkeypatch, capsys, "hang:job=table:table6:times=1",
+            str(tmp_path / "cache"), "--jobs", "4", "--retries", "2",
+            "--job-timeout", "10",
+            "--telemetry", str(tmp_path / "tel.json"),
+        )
+        assert code == 0
+        assert out == reference_table6 + "\n"
+        document = Telemetry.load(str(tmp_path / "tel.json"))
+        assert document["counters"]["timeouts"] == 1
+        assert document["counters"]["pool_restarts"] == 1
+
+    def test_exhausted_retries_fail_cleanly(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        code, out, err = _run_cli_table6(
+            monkeypatch, capsys, "crash:job=artifacts:wc",
+            str(tmp_path / "cache"), "--jobs", "4", "--retries", "1",
+            "--telemetry", str(tmp_path / "tel.json"),
+        )
+        assert code == 3
+        assert "1 of 11 jobs failed, 1 skipped" in err
+        assert "artifacts:wc" in err
+        assert "table:table6" in err            # skipped dependent is named
+        assert "Traceback" not in err           # summary, not a stack dump
+        # The telemetry document is still written for the partial run.
+        document = Telemetry.load(str(tmp_path / "tel.json"))
+        assert document["counters"]["retries"] == 1
+
+    def test_unbounded_kill_degrades_to_sequential(
+        self, monkeypatch, tmp_path
+    ):
+        # Every parallel attempt of artifacts:wc hard-kills its worker.
+        # After MAX_POOL_RESTARTS breakages the scheduler falls back to
+        # in-process execution, where kill degrades to a raise and the
+        # sequential retry loop clears it (times=3 < retries budget).
+        from repro.engine.jobs import JobSpec
+
+        monkeypatch.setenv(faults.FAULTS_ENV, "kill:job=artifacts:wc:times=3")
+        telemetry = Telemetry()
+        specs = [
+            JobSpec("artifacts:wc", "artifacts",
+                    params={"workload": "wc", "scale": "small"}),
+            JobSpec("artifacts:tee", "artifacts",
+                    params={"workload": "tee", "scale": "small"}),
+        ]
+        values = run_jobs(
+            specs, jobs=2, cache_dir=str(tmp_path / "cache"),
+            telemetry=telemetry, retries=5,
+        )
+        assert set(values) == {"artifacts:wc", "artifacts:tee"}
+        assert telemetry.counters["pool_restarts"] == 3

@@ -11,8 +11,15 @@ from repro.engine.jobs import (
     table_plan,
     workloads_for_table,
 )
-from repro.engine.scheduler import run_jobs, toposort
-from repro.engine.telemetry import Telemetry
+from repro.engine.scheduler import (
+    ExperimentFailure,
+    JobError,
+    _backoff_delay,
+    _run_parallel,
+    run_jobs,
+    toposort,
+)
+from repro.engine.telemetry import COUNTER_NAMES, Telemetry
 
 
 class TestPlan:
@@ -118,6 +125,83 @@ class TestExecution:
             cache_dir=str(tmp_path / "par"),
         )
         assert parallel["table:table6"] == sequential["table:table6"]
+
+
+class TestFaultTolerance:
+    def test_deadlock_raises_instead_of_hanging(self, tmp_path):
+        # A pending job whose dependency can never complete must be a
+        # diagnostic error, not an eternal wait() on an empty set.
+        specs = [JobSpec("a", "artifacts", deps=("ghost",))]
+        with pytest.raises(RuntimeError, match="deadlock.*'a'"):
+            _run_parallel(specs, jobs=2, cache_dir=str(tmp_path),
+                          telemetry=None)
+
+    def test_sequential_retries_then_succeeds(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash:job=artifacts:tee:times=1")
+        telemetry = Telemetry()
+        values = run_jobs(
+            [JobSpec("artifacts:tee", "artifacts",
+                     params={"workload": "tee", "scale": "small"})],
+            cache_dir=str(tmp_path), telemetry=telemetry, retries=1,
+        )
+        assert "artifacts:tee" in values
+        assert telemetry.counters["retries"] == 1
+
+    def test_exhausted_retries_raise_partial_failure(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "crash:job=artifacts:tee")
+        specs = [
+            JobSpec("artifacts:tee", "artifacts",
+                    params={"workload": "tee", "scale": "small"}),
+            JobSpec("artifacts:wc", "artifacts",
+                    params={"workload": "wc", "scale": "small"}),
+            JobSpec("dependent", "artifacts",
+                    params={"workload": "cmp", "scale": "small"},
+                    deps=("artifacts:tee",)),
+        ]
+        with pytest.raises(ExperimentFailure) as exc_info:
+            run_jobs(specs, cache_dir=str(tmp_path), retries=1)
+        failure = exc_info.value
+        assert set(failure.failed) == {"artifacts:tee"}
+        assert failure.failed["artifacts:tee"].attempts == 2
+        assert failure.skipped == ["dependent"]
+        assert "artifacts:wc" in failure.values   # independent job still ran
+        summary = failure.summary()
+        assert "1 of 3 jobs failed, 1 skipped" in summary
+        assert "artifacts:tee" in summary and "dependent" in summary
+
+    def test_job_error_carries_context(self):
+        error = JobError("artifacts:wc", 3, ValueError("boom"), "tb text")
+        assert error.job_id == "artifacts:wc"
+        assert error.attempts == 3
+        assert error.cause_type == "ValueError"
+        assert "artifacts:wc" in str(error) and "boom" in str(error)
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        delays = [_backoff_delay("artifacts:wc", a) for a in (1, 2, 3, 8)]
+        assert delays == [_backoff_delay("artifacts:wc", a)
+                          for a in (1, 2, 3, 8)]
+        assert all(d > 0 for d in delays)
+        assert delays[3] <= 2.0 * 1.5            # cap * max jitter
+        assert _backoff_delay("artifacts:wc", 1) != _backoff_delay(
+            "artifacts:lex", 1
+        )
+
+    def test_clean_run_reports_zero_robustness_counters(self, tmp_path):
+        telemetry = Telemetry()
+        run_jobs(
+            table_plan(["table4"], "small"),
+            cache_dir=str(tmp_path), telemetry=telemetry,
+            retries=2, job_timeout=600,
+        )
+        assert set(COUNTER_NAMES) == {
+            "retries", "timeouts", "quarantined", "pool_restarts"
+        }
+        assert telemetry.counters == {name: 0 for name in COUNTER_NAMES}
+        assert telemetry.to_dict()["counters"] == {
+            name: 0 for name in COUNTER_NAMES
+        }
 
 
 class TestTelemetry:

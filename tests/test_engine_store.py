@@ -88,6 +88,19 @@ class TestStore:
         assert store.get("b" * 24) is None
         assert store.misses == 1
 
+    def test_checksum_manifest_written(self, tmp_path):
+        import hashlib
+
+        store = ArtifactStore(tmp_path)
+        store.put("m" * 24, _payload())
+        entry_dir = store._entry_dir("m" * 24)
+        with open(os.path.join(entry_dir, "meta.json")) as handle:
+            meta = json.load(handle)
+        for name in ("profiles.json", "arrays.npz"):
+            with open(os.path.join(entry_dir, name), "rb") as handle:
+                digest = hashlib.sha256(handle.read()).hexdigest()
+            assert meta["checksums"][name] == digest
+
     def test_entries_and_index(self, tmp_path):
         store = ArtifactStore(tmp_path)
         store.put("c" * 24, _payload(1))
@@ -128,6 +141,144 @@ class TestStore:
         store.put("g" * 24, _payload(1))
         store.put("h" * 24, _payload(2))
         assert len(store.entries()) <= 1
+
+
+class TestIntegrity:
+    """Corrupt, truncated, or racing entries are misses, never crashes."""
+
+    @staticmethod
+    def _store_with_entry(tmp_path) -> tuple[ArtifactStore, str]:
+        store = ArtifactStore(tmp_path)
+        key = "q" * 24
+        store.put(key, _payload(7))
+        return store, key
+
+    def _assert_quarantined(self, store, key):
+        assert store.get(key) is None
+        assert store.misses == 1
+        assert store.quarantined == 1
+        assert key not in store
+        assert os.path.exists(os.path.join(store.quarantine_dir, key))
+
+    def test_truncated_arrays_quarantined(self, tmp_path):
+        store, key = self._store_with_entry(tmp_path)
+        path = os.path.join(store._entry_dir(key), "arrays.npz")
+        with open(path, "r+b") as handle:
+            handle.truncate(10)
+        self._assert_quarantined(store, key)
+
+    def test_invalid_json_meta_quarantined(self, tmp_path):
+        store, key = self._store_with_entry(tmp_path)
+        with open(
+            os.path.join(store._entry_dir(key), "meta.json"), "w"
+        ) as handle:
+            handle.write("{definitely not json")
+        self._assert_quarantined(store, key)
+
+    def test_invalid_json_profiles_quarantined(self, tmp_path):
+        store, key = self._store_with_entry(tmp_path)
+        with open(
+            os.path.join(store._entry_dir(key), "profiles.json"), "w"
+        ) as handle:
+            handle.write("{not json")
+        self._assert_quarantined(store, key)
+
+    def test_wrong_checksum_quarantined(self, tmp_path):
+        store, key = self._store_with_entry(tmp_path)
+        path = os.path.join(store._entry_dir(key), "arrays.npz")
+        with open(path, "r+b") as handle:
+            data = bytearray(handle.read())
+            data[len(data) // 2] ^= 0xFF      # same size, different bytes
+            handle.seek(0)
+            handle.write(data)
+        self._assert_quarantined(store, key)
+
+    def test_missing_checksum_manifest_quarantined(self, tmp_path):
+        # A pre-manifest (v1-era) entry fails verification outright.
+        store, key = self._store_with_entry(tmp_path)
+        meta_path = os.path.join(store._entry_dir(key), "meta.json")
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+        del meta["checksums"]
+        with open(meta_path, "w") as handle:
+            json.dump(meta, handle)
+        self._assert_quarantined(store, key)
+
+    def test_half_present_entry_quarantined(self, tmp_path):
+        # meta.json survives but a payload file is gone: without
+        # quarantining, ``put`` would see the key as present and the
+        # entry would miss forever.
+        store, key = self._store_with_entry(tmp_path)
+        os.unlink(os.path.join(store._entry_dir(key), "arrays.npz"))
+        self._assert_quarantined(store, key)
+        assert store.put(key, _payload(7))    # repair is possible again
+        assert store.get(key) is not None
+
+    def test_eviction_mid_read_is_a_clean_miss(self, tmp_path, monkeypatch):
+        # A concurrent eviction between the meta.json read and the
+        # payload reads must be a miss — not an exception, and not a
+        # quarantine (there is nothing left to quarantine).
+        import builtins
+        import shutil
+
+        store, key = self._store_with_entry(tmp_path)
+        entry_dir = store._entry_dir(key)
+        real_open = builtins.open
+
+        def racing_open(path, *args, **kwargs):
+            if str(path).endswith("arrays.npz") and os.path.isdir(entry_dir):
+                shutil.rmtree(entry_dir)
+            return real_open(path, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", racing_open)
+        assert store.get(key) is None
+        monkeypatch.setattr(builtins, "open", real_open)
+        assert store.misses == 1
+        assert store.quarantined == 0
+
+    def test_quarantine_names_never_collide(self, tmp_path):
+        store, key = self._store_with_entry(tmp_path)
+        for tag in (1, 2):
+            path = os.path.join(store._entry_dir(key), "profiles.json")
+            with open(path, "w") as handle:
+                handle.write("{broken")
+            assert store.get(key) is None
+            store.put(key, _payload(tag))
+        assert store.quarantined == 2
+        assert len(os.listdir(store.quarantine_dir)) == 2
+
+    def test_verify_reports_and_quarantines(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for tag, key in enumerate(("r" * 24, "s" * 24, "t" * 24)):
+            store.put(key, _payload(tag))
+        with open(
+            os.path.join(store._entry_dir("s" * 24), "arrays.npz"), "r+b"
+        ) as handle:
+            handle.truncate(4)
+        report = store.verify()
+        assert report == {"checked": 3, "ok": 2, "corrupt": ["s" * 24]}
+        assert store.quarantined == 1
+        assert store.verify() == {"checked": 2, "ok": 2, "corrupt": []}
+
+    def test_index_rebuilt_when_missing_or_unparsable(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("u" * 24, _payload(1))
+        index_path = os.path.join(store.root, "index.json")
+        os.unlink(index_path)
+        assert set(store.load_index()["entries"]) == {"u" * 24}
+        with open(index_path, "w") as handle:
+            handle.write("not json at all")
+        assert set(store.load_index()["entries"]) == {"u" * 24}
+        assert "u" * 24 in json.load(open(index_path))["entries"]
+
+    def test_quarantined_session_counter_in_stats(self, tmp_path):
+        store, key = self._store_with_entry(tmp_path)
+        with open(
+            os.path.join(store._entry_dir(key), "profiles.json"), "w"
+        ) as handle:
+            handle.write("{broken")
+        store.get(key)
+        assert store.stats()["session_quarantined"] == 1
 
 
 class TestRunnerIntegration:
