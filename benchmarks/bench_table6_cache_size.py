@@ -1,6 +1,6 @@
 """Benchmark / regeneration of Table 6 (cache-size sweep, 64B blocks)."""
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, record_bench
 from repro.experiments import table6
 
 
@@ -11,6 +11,16 @@ def test_table6_cache_size(benchmark, runner):
     text = table6.render(rows)
     emit("table6", text)
     by_name = {row.name: row for row in rows}
+    record_bench(
+        "table6_cache_size",
+        miss_ratios={
+            row.name: {
+                str(cache): miss
+                for cache, (miss, _traffic) in sorted(row.results.items())
+            }
+            for row in rows
+        },
+    )
 
     # Paper headline: a 2K cache gives a low average miss ratio...
     average_2k = sum(r.results[2048][0] for r in rows) / len(rows)

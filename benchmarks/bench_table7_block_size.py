@@ -1,6 +1,6 @@
 """Benchmark / regeneration of Table 7 (block-size sweep, 2K cache)."""
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, record_bench
 from repro.experiments import table7
 
 
@@ -10,6 +10,16 @@ def test_table7_block_size(benchmark, runner):
     )
     text = table7.render(rows)
     emit("table7", text)
+    record_bench(
+        "table7_block_size",
+        miss_ratios={
+            row.name: {
+                str(block): miss
+                for block, (miss, _traffic) in sorted(row.results.items())
+            }
+            for row in rows
+        },
+    )
     # The paper's trend: miss ratios fall and traffic ratios rise with
     # block size, for the programs that miss at all.
     for row in rows:

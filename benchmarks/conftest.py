@@ -9,21 +9,51 @@ The runner is backed by the engine's content-addressed artifact store
 (``~/.cache/repro``, override with ``REPRO_CACHE_DIR``, disable with
 ``REPRO_NO_CACHE=1``), so every benchmark session after the first skips
 interpretation and re-measures only the table computations themselves.
+
+Observability: every session also writes ``BENCH_observability.json`` at
+the repo root — per-table wall time (the ``call`` phase of each bench
+test), whatever metrics the bench registered via :func:`record_bench`
+(miss ratios, mostly), and the shared runner's telemetry totals
+(interpreter instruction counts, store hits/misses).  The benchmark
+trajectory graphs these numbers across commits.
 """
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
+
+#: Accumulates one session's observability document; written at exit.
+_BENCH_OBS: dict = {"tables": {}, "runner_totals": {}, "runner_counters": {}}
+
+#: Where ``BENCH_observability.json`` lands: the repo root.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+#: The session's shared runner, kept so sessionfinish can read its totals.
+_SHARED_RUNNER = None
+#: The session's observability recorder (installed by the runner fixture).
+_SHARED_RECORDER = None
 
 
 @pytest.fixture(scope="session")
 def runner():
+    global _SHARED_RUNNER, _SHARED_RECORDER
+    from repro import obs
+    from repro.engine.telemetry import Telemetry
     from repro.experiments.runner import default_runner
 
+    # Benchmarks run observed: spans/events/metrics from the pipeline and
+    # the simulators accumulate here and land in BENCH_observability.json.
+    _SHARED_RECORDER = obs.install(obs.Recorder(meta={"suite": "benchmarks"}))
     shared = default_runner()
+    shared.telemetry = Telemetry(registry=_SHARED_RECORDER.metrics)
     for name in shared.names():
         shared.artifacts(name)
         shared.addresses(name, "optimized")
+    _SHARED_RUNNER = shared
     return shared
 
 
@@ -33,3 +63,51 @@ def emit(name: str, text: str) -> None:
 
     save_result(name, text)
     print("\n" + text)
+
+
+def record_bench(name: str, **metrics) -> None:
+    """Register per-table observability metrics (e.g. miss ratios).
+
+    Benches call this with whatever scalar metrics matter for their
+    table; the values land under ``tables.<name>`` in
+    ``BENCH_observability.json`` alongside the measured wall time.
+    """
+    _BENCH_OBS["tables"].setdefault(name, {}).update(metrics)
+
+
+def _table_for_nodeid(nodeid: str) -> str | None:
+    """``benchmarks/bench_table6_cache_size.py::test_x`` -> ``table6``-ish."""
+    filename = nodeid.split("::")[0].rsplit("/", 1)[-1]
+    if not filename.startswith("bench_"):
+        return None
+    stem = filename[len("bench_"):].removesuffix(".py")
+    return stem
+
+
+def pytest_runtest_logreport(report):
+    """Capture each bench test's call-phase wall time."""
+    if report.when != "call":
+        return
+    name = _table_for_nodeid(report.nodeid)
+    if name is None:
+        return
+    entry = _BENCH_OBS["tables"].setdefault(name, {})
+    entry["wall_s"] = entry.get("wall_s", 0.0) + report.duration
+    entry["outcome"] = report.outcome
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write ``BENCH_observability.json`` at the repo root."""
+    if not _BENCH_OBS["tables"]:
+        return
+    if _SHARED_RUNNER is not None and _SHARED_RUNNER.telemetry is not None:
+        _BENCH_OBS["runner_totals"] = _SHARED_RUNNER.telemetry.totals()
+        _BENCH_OBS["runner_counters"] = dict(_SHARED_RUNNER.telemetry.counters)
+    if _SHARED_RECORDER is not None:
+        from repro import obs
+
+        _BENCH_OBS["obs_metrics"] = _SHARED_RECORDER.metrics.to_dict()
+        obs.install(obs.NULL)
+    path = os.path.join(_REPO_ROOT, "BENCH_observability.json")
+    with open(path, "w") as handle:
+        json.dump(_BENCH_OBS, handle, indent=2, sort_keys=True)

@@ -14,7 +14,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["CacheStats", "require_power_of_two", "BUS_WORD_BYTES"]
+from repro import obs
+
+__all__ = [
+    "CacheStats",
+    "MissSampler",
+    "emit_cache_sim",
+    "require_power_of_two",
+    "top_sets",
+    "BUS_WORD_BYTES",
+]
 
 #: Width of the memory bus in bytes (paper Section 4.2.1: "a 4-byte
 #: memory bus").
@@ -54,3 +63,76 @@ def require_power_of_two(value: int, name: str) -> int:
     if value <= 0 or value & (value - 1):
         raise ValueError(f"{name} must be a positive power of two, got {value}")
     return value
+
+
+class MissSampler:
+    """A bounded, deterministically-decimated sample of the miss stream.
+
+    Keeps every ``stride``-th offered address; when the sample fills,
+    it is thinned to every other element and the stride doubles, so the
+    retained addresses stay spread across the whole run.  No randomness:
+    two identical simulations sample identically.
+    """
+
+    __slots__ = ("cap", "samples", "_stride", "_seen")
+
+    def __init__(self, cap: int = 256) -> None:
+        self.cap = cap
+        self.samples: list[int] = []
+        self._stride = 1
+        self._seen = 0
+
+    def offer(self, address: int) -> None:
+        if self._seen % self._stride == 0:
+            self.samples.append(int(address))
+            if len(self.samples) >= self.cap:
+                self.samples = self.samples[::2]
+                self._stride *= 2
+        self._seen += 1
+
+
+def top_sets(set_misses, n: int = 8) -> list[tuple[int, int]]:
+    """The ``n`` cache sets with the most misses: ``(set_index, misses)``."""
+    ranked = sorted(
+        ((index, int(count)) for index, count in enumerate(set_misses)
+         if count),
+        key=lambda pair: (-pair[1], pair[0]),
+    )
+    return ranked[:n]
+
+
+def emit_cache_sim(
+    stats: CacheStats,
+    cache_bytes: int,
+    block_bytes: int,
+    organization: str,
+    set_misses=None,
+    sampler: MissSampler | None = None,
+) -> None:
+    """Report one finished simulation to the active recorder.
+
+    A no-op under the null recorder.  The event inherits whatever span
+    context is open (workload, layout, table), which is how the report
+    renderer attributes conflict sets to workloads.
+    """
+    recorder = obs.current()
+    if not recorder.enabled:
+        return
+    fields = {
+        "organization": organization,
+        "cache_bytes": cache_bytes,
+        "block_bytes": block_bytes,
+        "accesses": stats.accesses,
+        "misses": stats.misses,
+        "miss_ratio": stats.miss_ratio,
+        "traffic_ratio": stats.traffic_ratio,
+    }
+    if set_misses is not None:
+        fields["top_sets"] = top_sets(set_misses)
+    if sampler is not None and sampler.samples:
+        fields["miss_samples"] = sampler.samples
+    recorder.event("cache_sim", **fields)
+    recorder.count("cache_sims", 1)
+    recorder.count("cache_sim_accesses", stats.accesses)
+    recorder.count("cache_sim_misses", stats.misses)
+    recorder.observe("cache_sim_miss_ratio", stats.miss_ratio)

@@ -11,7 +11,14 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.cache.base import BUS_WORD_BYTES, CacheStats, require_power_of_two
+from repro import obs
+from repro.cache.base import (
+    BUS_WORD_BYTES,
+    CacheStats,
+    MissSampler,
+    emit_cache_sim,
+    require_power_of_two,
+)
 
 __all__ = ["DirectMappedCache", "simulate_direct"]
 
@@ -32,6 +39,8 @@ class DirectMappedCache:
         self._tags = [-1] * self.num_sets
         self.accesses = 0
         self.misses = 0
+        #: Per-set conflict-miss counts (index -> misses landing there).
+        self.set_misses = [0] * self.num_sets
 
     def access(self, address: int) -> bool:
         """Fetch one instruction; returns True on hit."""
@@ -42,6 +51,7 @@ class DirectMappedCache:
             return True
         self._tags[index] = block
         self.misses += 1
+        self.set_misses[index] += 1
         return False
 
     def stats(self) -> CacheStats:
@@ -62,6 +72,9 @@ def simulate_direct(
     shift = cache._block_shift
     mask = cache._set_mask
     tags = cache._tags
+    set_misses = cache.set_misses
+    recorder = obs.current()
+    sampler = MissSampler() if recorder.enabled else None
     accesses = 0
     misses = 0
     for address in addresses:
@@ -71,6 +84,15 @@ def simulate_direct(
         if tags[index] != block:
             tags[index] = block
             misses += 1
+            set_misses[index] += 1
+            if sampler is not None:
+                sampler.offer(address)
     cache.accesses = accesses
     cache.misses = misses
-    return cache.stats()
+    stats = cache.stats()
+    if recorder.enabled:
+        emit_cache_sim(
+            stats, cache_bytes, block_bytes, "direct",
+            set_misses=set_misses, sampler=sampler,
+        )
+    return stats

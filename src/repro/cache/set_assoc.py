@@ -11,7 +11,14 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.cache.base import BUS_WORD_BYTES, CacheStats, require_power_of_two
+from repro import obs
+from repro.cache.base import (
+    BUS_WORD_BYTES,
+    CacheStats,
+    MissSampler,
+    emit_cache_sim,
+    require_power_of_two,
+)
 
 __all__ = ["SetAssociativeCache", "simulate_set_associative", "simulate_fully_associative"]
 
@@ -49,16 +56,20 @@ class SetAssociativeCache:
         self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
         self.accesses = 0
         self.misses = 0
+        #: Per-set conflict-miss counts (index -> misses landing there).
+        self.set_misses = [0] * self.num_sets
 
     def access(self, address: int) -> bool:
         """Fetch one instruction; returns True on hit."""
         self.accesses += 1
         block = address >> self._block_shift
-        lru = self._sets[block & self._set_mask]
+        index = block & self._set_mask
+        lru = self._sets[index]
         try:
             lru.remove(block)
         except ValueError:
             self.misses += 1
+            self.set_misses[index] += 1
             if len(lru) >= self.associativity:
                 lru.pop()
             lru.insert(0, block)
@@ -90,24 +101,37 @@ def simulate_set_associative(
     mask = cache._set_mask
     sets = cache._sets
     assoc = cache.associativity
+    set_misses = cache.set_misses
+    recorder = obs.current()
+    sampler = MissSampler() if recorder.enabled else None
     accesses = 0
     misses = 0
     for address in addresses:
         accesses += 1
         block = address >> shift
-        lru = sets[block & mask]
+        index = block & mask
+        lru = sets[index]
         if lru and lru[0] == block:     # fast path: repeated block
             continue
         try:
             lru.remove(block)
         except ValueError:
             misses += 1
+            set_misses[index] += 1
+            if sampler is not None:
+                sampler.offer(address)
             if len(lru) >= assoc:
                 lru.pop()
         lru.insert(0, block)
     cache.accesses = accesses
     cache.misses = misses
-    return cache.stats()
+    stats = cache.stats()
+    if recorder.enabled:
+        emit_cache_sim(
+            stats, cache_bytes, block_bytes, f"{assoc}-way",
+            set_misses=set_misses, sampler=sampler,
+        )
+    return stats
 
 
 def simulate_fully_associative(

@@ -15,7 +15,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cache.base import BUS_WORD_BYTES, CacheStats, require_power_of_two
+from repro import obs
+from repro.cache.base import (
+    BUS_WORD_BYTES,
+    CacheStats,
+    MissSampler,
+    emit_cache_sim,
+    require_power_of_two,
+)
 
 __all__ = ["simulate_direct_vectorized", "direct_mapped_miss_mask"]
 
@@ -57,8 +64,27 @@ def simulate_direct_vectorized(
     """Vectorised equivalent of :func:`repro.cache.direct.simulate_direct`."""
     miss = direct_mapped_miss_mask(addresses, cache_bytes, block_bytes)
     misses = int(miss.sum())
-    return CacheStats(
+    stats = CacheStats(
         accesses=len(addresses),
         misses=misses,
         words_transferred=misses * (block_bytes // BUS_WORD_BYTES),
     )
+    recorder = obs.current()
+    if recorder.enabled:
+        # Per-set conflict counts and a decimated miss-address sample,
+        # computed only when a recorder is attached (one extra bincount).
+        num_sets = cache_bytes // block_bytes
+        block_shift = block_bytes.bit_length() - 1
+        miss_addresses = np.asarray(addresses, dtype=np.int64)[miss]
+        set_misses = np.bincount(
+            (miss_addresses >> block_shift) & (num_sets - 1),
+            minlength=num_sets,
+        )
+        sampler = MissSampler()
+        for address in miss_addresses[:: max(1, len(miss_addresses) // 256)]:
+            sampler.offer(int(address))
+        emit_cache_sim(
+            stats, cache_bytes, block_bytes, "direct-vectorized",
+            set_misses=set_misses, sampler=sampler,
+        )
+    return stats

@@ -20,10 +20,22 @@ Commands
     ``--telemetry PATH`` dumps per-job wall times, interpreter step
     counts, cache hit/miss counters, and robustness counters (retries,
     timeouts, quarantined entries, pool restarts) as JSON.
+    ``--trace-out PATH`` records the full observability run — nested
+    spans per pipeline phase and engine job, point events from the
+    interpreter/placement/cache layers, and the final metrics snapshot —
+    as JSONL; ``--chrome-trace PATH`` additionally exports the spans in
+    Chrome trace-event format (viewable in Perfetto / chrome://tracing).
+``report RUN.jsonl``
+    Summarize an observability run file: per-phase span timings,
+    per-workload miss ratios, hottest traces, top conflict sets, and
+    effective-region sizes.  ``report --compare A B`` diffs two runs and
+    exits 1 when any miss ratio or counter regresses beyond
+    ``--threshold`` (default 10%).
 ``cache {ls,stats,verify,clear}``
     Inspect, integrity-check, or empty the artifact cache.  ``verify``
     checks every entry's SHA-256 manifest and quarantines corrupt ones
-    (exit 1 when any are found).
+    (exit 1 when any are found); ``stats`` includes the quarantine
+    directory's entry count and size.
 ``optimize``
     Run the placement pipeline on one benchmark and report inline /
     trace-selection / footprint statistics plus cache ratios for a chosen
@@ -90,7 +102,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="do not persist artifacts to the cache")
     table.add_argument("--telemetry", default=None, metavar="PATH",
                        help="dump per-job engine telemetry as JSON")
+    table.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="record spans/events/metrics for the run "
+                            "as an observability JSONL file")
+    table.add_argument("--chrome-trace", default=None, metavar="PATH",
+                       help="also export spans as a Chrome trace-event "
+                            "JSON file (Perfetto-viewable)")
     _add_cache_arguments(table)
+
+    report = sub.add_parser(
+        "report", help="summarize or compare observability run files"
+    )
+    report.add_argument("run", nargs="?", default=None, metavar="RUN.jsonl",
+                        help="run file written by table --trace-out")
+    report.add_argument("--compare", nargs=2, default=None,
+                        metavar=("BASELINE", "CANDIDATE"),
+                        help="diff two run files and flag regressions")
+    report.add_argument("--threshold", type=float, default=0.10,
+                        metavar="FRACTION",
+                        help="relative regression threshold for --compare "
+                             "(default 0.10)")
 
     cache = sub.add_parser("cache", help="inspect the artifact cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -161,6 +192,7 @@ EXIT_PARTIAL_FAILURE = 3
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.engine.jobs import ALL_TABLE_NAMES, table_plan
     from repro.engine.scheduler import ExperimentFailure, run_jobs
     from repro.engine.telemetry import Telemetry
@@ -171,14 +203,21 @@ def _cmd_table(args: argparse.Namespace) -> int:
             f"repro table: unknown table {name!r}\n"
             f"usage: repro table NAME [--scale {{default,small}}] "
             f"[--jobs N] [--retries N] [--job-timeout SECONDS] "
-            f"[--cache-dir PATH] [--no-cache] [--telemetry PATH]\n"
+            f"[--cache-dir PATH] [--no-cache] [--telemetry PATH] "
+            f"[--trace-out PATH] [--chrome-trace PATH]\n"
             f"NAME is one of: {', '.join(TABLE_CHOICES)}",
             file=sys.stderr,
         )
         return 2
 
     tables = list(ALL_TABLE_NAMES) if name == "all" else [name]
-    telemetry = Telemetry()
+    observing = bool(args.trace_out or args.chrome_trace)
+    recorder = obs.Recorder() if observing else obs.NULL
+    # One metric namespace: the run's robustness counters and the
+    # observability counters land in the same registry.
+    telemetry = Telemetry(
+        registry=recorder.metrics if observing else None
+    )
     use_cache = not args.no_cache
     cache_dir = args.cache_dir
     temp_cache = None
@@ -191,21 +230,34 @@ def _cmd_table(args: argparse.Namespace) -> int:
         cache_dir, use_cache = temp_cache.name, True
     failure = None
     try:
-        values = run_jobs(
-            table_plan(tables, args.scale),
-            jobs=args.jobs,
-            cache_dir=cache_dir,
-            use_cache=use_cache,
-            telemetry=telemetry,
-            retries=args.retries,
-            job_timeout=args.job_timeout,
-        )
+        with obs.use(recorder):
+            values = run_jobs(
+                table_plan(tables, args.scale),
+                jobs=args.jobs,
+                cache_dir=cache_dir,
+                use_cache=use_cache,
+                telemetry=telemetry,
+                retries=args.retries,
+                job_timeout=args.job_timeout,
+            )
     except ExperimentFailure as exc:
         failure = exc
         values = exc.values
     finally:
         if temp_cache is not None:
             temp_cache.cleanup()
+        if observing:
+            recorder.meta.update(
+                tables=tables,
+                scale=args.scale,
+                jobs=args.jobs,
+                telemetry_totals=telemetry.totals(),
+                telemetry_counters=telemetry.counters,
+            )
+            if args.trace_out:
+                recorder.dump_jsonl(args.trace_out)
+            if args.chrome_trace:
+                recorder.dump_chrome_trace(args.chrome_trace)
     rendered = [
         values[f"table:{table}"] for table in tables
         if f"table:{table}" in values
@@ -219,6 +271,25 @@ def _cmd_table(args: argparse.Namespace) -> int:
     if failure is not None:
         print(f"repro table: {failure.summary()}", file=sys.stderr)
         return EXIT_PARTIAL_FAILURE
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import RunReport, compare
+
+    if args.compare is not None:
+        baseline, candidate = args.compare
+        text, regressions = compare(
+            RunReport.load(baseline), RunReport.load(candidate),
+            threshold=args.threshold,
+        )
+        print(text)
+        return 1 if regressions else 0
+    if args.run is None:
+        print("repro report: a RUN.jsonl argument or --compare A B "
+              "is required", file=sys.stderr)
+        return 2
+    print(RunReport.load(args.run).render())
     return 0
 
 
@@ -254,10 +325,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         ))
     elif args.cache_command == "stats":
         stats = store.stats()
-        print(f"root:           {stats['root']}")
-        print(f"entries:        {stats['entries']}")
-        print(f"bytes:          {stats['bytes']}")
-        print(f"persisted hits: {stats['persisted_hits']}")
+        print(f"root:               {stats['root']}")
+        print(f"entries:            {stats['entries']}")
+        print(f"bytes:              {stats['bytes']}")
+        print(f"persisted hits:     {stats['persisted_hits']}")
+        print(f"quarantine entries: {stats['quarantine_entries']}")
+        print(f"quarantine bytes:   {stats['quarantine_bytes']}")
     elif args.cache_command == "verify":
         report = store.verify()
         print(f"checked {report['checked']} entr"
@@ -350,6 +423,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list()
         if args.command == "table":
             return _cmd_table(args)
+        if args.command == "report":
+            return _cmd_report(args)
         if args.command == "cache":
             return _cmd_cache(args)
         if args.command == "optimize":

@@ -19,12 +19,14 @@ reproducible as a serial one.
 from __future__ import annotations
 
 import hashlib
+import os
 import random
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.engine import faults
 from repro.engine.store import ArtifactStore
 from repro.engine.telemetry import JobRecord, Telemetry
@@ -62,12 +64,17 @@ class JobOutcome:
 
     ``counters`` carries store-side robustness counts (today just
     ``quarantined``) for the scheduler to fold into the run telemetry.
+    ``obs_records``/``obs_metrics`` carry the worker's observability
+    spans, events, and metric snapshot when the run is being traced
+    (empty otherwise — an unobserved run ships no extra bytes).
     """
 
     job_id: str
     value: object
     records: list[JobRecord] = field(default_factory=list)
     counters: dict = field(default_factory=dict)
+    obs_records: list = field(default_factory=list)
+    obs_metrics: dict = field(default_factory=dict)
 
 
 def workloads_for_table(table: str) -> tuple[str, ...]:
@@ -126,6 +133,7 @@ def execute_job(
     use_cache: bool = True,
     runner=None,
     attempt: int = 0,
+    observe: bool = False,
 ) -> JobOutcome:
     """Run one job; the sequential scheduler and pool workers both use this.
 
@@ -135,6 +143,11 @@ def execute_job(
     the retry index — it feeds fault injection (so a retried job re-rolls
     its injected failures) but **not** the PRNG seed, which depends only
     on the job id so retried work stays byte-identical.
+
+    ``observe=True`` makes a worker process (where no recorder is
+    installed) collect observability spans/events for this job and ship
+    them back in the outcome; in-process callers inherit whatever
+    recorder is already current, so their records flow in directly.
     """
     from repro.experiments.runner import ExperimentRunner
 
@@ -144,38 +157,68 @@ def execute_job(
     random.seed(seed)
     np.random.seed(seed)
 
-    telemetry = Telemetry()
-    if runner is None:
-        store = ArtifactStore(cache_dir) if use_cache else None
-        runner = ExperimentRunner(
-            scale=spec.params.get("scale", "default"),
-            store=store,
-            telemetry=telemetry,
-        )
-    else:
-        runner.telemetry = telemetry
-    store = runner.store
-    quarantined_before = store.quarantined if store is not None else 0
+    recorder = obs.current()
+    own_recorder = None
+    if observe and (
+        not recorder.enabled
+        or getattr(recorder, "_pid", None) != os.getpid()
+    ):
+        # Either no recorder is installed (spawned worker) or the current
+        # one was inherited across a fork — its in-memory records can
+        # never travel back to the parent, so collect into a fresh
+        # recorder and ship the records through the outcome instead.
+        own_recorder = obs.Recorder()
+        obs.install(own_recorder)
+        recorder = own_recorder
 
-    started = time.perf_counter()
-    if spec.kind == "artifacts":
-        runner.artifacts(spec.params["workload"])
-        value = None
-    elif spec.kind == "table":
-        value = _run_table(spec.params["table"], runner)
-        telemetry.record(
-            job_id=spec.job_id,
-            kind="table",
-            wall_s=time.perf_counter() - started,
-        )
-    else:
-        raise ValueError(f"unknown job kind {spec.kind!r}")
-    counters = {}
-    if store is not None and store.quarantined > quarantined_before:
-        counters["quarantined"] = store.quarantined - quarantined_before
+    telemetry = Telemetry()
+    try:
+        if runner is None:
+            store = ArtifactStore(cache_dir) if use_cache else None
+            runner = ExperimentRunner(
+                scale=spec.params.get("scale", "default"),
+                store=store,
+                telemetry=telemetry,
+            )
+        else:
+            runner.telemetry = telemetry
+        store = runner.store
+        quarantined_before = store.quarantined if store is not None else 0
+
+        span_attrs = {
+            key: value
+            for key, value in (
+                ("workload", spec.params.get("workload")),
+                ("table", spec.params.get("table")),
+            )
+            if value is not None
+        }
+        started = time.perf_counter()
+        with recorder.span("job", cat="engine", job_id=spec.job_id,
+                           kind=spec.kind, **span_attrs):
+            if spec.kind == "artifacts":
+                runner.artifacts(spec.params["workload"])
+                value = None
+            elif spec.kind == "table":
+                value = _run_table(spec.params["table"], runner)
+                telemetry.record(
+                    job_id=spec.job_id,
+                    kind="table",
+                    wall_s=time.perf_counter() - started,
+                )
+            else:
+                raise ValueError(f"unknown job kind {spec.kind!r}")
+        counters = {}
+        if store is not None and store.quarantined > quarantined_before:
+            counters["quarantined"] = store.quarantined - quarantined_before
+    finally:
+        if own_recorder is not None:
+            obs.install(obs.NULL)
     return JobOutcome(
         job_id=spec.job_id, value=value, records=telemetry.records,
         counters=counters,
+        obs_records=own_recorder.records if own_recorder else [],
+        obs_metrics=own_recorder.metrics.to_dict() if own_recorder else {},
     )
 
 

@@ -34,6 +34,7 @@ import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
+from repro import obs
 from repro.engine.jobs import JobOutcome, JobSpec, execute_job
 from repro.engine.store import ArtifactStore
 from repro.engine.telemetry import Telemetry
@@ -193,19 +194,21 @@ def run_jobs(
     ordered = toposort(specs)
     started = time.perf_counter()
     try:
-        if jobs <= 1:
-            values = _run_sequential(
-                ordered, cache_dir, use_cache, telemetry, retries
-            )
-        else:
-            if not use_cache:
-                raise ValueError(
-                    "parallel execution requires the artifact store; "
-                    "combine --jobs with a (temporary) cache directory"
+        with obs.current().span("run_jobs", cat="engine",
+                                n_jobs=len(ordered), workers=max(1, jobs)):
+            if jobs <= 1:
+                values = _run_sequential(
+                    ordered, cache_dir, use_cache, telemetry, retries
                 )
-            values = _run_parallel(
-                ordered, jobs, cache_dir, telemetry, retries, job_timeout
-            )
+            else:
+                if not use_cache:
+                    raise ValueError(
+                        "parallel execution requires the artifact store; "
+                        "combine --jobs with a (temporary) cache directory"
+                    )
+                values = _run_parallel(
+                    ordered, jobs, cache_dir, telemetry, retries, job_timeout
+                )
     finally:
         if telemetry is not None:
             telemetry.meta.update(
@@ -230,6 +233,10 @@ def _consume(
         telemetry.extend(outcome.records)
         for name, count in outcome.counters.items():
             telemetry.bump(name, count)
+    recorder = obs.current()
+    if recorder.enabled and (outcome.obs_records or outcome.obs_metrics):
+        # Worker-side spans/events/metrics fold into the run-level record.
+        recorder.absorb(outcome.obs_records, outcome.obs_metrics)
 
 
 def _blocked_by(
@@ -364,7 +371,7 @@ def _run_parallel(
             ):
                 future = pool.submit(
                     execute_job, spec, cache_dir, True, None,
-                    attempts.get(spec.job_id, 0),
+                    attempts.get(spec.job_id, 0), obs.current().enabled,
                 )
                 in_flight[spec.job_id] = future
                 if job_timeout is not None:

@@ -429,8 +429,31 @@ class ArtifactStore:
         }
 
     def stats(self) -> dict:
-        """Aggregate store statistics (persisted entries + session counters)."""
+        """Aggregate store statistics (persisted entries + session counters).
+
+        ``quarantine_entries``/``quarantine_bytes`` size the quarantine
+        directory, where corrupt entries accumulate across *all* sessions
+        until someone inspects and deletes them — a growing quarantine is
+        the durable signal that something is corrupting the store.
+        """
         entries = self.entries()
+        quarantine_entries = 0
+        quarantine_bytes = 0
+        try:
+            names = os.listdir(self.quarantine_dir)
+        except OSError:
+            names = []
+        for name in names:
+            quarantine_entries += 1
+            path = os.path.join(self.quarantine_dir, name)
+            for dirpath, _dirnames, filenames in os.walk(path):
+                for filename in filenames:
+                    try:
+                        quarantine_bytes += os.path.getsize(
+                            os.path.join(dirpath, filename)
+                        )
+                    except OSError:
+                        continue
         return {
             "root": self.root,
             "entries": len(entries),
@@ -439,6 +462,8 @@ class ArtifactStore:
             "session_hits": self.hits,
             "session_misses": self.misses,
             "session_quarantined": self.quarantined,
+            "quarantine_entries": quarantine_entries,
+            "quarantine_bytes": quarantine_bytes,
         }
 
     def clear(self) -> int:

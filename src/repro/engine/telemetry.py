@@ -6,6 +6,11 @@ actually executed, whether the artifact store hit, and how long the traces
 involved were.  A warm-cache run is therefore *assertable*: its telemetry
 must show ``totals()["interp_instructions"] == 0``.
 
+Counters live in a :class:`repro.obs.metrics.MetricsRegistry` (which
+superseded the ad-hoc counter dict this module used to carry); pass the
+registry of an active :class:`repro.obs.Recorder` to share one metric
+namespace between the telemetry JSON and the observability run file.
+
 The JSON dump (``--telemetry PATH`` on the CLI) is what the benchmark
 trajectory records.
 """
@@ -16,11 +21,14 @@ import json
 import time
 from dataclasses import asdict, dataclass, field
 
+from repro.obs.metrics import MetricsRegistry
+
 __all__ = ["COUNTER_NAMES", "JobRecord", "Telemetry"]
 
 #: Robustness counters every telemetry document reports (zero on a clean
 #: run): scheduler retries, job timeouts, store quarantines, and process
-#: pool restarts.
+#: pool restarts.  Kept as the *guaranteed* subset of the registry — the
+#: registry itself is open-ended.
 COUNTER_NAMES = ("retries", "timeouts", "quarantined", "pool_restarts")
 
 
@@ -46,14 +54,21 @@ class JobRecord:
 class Telemetry:
     """An append-only log of job records plus run-level metadata."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self.records: list[JobRecord] = []
         self.meta: dict = {}
-        self.counters: dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for name in COUNTER_NAMES:
+            self.registry.counter(name)
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Current counter values (a snapshot — mutate via :meth:`bump`)."""
+        return self.registry.counter_values()
 
     def bump(self, name: str, count: int = 1) -> None:
         """Increment a robustness counter (``retries``, ``timeouts``, ...)."""
-        self.counters[name] = self.counters.get(name, 0) + count
+        self.registry.counter(name).inc(count)
 
     def record(self, **kwargs) -> JobRecord:
         """Append one record (keyword form of :class:`JobRecord`)."""
@@ -69,7 +84,14 @@ class Telemetry:
         return time.perf_counter()
 
     def totals(self) -> dict:
-        """Aggregates the acceptance checks and benchmarks key off."""
+        """Aggregates the acceptance checks and benchmarks key off.
+
+        ``wall_s_sum`` sums ``wall_s`` over **table records only**.  A
+        table record's wall already includes the artifact rehydrations it
+        performed (see :class:`JobRecord`), so summing every record would
+        double-count rehydration time; the table-only sum is the run's
+        end-to-end table regeneration time.
+        """
         return {
             "jobs": len(self.records),
             "interp_instructions": sum(
@@ -83,6 +105,10 @@ class Telemetry:
             ),
             "trace_blocks": sum(
                 record.trace_blocks for record in self.records
+            ),
+            "wall_s_sum": sum(
+                record.wall_s for record in self.records
+                if record.kind == "table"
             ),
         }
 

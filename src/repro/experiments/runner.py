@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.engine.store import ArtifactPayload, ArtifactStore, artifact_key
 from repro.engine.telemetry import Telemetry
 from repro.interp.interpreter import Interpreter
@@ -100,26 +101,32 @@ class ExperimentRunner:
             return self._artifacts[name]
         started = time.perf_counter()
         workload = get_workload(name)
-        art = interp_steps = None
-        outcome = "off"
-        if self.store is not None:
-            payload = self.store.get(
-                artifact_key(name, self.scale, self.options)
-            )
-            if payload is not None:
-                art = self._hydrate(workload, payload)
-                if art is not None:
-                    interp_steps = 0
-                    outcome = "hit"
-        if art is None:
-            art, interp_steps = self._compute(workload)
+        recorder = obs.current()
+        with recorder.span("artifacts", cat="pipeline",
+                           workload=name, scale=self.scale):
+            art = interp_steps = None
+            outcome = "off"
             if self.store is not None:
-                outcome = "miss"
-                self.store.put(
-                    artifact_key(name, self.scale, self.options),
-                    self._dehydrate(art, interp_steps),
+                payload = self.store.get(
+                    artifact_key(name, self.scale, self.options)
                 )
-        self._artifacts[name] = art
+                if payload is not None:
+                    with recorder.span("hydrate", cat="pipeline"):
+                        art = self._hydrate(workload, payload)
+                    if art is not None:
+                        interp_steps = 0
+                        outcome = "hit"
+            if art is None:
+                art, interp_steps = self._compute(workload)
+                if self.store is not None:
+                    outcome = "miss"
+                    self.store.put(
+                        artifact_key(name, self.scale, self.options),
+                        self._dehydrate(art, interp_steps),
+                    )
+            self._artifacts[name] = art
+            if recorder.enabled:
+                self._emit_placement_event(recorder, name, art, outcome)
         if self.telemetry is not None:
             self.telemetry.record(
                 job_id=f"artifacts:{name}@{self.scale}",
@@ -131,21 +138,50 @@ class ExperimentRunner:
             )
         return art
 
+    @staticmethod
+    def _emit_placement_event(
+        recorder, name: str, art: WorkloadArtifacts, outcome: str
+    ) -> None:
+        """One per-workload placement summary for the run report."""
+        placement = art.placement
+        mask = placement.profile.effective_blocks()
+        top_traces = sorted(
+            (
+                (function_name, len(trace.blocks), int(trace.weight))
+                for function_name, selection in placement.selections.items()
+                for trace in selection.traces
+            ),
+            key=lambda row: (-row[2], row[0]),
+        )[:5]
+        recorder.event(
+            "placement",
+            workload=name,
+            total_bytes=int(art.image.total_bytes),
+            effective_bytes=int(art.image.static_bytes(mask)),
+            top_traces=top_traces,
+            store=outcome,
+        )
+        if outcome in ("hit", "miss"):
+            recorder.count(f"store_{outcome}s", 1)
+
     # -- cold path: run the interpreter ------------------------------------
 
     def _compute(self, workload: Workload) -> tuple[WorkloadArtifacts, int]:
         """Full build+profile+place+trace; returns interpreter step count."""
-        program = workload.build()
+        recorder = obs.current()
+        with recorder.span("build", cat="pipeline"):
+            program = workload.build()
         placement = optimize_program(
             program, workload.profiling_inputs(self.scale), self.options
         )
         trace_input = workload.trace_input(self.scale)
-        result = Interpreter(placement.program).run(
-            trace_input, max_instructions=MAX_TRACE_INSTRUCTIONS
-        )
-        original_result = Interpreter(program).run(
-            trace_input, max_instructions=MAX_TRACE_INSTRUCTIONS
-        )
+        with recorder.span("trace_generation", cat="pipeline"):
+            result = Interpreter(placement.program).run(
+                trace_input, max_instructions=MAX_TRACE_INSTRUCTIONS
+            )
+            original_result = Interpreter(program).run(
+                trace_input, max_instructions=MAX_TRACE_INSTRUCTIONS
+            )
         pre = placement.pre_inline_profile
         post = placement.profile
         interp_steps = (
@@ -282,12 +318,15 @@ class ExperimentRunner:
         if key in self._addresses:
             return self._addresses[key]
         art = self.artifacts(name)
-        image = self.image_for(name, layout, scaling, seed)
-        trace = (
-            art.trace if layout in ("optimized", "conflict_aware")
-            else art.original_trace
-        )
-        addresses = trace.addresses(image)
+        recorder = obs.current()
+        with recorder.span("addresses", cat="pipeline",
+                           workload=name, layout=layout):
+            image = self.image_for(name, layout, scaling, seed)
+            trace = (
+                art.trace if layout in ("optimized", "conflict_aware")
+                else art.original_trace
+            )
+            addresses = trace.addresses(image)
         if scaling == 1.0 and layout in ("optimized", "natural"):
             self._addresses[key] = addresses
         return addresses

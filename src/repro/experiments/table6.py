@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.cache.vectorized import simulate_direct_vectorized
 from repro.experiments.report import fmt_pct, render_table
 from repro.experiments.runner import ExperimentRunner, default_runner
@@ -34,15 +35,18 @@ def compute(
     runner: ExperimentRunner, layout: str = "optimized"
 ) -> list[Row]:
     """Sweep cache sizes for every benchmark under ``layout``."""
+    recorder = obs.current()
     rows = []
     for name in runner.names():
         addresses = runner.addresses(name, layout)
         results = {}
-        for cache_bytes in CACHE_SIZES:
-            stats = simulate_direct_vectorized(
-                addresses, cache_bytes, BLOCK_BYTES
-            )
-            results[cache_bytes] = (stats.miss_ratio, stats.traffic_ratio)
+        with recorder.span("simulate", cat="simulation",
+                           table="table6", workload=name, layout=layout):
+            for cache_bytes in CACHE_SIZES:
+                stats = simulate_direct_vectorized(
+                    addresses, cache_bytes, BLOCK_BYTES
+                )
+                results[cache_bytes] = (stats.miss_ratio, stats.traffic_ratio)
         rows.append(Row(name=name, results=results))
     return rows
 

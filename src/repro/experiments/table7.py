@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.cache.vectorized import simulate_direct_vectorized
 from repro.experiments.report import fmt_pct, render_table
 from repro.experiments.runner import ExperimentRunner, default_runner
@@ -35,15 +36,18 @@ def compute(
     runner: ExperimentRunner, layout: str = "optimized"
 ) -> list[Row]:
     """Sweep block sizes for every benchmark under ``layout``."""
+    recorder = obs.current()
     rows = []
     for name in runner.names():
         addresses = runner.addresses(name, layout)
         results = {}
-        for block_bytes in BLOCK_SIZES:
-            stats = simulate_direct_vectorized(
-                addresses, CACHE_BYTES, block_bytes
-            )
-            results[block_bytes] = (stats.miss_ratio, stats.traffic_ratio)
+        with recorder.span("simulate", cat="simulation",
+                           table="table7", workload=name, layout=layout):
+            for block_bytes in BLOCK_SIZES:
+                stats = simulate_direct_vectorized(
+                    addresses, CACHE_BYTES, block_bytes
+                )
+                results[block_bytes] = (stats.miss_ratio, stats.traffic_ratio)
         rows.append(Row(name=name, results=results))
     return rows
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.interp.machine import MachineState
 from repro.ir.instructions import EOF_SENTINEL, Opcode
 from repro.ir.program import Program
@@ -274,6 +275,21 @@ class Interpreter:
                 else:
                     via_trace.append(VIA_FALL)
                     bid = fall
+
+        recorder = obs.current()
+        if recorder.enabled:
+            # One event per execution, stamped with the enclosing span
+            # context (profiling vs. trace generation), so per-phase
+            # instruction counts fall out of the run file for free.
+            recorder.count("interp_instructions", executed)
+            recorder.count("interp_runs", 1)
+            recorder.observe("interp_run_instructions", executed)
+            recorder.event(
+                "interp_run",
+                instructions=executed,
+                blocks=len(block_trace),
+                halted=halted,
+            )
 
         return ExecutionResult(
             block_ids=np.asarray(block_trace, dtype=np.int32),

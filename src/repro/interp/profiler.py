@@ -12,6 +12,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.interp.interpreter import (
     ExecutionResult,
     Interpreter,
@@ -72,6 +73,23 @@ class Profiler:
 
     def finish(self) -> ProfileData:
         """Return the accumulated profile."""
+        recorder = obs.current()
+        if recorder.enabled:
+            profile = self._profile
+            weights = [
+                (function.name, int(profile.function_weight(function.name)))
+                for function in self.program
+            ]
+            for _, weight in weights:
+                recorder.observe("function_execution_weight", weight)
+            weights.sort(key=lambda pair: (-pair[1], pair[0]))
+            recorder.event(
+                "profile_functions",
+                runs=profile.num_runs,
+                dynamic_instructions=profile.dynamic_instructions,
+                dynamic_calls=profile.dynamic_calls,
+                top_functions=weights[:10],
+            )
         return self._profile
 
 

@@ -1,0 +1,41 @@
+"""Structured observability for the placement pipeline and simulators.
+
+Three cooperating pieces, threaded through every layer of the system:
+
+* :mod:`repro.obs.trace` — a span-based tracer.  Each pipeline phase
+  (profiling, inlining, trace selection, layout, simulation) and each
+  engine job opens a nested span; closed spans are plain dicts that
+  export as JSONL and as Chrome trace-event format (viewable in
+  Perfetto via ``repro table6 --chrome-trace out.json``).
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  histograms.  It supersedes the ad-hoc counter dict the engine
+  telemetry used to carry: :class:`repro.engine.telemetry.Telemetry`
+  is now backed by this registry.
+* :mod:`repro.obs.report` — turns one run's JSONL into a human-readable
+  summary (``repro report RUN.jsonl``) and diffs two runs, flagging
+  metric regressions (``repro report --compare A B``).
+
+Instrumentation calls :func:`current` and goes through whatever recorder
+is installed.  The default is :data:`NULL` — a null recorder whose every
+operation is a no-op — so an unobserved run pays nothing: hot paths guard
+any extra work behind ``recorder.enabled`` and the test suite asserts the
+null path records nothing.
+"""
+
+from repro.obs.recorder import (
+    NULL,
+    NullRecorder,
+    Recorder,
+    current,
+    install,
+    use,
+)
+
+__all__ = [
+    "NULL",
+    "NullRecorder",
+    "Recorder",
+    "current",
+    "install",
+    "use",
+]

@@ -1,0 +1,178 @@
+"""Counters, gauges, and histograms for the observability layer.
+
+The registry is deliberately small: metrics are named, created on first
+use, and snapshot to plain JSON-able dicts.  Histograms keep exact
+count/sum/min/max plus a bounded, deterministically-decimated sample of
+raw observations for percentile estimates — no live randomness, so two
+identical runs produce identical snapshots.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins numeric metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A distribution: exact count/sum/min/max + a decimated sample.
+
+    Once the sample reaches ``sample_cap`` observations it is thinned to
+    every other element and the keep-stride doubles, so memory stays
+    bounded while the sample remains spread across the whole stream.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "sample_cap", "_stride", "_seen", "samples")
+
+    def __init__(self, name: str, sample_cap: int = 512) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.sample_cap = sample_cap
+        self._stride = 1
+        self._seen = 0
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self._seen % self._stride == 0:
+            self.samples.append(value)
+            if len(self.samples) >= self.sample_cap:
+                self.samples = self.samples[::2]
+                self._stride *= 2
+        self._seen += 1
+
+    def percentile(self, q: float) -> float | None:
+        """Estimate the q-th percentile (0..100) from the sample."""
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(round(q / 100 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        """JSON-able snapshot: exact moments + sampled percentiles."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": (self.total / self.count) if self.count else None,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def merge_summary(self, summary: dict) -> None:
+        """Fold another histogram's snapshot into this one.
+
+        Exact moments (count/sum/min/max) merge exactly; the foreign
+        percentile markers join the sample as approximate observations.
+        """
+        count = int(summary.get("count") or 0)
+        if count == 0:
+            return
+        self.count += count
+        self.total += float(summary.get("sum") or 0.0)
+        for bound, better in (("min", min), ("max", max)):
+            value = summary.get(bound)
+            if value is not None:
+                own = getattr(self, bound)
+                setattr(
+                    self, bound,
+                    float(value) if own is None else better(own, float(value)),
+                )
+        for marker in ("p50", "p90", "p99"):
+            if summary.get(marker) is not None:
+                self.samples.append(float(summary[marker]))
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name)
+        return metric
+
+    def counter_values(self) -> dict[str, int]:
+        """Current counter values as a plain dict."""
+        return {name: c.value for name, c in sorted(self.counters.items())}
+
+    def to_dict(self) -> dict:
+        """Full JSON-able snapshot of every metric."""
+        return {
+            "counters": self.counter_values(),
+            "gauges": {
+                name: g.value for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`to_dict` snapshot into this one.
+
+        Counters add, gauges last-write-win, histogram moments merge
+        exactly (percentiles approximately).  This is how worker-process
+        metrics are folded into the run-level registry.
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set(value)
+        for name, summary in (snapshot.get("histograms") or {}).items():
+            self.histogram(name).merge_summary(summary)

@@ -1,0 +1,130 @@
+"""Span-based tracing with Chrome trace-event export.
+
+A :class:`Tracer` maintains the stack of open spans; a span that closes
+becomes a plain dict appended to the recorder's record list, carrying its
+wall-clock start (``ts``, epoch seconds — comparable across processes),
+duration, ids, and attributes.  The merged attributes of the open stack
+(:meth:`Tracer.current_attrs`) stamp every point event emitted while the
+span is active, which is how a ``cache_sim`` event deep inside a
+simulator knows which workload and table it belongs to.
+
+:func:`chrome_trace_events` converts the records to the Chrome
+trace-event format (``{"traceEvents": [...]}``), loadable in Perfetto or
+``chrome://tracing``: spans become complete ("X") events, point events
+become instants ("i").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+
+__all__ = ["Tracer", "chrome_trace_events", "write_chrome_trace"]
+
+
+class Tracer:
+    """The active span stack; closed spans append dicts to ``sink``."""
+
+    def __init__(self, sink: list) -> None:
+        self._sink = sink
+        self._next_id = 1
+        self._pid = os.getpid()
+        # Parallel stacks: open span ids, and the *merged* attributes at
+        # each depth (so current_attrs() is a dict lookup, not a walk).
+        self._stack: list[int] = []
+        self._attrs: list[dict] = [{}]
+
+    def current_attrs(self) -> dict:
+        """Merged attributes of every open span, innermost winning."""
+        return self._attrs[-1]
+
+    @contextmanager
+    def span(self, name: str, cat: str = "phase", **attrs):
+        """Open a nested span; the record is written when it closes."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(span_id)
+        self._attrs.append(
+            {**self._attrs[-1], **attrs} if attrs else self._attrs[-1]
+        )
+        ts = time.time()
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - t0
+            self._stack.pop()
+            self._attrs.pop()
+            self._sink.append({
+                "type": "span",
+                "name": name,
+                "cat": cat,
+                "ts": ts,
+                "dur": duration,
+                "span_id": span_id,
+                "parent": parent,
+                "pid": self._pid,
+                "attrs": dict(attrs),
+            })
+
+
+def chrome_trace_events(records: list[dict]) -> list[dict]:
+    """Convert recorder records to Chrome trace-event dicts.
+
+    Timestamps are microseconds relative to the earliest record, so the
+    viewer opens at t=0 instead of the epoch.
+    """
+    stamps = [r["ts"] for r in records if "ts" in r]
+    origin = min(stamps) if stamps else 0.0
+    events: list[dict] = []
+    for record in records:
+        if record.get("type") == "span":
+            events.append({
+                "name": record["name"],
+                "cat": record.get("cat", "phase"),
+                "ph": "X",
+                "ts": (record["ts"] - origin) * 1e6,
+                "dur": record["dur"] * 1e6,
+                "pid": record.get("pid", 0),
+                "tid": record.get("pid", 0),
+                "args": record.get("attrs", {}),
+            })
+        elif record.get("type") == "event":
+            events.append({
+                "name": record["name"],
+                "cat": "event",
+                "ph": "i",
+                "s": "p",
+                "ts": (record["ts"] - origin) * 1e6,
+                "pid": record.get("pid", 0),
+                "tid": record.get("pid", 0),
+                "args": {
+                    **record.get("ctx", {}),
+                    **record.get("fields", {}),
+                },
+            })
+    return events
+
+
+def write_chrome_trace(records: list[dict], path: str) -> None:
+    """Write records as a Chrome trace-event JSON file."""
+    document = {
+        "traceEvents": chrome_trace_events(records),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, default=_json_default)
+
+
+def _json_default(value):
+    """Make numpy scalars/arrays JSON-serialisable."""
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    item = getattr(value, "item", None)
+    if item is not None:
+        return item()
+    raise TypeError(f"not JSON serialisable: {type(value)!r}")

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Sequence
 
+from repro import obs
 from repro.ir.program import Program
 from repro.placement.function_layout import FunctionLayout, layout_function
 from repro.placement.global_layout import (
@@ -95,12 +96,17 @@ def optimize_program(
     # depends on repro.placement.profile_data.
     from repro.interp.profiler import profile_program
 
-    return optimize_from_profiles(
-        program,
-        profile_program(program, profiling_inputs),
-        lambda inlined: profile_program(inlined, profiling_inputs),
-        options,
-    )
+    recorder = obs.current()
+    with recorder.span("profiling", cat="pipeline",
+                       runs=len(profiling_inputs)):
+        pre_profile = profile_program(program, profiling_inputs)
+
+    def reprofile(inlined: Program) -> ProfileData:
+        with recorder.span("reprofile", cat="pipeline",
+                           runs=len(profiling_inputs)):
+            return profile_program(inlined, profiling_inputs)
+
+    return optimize_from_profiles(program, pre_profile, reprofile, options)
 
 
 def optimize_from_profiles(
@@ -117,8 +123,12 @@ def optimize_from_profiles(
     reproduces the identical :class:`PlacementResult` with zero interpreter
     steps.
     """
+    recorder = obs.current()
     if options.inline is not None:
-        inlined, report = inline_expand(program, pre_profile, options.inline)
+        with recorder.span("inlining", cat="pipeline"):
+            inlined, report = inline_expand(
+                program, pre_profile, options.inline
+            )
         profile = reprofile(inlined)
     else:
         inlined = program
@@ -160,40 +170,49 @@ def place(
     options: PlacementOptions = PlacementOptions(),
 ) -> _PlaceResult:
     """Steps 3-5 only: lay out an already-profiled (and inlined) program."""
+    recorder = obs.current()
     selections: dict[str, TraceSelection] = {}
-    for function in program:
-        if options.select_traces:
-            selections[function.name] = select_traces(
-                function, profile, options.min_prob
-            )
-        else:
-            selections[function.name] = _singleton_traces(function, profile)
+    with recorder.span("trace_selection", cat="pipeline",
+                       functions=len(program.functions)):
+        for function in program:
+            if options.select_traces:
+                selections[function.name] = select_traces(
+                    function, profile, options.min_prob
+                )
+            else:
+                selections[function.name] = _singleton_traces(
+                    function, profile
+                )
 
     layouts: dict[str, FunctionLayout] = {}
-    for function in program:
-        layout = layout_function(function, selections[function.name], profile)
-        if not options.split_regions:
-            layout = FunctionLayout(
-                function_name=layout.function_name,
-                blocks=layout.blocks,
-                effective_end=len(layout.blocks),
+    with recorder.span("function_layout", cat="pipeline"):
+        for function in program:
+            layout = layout_function(
+                function, selections[function.name], profile
             )
-        layouts[function.name] = layout
+            if not options.split_regions:
+                layout = FunctionLayout(
+                    function_name=layout.function_name,
+                    blocks=layout.blocks,
+                    effective_end=len(layout.blocks),
+                )
+            layouts[function.name] = layout
 
-    if options.global_dfs:
-        global_layout = layout_globally(program, profile)
-    else:
-        global_layout = GlobalLayout(
-            order=tuple(function.name for function in program)
+    with recorder.span("global_layout", cat="pipeline"):
+        if options.global_dfs:
+            global_layout = layout_globally(program, profile)
+        else:
+            global_layout = GlobalLayout(
+                order=tuple(function.name for function in program)
+            )
+
+        order = assemble_block_order(program, layouts, global_layout)
+        image = MemoryImage.build(
+            program,
+            order,
+            base_address=options.base_address,
+            function_align=options.function_align,
         )
-
-    order = assemble_block_order(program, layouts, global_layout)
-    image = MemoryImage.build(
-        program,
-        order,
-        base_address=options.base_address,
-        function_align=options.function_align,
-    )
     return _PlaceResult(
         selections=selections,
         function_layouts=layouts,

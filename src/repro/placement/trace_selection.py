@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.ir.function import Function
 from repro.placement.profile_data import ControlArc, ProfileData
 
@@ -97,6 +98,9 @@ def select_traces(
         incoming[arc.dst].append(arc)
 
     selected: set[int] = set()
+    # Why trace growth stopped, tallied for the observability layer:
+    # zero-weight best arcs, arcs below MIN_PROB, far ends already taken.
+    cutoffs = {"zero_weight": 0, "min_prob": 0, "already_selected": 0}
 
     def best_successor(bb: int) -> ControlArc | None:
         arcs = outgoing[bb]
@@ -104,12 +108,16 @@ def select_traces(
             return None
         ln = max(arcs, key=lambda a: a.weight)
         if ln.weight == 0:
+            cutoffs["zero_weight"] += 1
             return None
         if ln.weight / max(int(weights[bb]), 1) < min_prob:
+            cutoffs["min_prob"] += 1
             return None
         if ln.weight / max(int(weights[ln.dst]), 1) < min_prob:
+            cutoffs["min_prob"] += 1
             return None
         if ln.dst in selected:
+            cutoffs["already_selected"] += 1
             return None
         return ln
 
@@ -119,12 +127,16 @@ def select_traces(
             return None
         ln = max(arcs, key=lambda a: a.weight)
         if ln.weight == 0:
+            cutoffs["zero_weight"] += 1
             return None
         if ln.weight / max(int(weights[bb]), 1) < min_prob:
+            cutoffs["min_prob"] += 1
             return None
         if ln.weight / max(int(weights[ln.src]), 1) < min_prob:
+            cutoffs["min_prob"] += 1
             return None
         if ln.src in selected:
+            cutoffs["already_selected"] += 1
             return None
         return ln
 
@@ -171,6 +183,17 @@ def select_traces(
         traces.append(trace)
         for bid in chain:
             trace_of[bid] = tid
+
+    recorder = obs.current()
+    if recorder.enabled:
+        for trace in traces:
+            recorder.observe("trace_length_blocks", len(trace.blocks))
+        recorder.count("traces_selected", len(traces))
+        recorder.count("trace_cutoff_zero_weight", cutoffs["zero_weight"])
+        recorder.count("trace_cutoff_min_prob", cutoffs["min_prob"])
+        recorder.count(
+            "trace_cutoff_already_selected", cutoffs["already_selected"]
+        )
 
     return TraceSelection(
         function_name=function.name,

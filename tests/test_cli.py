@@ -146,6 +146,72 @@ class TestEngineFlags:
         assert not cache.exists()
 
 
+class TestReportCommands:
+    def test_trace_out_then_report(self, capsys, tmp_path):
+        run = str(tmp_path / "run.jsonl")
+        chrome = str(tmp_path / "run.chrome.json")
+        assert main([
+            "table6", "--scale", "small",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--trace-out", run, "--chrome-trace", chrome,
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["report", run]) == 0
+        out = capsys.readouterr().out
+        for needle in (
+            "per-phase span timings", "per-workload miss ratios",
+            "top conflict sets", "hottest traces", "effective-region",
+        ):
+            assert needle in out
+        # Every paper workload's miss ratios made it into the report.
+        for name in ("wc", "cccp", "yacc"):
+            assert name in out
+
+        import json
+
+        doc = json.load(open(chrome))
+        assert doc["traceEvents"]
+        assert {e["ph"] for e in doc["traceEvents"]} <= {"X", "i"}
+
+    def test_compare_detects_injected_regression(self, capsys, tmp_path):
+        import json
+
+        run = str(tmp_path / "run.jsonl")
+        assert main([
+            "table6", "--scale", "small",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--trace-out", run,
+        ]) == 0
+        capsys.readouterr()
+
+        # Identical runs never regress.
+        assert main(["report", "--compare", run, run]) == 0
+        capsys.readouterr()
+
+        # Inflate every miss ratio by 50% — well past the 10% gate.
+        regressed = str(tmp_path / "regressed.jsonl")
+        with open(run) as src, open(regressed, "w") as dst:
+            for line in src:
+                record = json.loads(line)
+                if (
+                    record.get("type") == "event"
+                    and record.get("name") == "cache_sim"
+                ):
+                    record["fields"]["miss_ratio"] *= 1.5
+                dst.write(json.dumps(record) + "\n")
+        assert main(["report", "--compare", run, regressed]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+        # The regressed run as baseline: the candidate only improved.
+        assert main(["report", "--compare", regressed, run]) == 0
+
+    def test_report_requires_an_argument(self, capsys):
+        assert main(["report"]) == 2
+        assert "RUN.jsonl" in capsys.readouterr().err
+
+
 class TestCacheCommands:
     def test_ls_stats_clear(self, capsys, tmp_path):
         cache = str(tmp_path / "cache")
@@ -160,14 +226,16 @@ class TestCacheCommands:
 
         assert main(["cache", "stats", "--cache-dir", cache]) == 0
         out = capsys.readouterr().out
-        assert "entries:        10" in out
+        assert "entries:            10" in out
+        assert "quarantine entries: 0" in out
+        assert "quarantine bytes:   0" in out
 
         assert main(["cache", "clear", "--cache-dir", cache]) == 0
         out = capsys.readouterr().out
         assert "removed 10" in out
 
         assert main(["cache", "stats", "--cache-dir", cache]) == 0
-        assert "entries:        0" in capsys.readouterr().out
+        assert "entries:            0" in capsys.readouterr().out
 
     def test_verify_clean_then_corrupt(self, capsys, tmp_path):
         import os
@@ -193,6 +261,13 @@ class TestCacheCommands:
         assert "9 ok, 1 corrupt" in out
         assert f"quarantined {victim}" in out
         assert os.path.exists(os.path.join(cache, "quarantine", victim))
+
+        # The quarantined entry shows up in the stats report.
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "quarantine entries: 1" in out
+        assert "quarantine bytes:   0" not in out
 
         # The store self-healed: a re-verify is clean again.
         assert main(["cache", "verify", "--cache-dir", cache]) == 0

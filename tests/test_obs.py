@@ -1,0 +1,328 @@
+"""The observability layer: tracer, metrics, recorder, and run reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.recorder import Recorder
+from repro.obs.report import RunReport, compare
+from repro.obs.trace import Tracer, chrome_trace_events
+
+
+class TestNullRecorder:
+    def test_default_recorder_is_null(self):
+        assert obs.current() is obs.NULL
+        assert not obs.current().enabled
+
+    def test_null_span_is_one_shared_object(self):
+        # Zero overhead: no allocation per span, no record per span.
+        rec = obs.NULL
+        assert rec.span("a") is rec.span("b", cat="x", attr=1)
+        with rec.span("a"):
+            with rec.span("b"):
+                pass
+
+    def test_null_ops_are_noops(self):
+        rec = obs.NULL
+        rec.event("x", value=1)
+        rec.count("c")
+        rec.gauge("g", 2.0)
+        rec.observe("h", 3.0)
+        rec.absorb([{"type": "event"}], {"counters": {"c": 1}})
+
+    def test_unobserved_pipeline_records_nothing(self, small_runner):
+        # The instrumented pipeline runs end to end without a recorder
+        # installed and leaves no observable state behind.
+        assert obs.current() is obs.NULL
+        art = small_runner.artifacts("wc")
+        assert art.placement is not None
+        assert obs.current() is obs.NULL
+
+    def test_use_restores_previous(self):
+        rec = Recorder()
+        with obs.use(rec):
+            assert obs.current() is rec
+        assert obs.current() is obs.NULL
+
+
+class TestTracer:
+    def test_nesting_and_parents(self):
+        sink: list = []
+        tracer = Tracer(sink)
+        with tracer.span("outer", cat="engine", workload="wc"):
+            with tracer.span("inner", layout="optimized"):
+                assert tracer.current_attrs() == {
+                    "workload": "wc", "layout": "optimized",
+                }
+        inner, outer = sink
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert inner["parent"] == outer["span_id"]
+        assert outer["parent"] is None
+        assert inner["dur"] <= outer["dur"]
+
+    def test_span_record_survives_exceptions(self):
+        sink: list = []
+        tracer = Tracer(sink)
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        assert [r["name"] for r in sink] == ["doomed"]
+        assert tracer.current_attrs() == {}
+
+    def test_chrome_trace_schema(self):
+        rec = Recorder()
+        with rec.span("phase_a", cat="pipeline", workload="wc"):
+            rec.event("cache_sim", miss_ratio=0.01)
+        events = chrome_trace_events(rec.records)
+        assert {e["ph"] for e in events} == {"X", "i"}
+        for event in events:
+            assert set(event) >= {"name", "cat", "ph", "ts", "pid", "tid"}
+            assert event["ts"] >= 0.0
+        complete = next(e for e in events if e["ph"] == "X")
+        assert complete["dur"] >= 0.0
+        assert complete["args"] == {"workload": "wc"}
+        instant = next(e for e in events if e["ph"] == "i")
+        # The instant inherits the open span's attributes as context.
+        assert instant["args"]["workload"] == "wc"
+        assert instant["args"]["miss_ratio"] == 0.01
+        json.dumps(events)  # the whole thing must be JSON-able
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc()
+        reg.counter("jobs").inc(4)
+        reg.gauge("load").set(0.5)
+        for value in range(100):
+            reg.histogram("latency").observe(value)
+        snap = reg.to_dict()
+        assert snap["counters"] == {"jobs": 5}
+        assert snap["gauges"] == {"load": 0.5}
+        hist = snap["histograms"]["latency"]
+        assert hist["count"] == 100
+        assert hist["min"] == 0 and hist["max"] == 99
+        assert hist["mean"] == pytest.approx(49.5)
+        assert 40 <= hist["p50"] <= 60
+
+    def test_histogram_sample_stays_bounded_and_deterministic(self):
+        a = Histogram("h", sample_cap=64)
+        b = Histogram("h", sample_cap=64)
+        for value in range(10_000):
+            a.observe(value)
+            b.observe(value)
+        assert len(a.samples) < 64
+        assert a.samples == b.samples          # no live randomness
+        assert a.count == 10_000
+        assert a.percentile(50) == pytest.approx(5000, rel=0.2)
+
+    def test_merge_snapshot(self):
+        main, worker = MetricsRegistry(), MetricsRegistry()
+        main.counter("sims").inc(2)
+        worker.counter("sims").inc(3)
+        worker.gauge("last").set(7.0)
+        for value in (1.0, 2.0, 3.0):
+            worker.histogram("h").observe(value)
+        main.histogram("h").observe(10.0)
+        main.merge(worker.to_dict())
+        snap = main.to_dict()
+        assert snap["counters"]["sims"] == 5
+        assert snap["gauges"]["last"] == 7.0
+        merged = snap["histograms"]["h"]
+        assert merged["count"] == 4            # exact across processes
+        assert merged["sum"] == pytest.approx(16.0)
+        assert merged["min"] == 1.0 and merged["max"] == 10.0
+
+    def test_merge_empty_histogram_is_noop(self):
+        main = MetricsRegistry()
+        main.histogram("h").observe(1.0)
+        main.merge({"histograms": {"h": {"count": 0, "sum": 0.0}}})
+        assert main.histogram("h").count == 1
+
+
+class TestRecorderRoundTrip:
+    def test_jsonl_round_trip(self, tmp_path):
+        rec = Recorder(meta={"tables": ["table6"], "scale": "small"})
+        with rec.span("job", cat="engine", job_id="table:table6"):
+            rec.event("cache_sim", miss_ratio=0.02, cache_bytes=2048)
+            rec.count("cache_sims")
+            rec.observe("miss_ratio", 0.02)
+        path = str(tmp_path / "run.jsonl")
+        rec.dump_jsonl(path)
+
+        doc = Recorder.load_jsonl(path)
+        assert doc["meta"]["tables"] == ["table6"]
+        assert [r["type"] for r in doc["records"]] == ["event", "span"]
+        assert doc["metrics"]["counters"] == {"cache_sims": 1}
+        assert doc["metrics"]["histograms"]["miss_ratio"]["count"] == 1
+        event = doc["records"][0]
+        assert event["ctx"]["job_id"] == "table:table6"
+        assert event["fields"]["miss_ratio"] == 0.02
+
+    def test_absorb_worker_payload(self):
+        main = Recorder()
+        worker = Recorder()
+        with worker.span("job", cat="engine"):
+            worker.event("cache_sim", miss_ratio=0.5)
+        worker.count("cache_sims", 2)
+        main.count("cache_sims", 1)
+        main.absorb(worker.records, worker.metrics.to_dict())
+        assert len(main.records) == 2
+        assert main.metrics.counter("cache_sims").value == 3
+
+
+class TestRunReport:
+    def _run_doc(self, miss=0.02):
+        rec = Recorder(meta={
+            "tables": ["table6"], "scale": "small",
+            "telemetry_totals": {
+                "jobs": 2, "interp_instructions": 100,
+                "store_hits": 1, "store_misses": 1, "wall_s_sum": 0.5,
+            },
+        })
+        with rec.span("job", cat="engine", job_id="table:table6"):
+            with rec.span("simulate", cat="simulation",
+                          workload="wc", layout="optimized"):
+                rec.event(
+                    "cache_sim", miss_ratio=miss, cache_bytes=2048,
+                    block_bytes=64, accesses=1000,
+                    misses=int(1000 * miss), organization="direct",
+                    top_sets=[[3, 17], [1, 9]],
+                )
+            rec.event(
+                "placement", workload="wc", total_bytes=148,
+                effective_bytes=148,
+                top_traces=[["main", 5, 55347]],
+            )
+            # Rehydration emits the same placement again; reports dedupe.
+            rec.event(
+                "placement", workload="wc", total_bytes=148,
+                effective_bytes=148,
+                top_traces=[["main", 5, 55347]],
+            )
+        return RunReport({
+            "meta": rec.meta, "records": rec.records,
+            "metrics": rec.metrics.to_dict(),
+        })
+
+    def test_queries(self):
+        report = self._run_doc()
+        assert report.miss_ratios()[
+            ("wc", "optimized", 2048, 64)
+        ]["miss_ratio"] == 0.02
+        assert report.top_conflict_sets()[0] == (17, "wc", "2K/64B", 3)
+        assert report.hottest_traces() == [(55347, "wc", "main", 5)]
+        assert report.effective_regions() == [("wc", 148, 148)]
+        timings = report.phase_timings()
+        assert {(cat, name) for cat, name, _, _ in timings} == {
+            ("engine", "job"), ("simulation", "simulate"),
+        }
+
+    def test_render_mentions_every_section(self):
+        text = self._run_doc().render()
+        for needle in (
+            "per-phase span timings", "per-workload miss ratios",
+            "top conflict sets", "hottest traces",
+            "effective-region sizes", "store: 1 hits / 1 misses",
+        ):
+            assert needle in text
+
+    def test_compare_flags_regression(self):
+        baseline = self._run_doc(miss=0.02)
+        regressed = self._run_doc(miss=0.03)
+        text, regressions = compare(baseline, regressed, threshold=0.10)
+        assert len(regressions) == 1
+        assert "REGRESSION" in text
+
+    def test_compare_tolerates_small_and_improved(self):
+        baseline = self._run_doc(miss=0.02)
+        _, regressions = compare(
+            baseline, self._run_doc(miss=0.021), threshold=0.10
+        )
+        assert regressions == []
+        _, regressions = compare(
+            baseline, self._run_doc(miss=0.01), threshold=0.10
+        )
+        assert regressions == []
+
+
+class TestInstrumentation:
+    def test_simulators_emit_cache_sim_events(self):
+        import numpy as np
+
+        from repro.cache.direct import simulate_direct
+        from repro.cache.set_assoc import simulate_set_associative
+        from repro.cache.vectorized import simulate_direct_vectorized
+
+        addresses = [0, 64, 0, 2048, 0, 4096] * 50
+        rec = Recorder()
+        with obs.use(rec):
+            simulate_direct(addresses, 2048, 64)
+            simulate_set_associative(addresses, 2048, 64, 2)
+            simulate_direct_vectorized(np.array(addresses), 2048, 64)
+        events = [r for r in rec.records if r.get("type") == "event"]
+        assert [e["name"] for e in events] == ["cache_sim"] * 3
+        organizations = {e["fields"]["organization"] for e in events}
+        assert organizations == {"direct", "2-way", "direct-vectorized"}
+        # Direct-mapped results agree, so their per-set conflicts do too.
+        direct, assoc, vectorized = events
+        assert direct["fields"]["misses"] == vectorized["fields"]["misses"]
+        assert direct["fields"]["top_sets"] == vectorized["fields"]["top_sets"]
+        assert rec.metrics.counter("cache_sims").value == 3
+
+    def test_trace_selection_emits_cutoffs(self, call_program, call_profile):
+        from repro.placement.trace_selection import select_traces
+
+        rec = Recorder()
+        with obs.use(rec):
+            for function in call_program.functions:
+                select_traces(function, call_profile)
+        counters = rec.metrics.counter_values()
+        assert counters["traces_selected"] > 0
+        assert "trace_cutoff_min_prob" in counters
+        hist = rec.metrics.histogram("trace_length_blocks")
+        assert hist.count == counters["traces_selected"]
+
+    def test_pipeline_spans_cover_phases(self):
+        from repro.experiments.runner import ExperimentRunner
+
+        rec = Recorder()
+        with obs.use(rec):
+            ExperimentRunner(scale="small").artifacts("cmp")
+        names = {
+            r["name"] for r in rec.records if r.get("type") == "span"
+        }
+        assert {"artifacts", "trace_selection", "function_layout",
+                "global_layout"} <= names
+
+    def test_execute_job_ships_records_when_observing(self, tmp_path):
+        from repro.engine.jobs import JobSpec, execute_job
+
+        spec = JobSpec(
+            job_id="artifacts:wc", kind="artifacts",
+            params={"workload": "wc", "scale": "small"},
+        )
+        outcome = execute_job(
+            spec, cache_dir=str(tmp_path / "cache"), observe=True
+        )
+        assert obs.current() is obs.NULL   # recorder uninstalled after
+        assert any(
+            r.get("type") == "span" and r["name"] == "job"
+            for r in outcome.obs_records
+        )
+        assert outcome.obs_metrics["counters"]["interp_runs"] > 0
+
+    def test_execute_job_unobserved_ships_nothing(self, tmp_path):
+        from repro.engine.jobs import JobSpec, execute_job
+
+        spec = JobSpec(
+            job_id="artifacts:wc", kind="artifacts",
+            params={"workload": "wc", "scale": "small"},
+        )
+        outcome = execute_job(spec, cache_dir=str(tmp_path / "cache"))
+        assert outcome.obs_records == []
+        assert outcome.obs_metrics == {}
