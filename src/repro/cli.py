@@ -25,10 +25,28 @@ Commands
     interpreter/placement/cache layers, and the final metrics snapshot —
     as JSONL; ``--chrome-trace PATH`` additionally exports the spans in
     Chrome trace-event format (viewable in Perfetto / chrome://tracing).
+``tune [run]``
+    Search the placement/cache design space: ``--strategy
+    {grid,random,halving}`` picks candidates (grid order, seeded random
+    draws, or successive halving with early pruning on a cheap workload
+    subset), ``--budget N`` bounds the trial count, ``--axes A,B``
+    restricts which axes vary (the rest stay at the paper's values), and
+    ``--jobs N`` fans trials out through the engine — so reruns hit the
+    artifact store and inherit ``--retries``/``--job-timeout`` fault
+    semantics.  Trial 0 is always the paper's configuration.  Writes a
+    JSONL trial log (``--out``, default ``tune_trials.jsonl``) and prints
+    the Pareto front (miss ratio / traffic / code size), the best-config
+    diff against the paper defaults, per-workload winners, and an axis
+    sensitivity ranking.
+``tune report TRIALS.jsonl``
+    Re-render a trial log's Pareto report; exits 1 if the log contains
+    no Pareto-optimal trial (CI's smoke gate).
 ``report RUN.jsonl``
     Summarize an observability run file: per-phase span timings,
     per-workload miss ratios, hottest traces, top conflict sets, and
-    effective-region sizes.  ``report --compare A B`` diffs two runs and
+    effective-region sizes.  Tune trial logs are recognized and rendered
+    as Pareto reports; trace files from tune runs group their trial
+    spans by candidate.  ``report --compare A B`` diffs two runs and
     exits 1 when any miss ratio or counter regresses beyond
     ``--threshold`` (default 10%).
 ``cache {ls,stats,verify,clear}``
@@ -109,6 +127,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also export spans as a Chrome trace-event "
                             "JSON file (Perfetto-viewable)")
     _add_cache_arguments(table)
+
+    tune = sub.add_parser(
+        "tune", help="search the placement/cache design space"
+    )
+    tune_sub = tune.add_subparsers(dest="tune_command", required=True)
+    tune_run = tune_sub.add_parser(
+        "run", help="run a design-space search (also: plain `repro tune`)"
+    )
+    tune_run.add_argument("--strategy", default="random",
+                          choices=("grid", "random", "halving"),
+                          help="candidate selection (default random)")
+    tune_run.add_argument("--budget", type=int, default=12, metavar="N",
+                          help="maximum number of trials (default 12; "
+                               "trial 0 is always the paper defaults)")
+    tune_run.add_argument("--seed", type=int, default=0, metavar="N",
+                          help="PRNG seed for random/halving proposals")
+    tune_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes for the trial DAG")
+    tune_run.add_argument("--scale", default="small",
+                          choices=("default", "small"),
+                          help="workload input scale (default small)")
+    tune_run.add_argument("--workloads", default=None, metavar="A,B,...",
+                          help="comma-separated workload subset "
+                               "(default: the paper's ten benchmarks)")
+    tune_run.add_argument("--axes", default=None, metavar="A,B,...",
+                          help="comma-separated axes to vary; all other "
+                               "axes stay at the paper's values")
+    tune_run.add_argument("--out", default="tune_trials.jsonl",
+                          metavar="PATH",
+                          help="JSONL trial log (default tune_trials.jsonl)")
+    tune_run.add_argument("--retries", type=int, default=0, metavar="N",
+                          help="retry a failing job up to N times")
+    tune_run.add_argument("--job-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-job wall-time limit (parallel runs only)")
+    tune_run.add_argument("--no-cache", action="store_true",
+                          help="do not persist artifacts to the cache")
+    tune_run.add_argument("--telemetry", default=None, metavar="PATH",
+                          help="dump per-job engine telemetry as JSON")
+    tune_run.add_argument("--trace-out", default=None, metavar="PATH",
+                          help="record spans/events/metrics for the run "
+                               "as an observability JSONL file")
+    _add_cache_arguments(tune_run)
+    tune_report = tune_sub.add_parser(
+        "report", help="re-render a trial log's Pareto report"
+    )
+    tune_report.add_argument("run", metavar="TRIALS.jsonl",
+                             help="trial log written by tune run --out")
 
     report = sub.add_parser(
         "report", help="summarize or compare observability run files"
@@ -274,6 +340,113 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune_run(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.engine.scheduler import ExperimentFailure
+    from repro.engine.telemetry import Telemetry
+    from repro.search import default_space, make_strategy, run_search
+    from repro.search.evaluate import write_trials
+    from repro.search.report import render_result
+    from repro.workloads.registry import workload_names
+
+    space = default_space()
+    if args.axes:
+        axes = [name.strip() for name in args.axes.split(",") if name.strip()]
+        try:
+            space = space.restrict(axes)
+        except KeyError as exc:
+            print(f"repro tune: {exc.args[0]}", file=sys.stderr)
+            return 2
+    if args.workloads:
+        workloads = [
+            name.strip() for name in args.workloads.split(",") if name.strip()
+        ]
+        unknown = [
+            name for name in workloads if name not in workload_names()
+        ]
+        if unknown:
+            print(
+                f"repro tune: unknown workloads {unknown!r}; "
+                f"known: {', '.join(workload_names())}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        workloads = workload_names()
+
+    observing = bool(args.trace_out)
+    recorder = obs.Recorder() if observing else obs.NULL
+    telemetry = Telemetry(registry=recorder.metrics if observing else None)
+    use_cache = not args.no_cache
+    cache_dir = args.cache_dir
+    temp_cache = None
+    if not use_cache and args.jobs > 1:
+        # Workers can only exchange artifacts through a store; honour
+        # --no-cache by using a throwaway one.
+        import tempfile
+
+        temp_cache = tempfile.TemporaryDirectory(prefix="repro-cache-")
+        cache_dir, use_cache = temp_cache.name, True
+    try:
+        with obs.use(recorder):
+            result = run_search(
+                space,
+                make_strategy(args.strategy, args.seed),
+                workloads,
+                budget=args.budget,
+                scale=args.scale,
+                jobs=args.jobs,
+                cache_dir=cache_dir,
+                use_cache=use_cache,
+                telemetry=telemetry,
+                retries=args.retries,
+                job_timeout=args.job_timeout,
+                seed=args.seed,
+            )
+    except ExperimentFailure as exc:
+        print(f"repro tune: {exc.summary()}", file=sys.stderr)
+        return EXIT_PARTIAL_FAILURE
+    finally:
+        if temp_cache is not None:
+            temp_cache.cleanup()
+        if observing:
+            recorder.meta.update(
+                kind="tune",
+                strategy=args.strategy,
+                budget=args.budget,
+                seed=args.seed,
+                scale=args.scale,
+                workloads=workloads,
+                jobs=args.jobs,
+                telemetry_totals=telemetry.totals(),
+                telemetry_counters=telemetry.counters,
+            )
+            recorder.dump_jsonl(args.trace_out)
+    write_trials(result, args.out)
+    print(render_result(result))
+    print(f"trial log: {args.out} "
+          f"({len(result.records)} records, {result.pruned} pruned)")
+    if args.telemetry:
+        telemetry.meta.update(
+            kind="tune", strategy=args.strategy, budget=args.budget,
+            seed=args.seed, scale=args.scale,
+        )
+        telemetry.dump(args.telemetry)
+    return 0
+
+
+def _cmd_tune_report(args: argparse.Namespace) -> int:
+    from repro.obs.recorder import Recorder
+    from repro.search.report import front_from_document, render_from_document
+
+    document = Recorder.load_jsonl(args.run)
+    print(render_from_document(document), end="")
+    if not front_from_document(document):
+        print("repro tune report: Pareto front is empty", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs.report import RunReport, compare
 
@@ -417,12 +590,23 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] in TABLE_CHOICES:
         # Shorthand: ``repro table6 --scale small`` == ``repro table table6``.
         argv.insert(0, "table")
+    if (
+        argv and argv[0] == "tune"
+        and (len(argv) == 1 or argv[1] not in ("run", "report", "-h",
+                                               "--help"))
+    ):
+        # Shorthand: ``repro tune --budget 12`` == ``repro tune run ...``.
+        argv.insert(1, "run")
     args = build_parser().parse_args(argv)
     try:
         if args.command == "list":
             return _cmd_list()
         if args.command == "table":
             return _cmd_table(args)
+        if args.command == "tune":
+            if args.tune_command == "report":
+                return _cmd_tune_report(args)
+            return _cmd_tune_run(args)
         if args.command == "report":
             return _cmd_report(args)
         if args.command == "cache":

@@ -1,12 +1,18 @@
 """Experiment work expressed as a DAG of picklable job specs.
 
-Two job kinds cover the whole evaluation:
+Three job kinds cover the whole evaluation:
 
 * ``artifacts`` — build+profile+place+trace one workload at one scale and
-  persist the result in the artifact store;
+  persist the result in the artifact store.  With a ``placement`` entry
+  in its params (the autotuner's hyperparameter overrides), the build
+  runs under those tuned :class:`PlacementOptions` — which are part of
+  the store key, so tuned artifacts never collide with default entries;
 * ``table`` — regenerate one experiment table, rehydrating every workload
   it replays from the store (its dependencies guarantee the entries
-  exist, so a table job never interprets anything itself).
+  exist, so a table job never interprets anything itself);
+* ``trial`` — score one autotuner candidate: rehydrate its artifacts and
+  replay the trace under the candidate's layout and cache geometry (see
+  :mod:`repro.search.evaluate`).
 
 :func:`table_plan` builds the DAG for any set of tables: one artifact job
 per distinct (workload, scale), then one table job depending on exactly
@@ -53,7 +59,7 @@ class JobSpec:
     """One schedulable unit: a kind, its parameters, and its dependencies."""
 
     job_id: str
-    kind: str                     # "artifacts" | "table"
+    kind: str                     # "artifacts" | "table" | "trial"
     params: dict = field(default_factory=dict)
     deps: tuple[str, ...] = ()
 
@@ -173,7 +179,29 @@ def execute_job(
 
     telemetry = Telemetry()
     try:
-        if runner is None:
+        tuned = spec.params.get("placement")
+        if spec.kind == "trial" or tuned is not None:
+            # Autotuner work runs under the candidate's placement options
+            # — never the (default-options) shared runner, whose memoized
+            # artifacts would be wrong for tuned hyperparameters.  Only
+            # the store is shared; it keys on the options, so tuned and
+            # default artifacts coexist without collision.
+            from repro.search.space import placement_options
+
+            store = (
+                runner.store if runner is not None
+                else ArtifactStore(cache_dir) if use_cache else None
+            )
+            runner = ExperimentRunner(
+                scale=spec.params.get("scale", "default"),
+                options=placement_options(
+                    tuned if tuned is not None
+                    else spec.params.get("candidate", {})
+                ),
+                store=store,
+                telemetry=telemetry,
+            )
+        elif runner is None:
             store = ArtifactStore(cache_dir) if use_cache else None
             runner = ExperimentRunner(
                 scale=spec.params.get("scale", "default"),
@@ -190,6 +218,7 @@ def execute_job(
             for key, value in (
                 ("workload", spec.params.get("workload")),
                 ("table", spec.params.get("table")),
+                ("trial", spec.params.get("trial")),
             )
             if value is not None
         }
@@ -206,6 +235,10 @@ def execute_job(
                     kind="table",
                     wall_s=time.perf_counter() - started,
                 )
+            elif spec.kind == "trial":
+                from repro.search.evaluate import run_trial
+
+                value = run_trial(spec.params, runner)
             else:
                 raise ValueError(f"unknown job kind {spec.kind!r}")
         counters = {}

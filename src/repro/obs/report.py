@@ -144,6 +144,38 @@ class RunReport:
             )
         return [seen[name] for name in sorted(seen)]
 
+    def is_tune_log(self) -> bool:
+        """True for a ``repro tune`` trial log (rendered as a Pareto
+        report rather than a span summary)."""
+        return self.meta.get("kind") == "tune" and any(
+            r.get("type") == "trial" for r in self.records
+        )
+
+    def trial_spans(self) -> list[tuple]:
+        """``(fingerprint, trials, count, total_seconds)`` rows from a
+        tune run's *trace* file, grouped by candidate, slowest first."""
+        groups: dict[str, dict] = {}
+        for span in self.spans():
+            attrs = span.get("attrs", {})
+            if span.get("name") != "trial" or "fingerprint" not in attrs:
+                continue
+            entry = groups.setdefault(
+                attrs["fingerprint"], {"trials": set(), "durs": []}
+            )
+            entry["trials"].add(attrs.get("trial"))
+            entry["durs"].append(float(span.get("dur", 0.0)))
+        rows = [
+            (
+                fingerprint,
+                sorted(entry["trials"]),
+                len(entry["durs"]),
+                sum(entry["durs"]),
+            )
+            for fingerprint, entry in groups.items()
+        ]
+        rows.sort(key=lambda row: (-row[3], row[0]))
+        return rows
+
     def counters(self) -> dict[str, int]:
         return dict(self.metrics.get("counters", {}))
 
@@ -154,10 +186,30 @@ class RunReport:
     # -- rendering ---------------------------------------------------------
 
     def render(self) -> str:
-        """The full human-readable summary."""
+        """The full human-readable summary.
+
+        A tune trial log (``repro tune --out``) is a different animal
+        from a span trace — candidates and objectives, not phases and
+        timings — so it renders through the search reporter instead of
+        as an anonymous span soup.
+        """
+        if self.is_tune_log():
+            from repro.search.report import render_from_document
+
+            return render_from_document({
+                "meta": self.meta,
+                "records": self.records,
+                "metrics": self.metrics,
+            }).rstrip("\n")
+
         lines: list[str] = []
         meta = self.meta
         header = "observability run"
+        if meta.get("kind") == "tune":
+            header += (
+                f" — tune trace: strategy={meta.get('strategy', '?')}"
+                f" budget={meta.get('budget', '?')}"
+            )
         if meta.get("tables"):
             header += f" — tables: {', '.join(meta['tables'])}"
         if meta.get("scale"):
@@ -191,6 +243,26 @@ class RunReport:
             }
             if robust:
                 lines.append(f"  robustness: {robust}")
+
+        trial_groups = self.trial_spans()
+        if trial_groups:
+            lines.append("")
+            lines.append("tune trials by candidate "
+                         "(fingerprint, trials, spans, total)")
+            counters_all = self.counters()
+            for fingerprint, trials, count, total in trial_groups[:15]:
+                trial_list = ",".join(
+                    f"t{trial:03d}" for trial in trials
+                    if trial is not None
+                )
+                lines.append(
+                    f"  {fingerprint:<14} {trial_list:<20} {count:>3}x  "
+                    f"{total:8.3f}s"
+                )
+            ran = counters_all.get("search.trials", 0)
+            pruned = counters_all.get("search.pruned", 0)
+            if ran or pruned:
+                lines.append(f"  {ran} trial evaluations, {pruned} pruned")
 
         timings = self.phase_timings()
         if timings:

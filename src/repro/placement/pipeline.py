@@ -18,7 +18,7 @@ which is what the ablation benchmarks exercise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from collections.abc import Callable, Iterable, Sequence
 
 from repro import obs
@@ -68,6 +68,41 @@ class PlacementOptions:
     global_dfs: bool = True
     base_address: int = 0
     function_align: int = 4
+
+    @classmethod
+    def paper(cls) -> PlacementOptions:
+        """The paper's published configuration — identical to the default
+        constructor, but explicit at call sites that mean "the paper's
+        numbers" rather than "whatever the defaults happen to be"."""
+        return cls()
+
+    @classmethod
+    def tuned(
+        cls,
+        min_prob: float | None = None,
+        inline_min_call_count: int | None = None,
+        inline_max_code_growth: float | None = None,
+    ) -> PlacementOptions:
+        """Paper options with specific hyperparameters overridden.
+
+        This is the autotuner's entry point into the pipeline: each
+        argument replaces one published constant (``MIN_PROB``, the
+        inliner's dynamic-call floor, its code-growth ceiling); ``None``
+        keeps the paper's value, so ``tuned()`` == ``paper()`` ==
+        ``PlacementOptions()`` — equal as dataclasses and identical
+        under the artifact store's options fingerprint.
+        """
+        inline = InlinePolicy()
+        if inline_min_call_count is not None:
+            inline = replace(inline, min_call_count=int(inline_min_call_count))
+        if inline_max_code_growth is not None:
+            inline = replace(
+                inline, max_code_growth=float(inline_max_code_growth)
+            )
+        return cls(
+            min_prob=MIN_PROB if min_prob is None else float(min_prob),
+            inline=inline,
+        )
 
 
 @dataclass

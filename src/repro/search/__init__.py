@@ -1,0 +1,32 @@
+"""Design-space autotuning over placement and cache parameters.
+
+The paper hand-picks its hyperparameters (``MIN_PROB = 0.7``, the
+inlining budget, one cache geometry per table); ``repro tune`` searches
+over them instead.  The subsystem is layered exactly like the question
+it answers:
+
+* :mod:`repro.search.space` — what *can* vary (axes, candidates,
+  fingerprints, lowering into :class:`PlacementOptions`);
+* :mod:`repro.search.strategies` — how to pick candidates (grid, seeded
+  random, successive halving with early pruning);
+* :mod:`repro.search.evaluate` — how one candidate is scored (engine
+  jobs: artifact fan-out + trial replay, parallel and store-backed);
+* :mod:`repro.search.pareto` — which candidates *won* (Pareto front
+  over miss ratio / traffic / code size, per-workload winners, axis
+  sensitivity);
+* :mod:`repro.search.report` — rendering all of the above.
+"""
+
+from repro.search.evaluate import SearchResult, run_search, write_trials
+from repro.search.space import SearchSpace, default_space
+from repro.search.strategies import STRATEGY_NAMES, make_strategy
+
+__all__ = [
+    "STRATEGY_NAMES",
+    "SearchResult",
+    "SearchSpace",
+    "default_space",
+    "make_strategy",
+    "run_search",
+    "write_trials",
+]

@@ -1,0 +1,113 @@
+"""Multi-objective analysis of completed trials.
+
+The tuner never collapses its objectives into one scalar: a layout that
+halves the miss ratio by doubling code size is a *trade*, not a win, and
+the paper itself reports miss ratio and memory traffic side by side
+(Tables 6-7).  So the result of a search is a Pareto front over
+
+* ``miss_ratio``  — mean instruction-cache miss ratio across workloads,
+* ``traffic_ratio`` — mean memory-traffic ratio (both minimized),
+* ``code_bytes``  — total placed code size across workloads (minimized;
+  inlining trades this against the other two).
+
+plus two secondary views: per-workload winners (which candidate is best
+for each individual benchmark) and a sensitivity ranking that scores
+each axis by how much the mean miss ratio moves across its values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = [
+    "OBJECTIVES",
+    "dominates",
+    "pareto_front",
+    "per_workload_winners",
+    "sensitivity",
+]
+
+#: Objective keys, all minimized, in report order.
+OBJECTIVES = ("miss_ratio", "traffic_ratio", "code_bytes")
+
+
+def _vector(record: Mapping) -> tuple:
+    objectives = record["objectives"]
+    return tuple(objectives[key] for key in OBJECTIVES)
+
+
+def dominates(a: Mapping, b: Mapping) -> bool:
+    """True if trial record ``a`` is at least as good as ``b`` on every
+    objective and strictly better on at least one (all minimized)."""
+    va, vb = _vector(a), _vector(b)
+    return all(x <= y for x, y in zip(va, vb)) and any(
+        x < y for x, y in zip(va, vb)
+    )
+
+
+def pareto_front(records: Sequence[Mapping]) -> list[dict]:
+    """Non-dominated trial records, ordered by (miss_ratio, trial).
+
+    Exact duplicates on all objectives are all kept (none dominates the
+    other), so e.g. a tuned candidate that exactly ties the paper
+    default remains visible in the front.
+    """
+    front = [
+        dict(r)
+        for r in records
+        if not any(dominates(other, r) for other in records if other is not r)
+    ]
+    front.sort(key=lambda r: (_vector(r), r["trial"]))
+    return front
+
+
+def per_workload_winners(records: Sequence[Mapping]) -> dict[str, dict]:
+    """Best trial per workload by miss ratio (ties -> lower trial index).
+
+    Returns ``{workload: {"trial", "fingerprint", "miss_ratio"}}``.
+    """
+    winners: dict[str, dict] = {}
+    for record in records:
+        for workload, stats in record["workloads"].items():
+            entry = winners.get(workload)
+            key = (stats["miss_ratio"], record["trial"])
+            if entry is None or key < (entry["miss_ratio"], entry["trial"]):
+                winners[workload] = {
+                    "trial": record["trial"],
+                    "fingerprint": record["fingerprint"],
+                    "miss_ratio": stats["miss_ratio"],
+                }
+    return dict(sorted(winners.items()))
+
+
+def sensitivity(records: Sequence[Mapping]) -> list[dict]:
+    """Rank axes by how much the mean miss ratio moves across their values.
+
+    For each axis, trials are grouped by the value they assigned it; the
+    axis's score is ``max - min`` of the per-group mean miss ratios.
+    Axes that only ever took one value score 0 (no evidence).  Only
+    comparable records should be passed in — the caller restricts to a
+    cohort evaluated on the same workload set (e.g. rung 0 of a halving
+    run, or everything in a single-rung run).
+    """
+    by_axis: dict[str, dict[object, list[float]]] = {}
+    for record in records:
+        for axis, value in record["candidate"].items():
+            by_axis.setdefault(axis, {}).setdefault(value, []).append(
+                record["objectives"]["miss_ratio"]
+            )
+    ranked = []
+    for axis, groups in by_axis.items():
+        means = {
+            value: sum(scores) / len(scores)
+            for value, scores in groups.items()
+        }
+        spread = max(means.values()) - min(means.values()) if len(means) > 1 else 0.0
+        ranked.append({
+            "axis": axis,
+            "spread": spread,
+            "values_seen": len(means),
+            "best_value": min(means, key=lambda v: (means[v], repr(v))),
+        })
+    ranked.sort(key=lambda r: (-r["spread"], r["axis"]))
+    return ranked

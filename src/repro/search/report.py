@@ -1,0 +1,227 @@
+"""Human-readable rendering of search results.
+
+Two entry points:
+
+* :func:`render_result` — render a live :class:`SearchResult` right
+  after ``repro tune`` finishes;
+* :func:`render_from_document` — render a reloaded trial-log document
+  (``{"meta", "records", "metrics"}``, the
+  :meth:`~repro.obs.recorder.Recorder.load_jsonl` shape), which is what
+  ``repro tune report RUN.jsonl`` and ``repro report`` on a tune file
+  use.  The Pareto analysis is recomputed from the trial records when
+  the log lacks a ``pareto`` line, so truncated logs still report.
+
+The report leads with the Pareto front, then diffs the front's best
+candidate against the paper's defaults — the tuner's one-line answer to
+"was 0.7 the right choice?" — and closes with per-workload winners and
+the axis sensitivity ranking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.experiments.report import fmt_count, fmt_pct, render_table
+from repro.search.pareto import pareto_front, per_workload_winners, sensitivity
+
+__all__ = [
+    "front_from_document",
+    "render_from_document",
+    "render_result",
+    "render_trials",
+]
+
+
+def front_from_document(document: Mapping) -> list[dict]:
+    """The Pareto front of a reloaded trial log.
+
+    Prefers the log's own ``pareto`` analysis line; recomputes from the
+    trial records when the line is missing (truncated or hand-built
+    logs).  ``repro tune report`` exits non-zero when this is empty —
+    the CI smoke job's gate.
+    """
+    analysis = next(
+        (r for r in document.get("records", [])
+         if r.get("type") == "pareto"),
+        None,
+    )
+    if analysis is not None:
+        return list(analysis.get("front", []))
+    records = [
+        r for r in document.get("records", []) if r.get("type") == "trial"
+    ]
+    return pareto_front(_final_complete(records))
+
+
+def _candidate_diff(candidate: Mapping, defaults: Mapping) -> str:
+    """``axis=value`` for every axis that differs from the defaults."""
+    parts = [
+        f"{axis}={candidate[axis]}"
+        for axis in defaults
+        if axis in candidate and candidate[axis] != defaults[axis]
+    ]
+    return " ".join(parts) if parts else "(paper defaults)"
+
+
+def render_trials(
+    records: Sequence[Mapping],
+    front: Sequence[Mapping],
+    winners: Mapping,
+    ranking: Sequence[Mapping],
+    defaults: Mapping,
+    header: str,
+) -> str:
+    """The full report given analysed trial records."""
+    lines = [header, "=" * len(header), ""]
+
+    complete = [r for r in records if r.get("status") == "ok"]
+    pruned = sorted({
+        r["trial"] for r in records if r.get("status") == "pruned"
+    })
+    lines.append(
+        f"{len({r['trial'] for r in records})} trials "
+        f"({len({r['trial'] for r in complete})} complete, "
+        f"{len(pruned)} pruned early)"
+    )
+
+    front_trials = {record["trial"] for record in front}
+    rows = []
+    for record in front:
+        objectives = record["objectives"]
+        rows.append([
+            f"t{record['trial']:03d}",
+            fmt_pct(objectives["miss_ratio"]),
+            fmt_pct(objectives["traffic_ratio"]),
+            fmt_count(objectives["code_bytes"]),
+            _candidate_diff(record["candidate"], defaults),
+        ])
+    lines.append("")
+    lines.append(render_table(
+        "Pareto front (miss ratio / traffic ratio / code bytes, all minimized)",
+        ["trial", "miss", "traffic", "code", "vs paper defaults"],
+        rows,
+    ))
+
+    default_record = next(
+        (r for r in complete if r["trial"] == 0), None
+    )
+    if front:
+        best = front[0]
+        lines.append("best miss ratio: "
+                     f"t{best['trial']:03d} at "
+                     f"{fmt_pct(best['objectives']['miss_ratio'])} — "
+                     f"{_candidate_diff(best['candidate'], defaults)}")
+        if default_record is not None and best["trial"] != 0:
+            delta = (
+                default_record["objectives"]["miss_ratio"]
+                - best["objectives"]["miss_ratio"]
+            )
+            lines.append(
+                f"paper defaults (t000): "
+                f"{fmt_pct(default_record['objectives']['miss_ratio'])} miss"
+                f" ({'on' if 0 in front_trials else 'off'} the front; "
+                f"best is {100 * delta:.2f} points lower)"
+            )
+        elif default_record is not None:
+            lines.append("paper defaults (t000) lead the front")
+
+    if winners:
+        rows = [
+            [workload, f"t{entry['trial']:03d}",
+             fmt_pct(entry["miss_ratio"])]
+            for workload, entry in winners.items()
+        ]
+        lines.append("")
+        lines.append(render_table(
+            "Per-workload winners (lowest miss ratio)",
+            ["workload", "trial", "miss"],
+            rows,
+        ))
+
+    varied = [row for row in ranking if row["values_seen"] > 1]
+    if varied:
+        rows = [
+            [row["axis"], f"{100 * row['spread']:.2f}pp",
+             row["values_seen"], row["best_value"]]
+            for row in varied
+        ]
+        lines.append("")
+        lines.append(render_table(
+            "Axis sensitivity (mean miss-ratio spread across values)",
+            ["axis", "spread", "values", "best value"],
+            rows,
+            note="spread = max-min of per-value mean miss ratios over the "
+                 "rung-0 cohort; 'best value' minimizes that mean.",
+        ))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_result(result) -> str:
+    """Render a live :class:`~repro.search.evaluate.SearchResult`."""
+    header = (
+        f"tune run — strategy={result.strategy} budget={result.budget} "
+        f"seed={result.seed} scale={result.scale} "
+        f"workloads={','.join(result.workloads)}"
+    )
+    return render_trials(
+        result.records,
+        result.front,
+        result.winners,
+        result.sensitivity,
+        result.space.default_candidate(),
+        header,
+    )
+
+
+def render_from_document(document: Mapping) -> str:
+    """Render a reloaded trial log (``repro tune report`` / ``repro report``)."""
+    meta = document.get("meta", {})
+    records = [
+        r for r in document.get("records", []) if r.get("type") == "trial"
+    ]
+    if not records:
+        return "tune run: no trial records found\n"
+    defaults = {
+        axis["name"]: axis["default"] for axis in meta.get("space", [])
+    }
+    if not defaults:
+        # Logs predating the space description: diff against trial 0.
+        for record in records:
+            if record["trial"] == 0:
+                defaults = record["candidate"]
+                break
+
+    analysis = next(
+        (r for r in document.get("records", [])
+         if r.get("type") == "pareto"),
+        None,
+    )
+    if analysis is not None:
+        front = analysis.get("front", [])
+        winners = analysis.get("winners", {})
+        ranking = analysis.get("sensitivity", [])
+    else:
+        complete = _final_complete(records)
+        front = pareto_front(complete)
+        winners = per_workload_winners(complete)
+        ranking = sensitivity([r for r in records if r.get("rung") == 0])
+
+    header = (
+        f"tune run — strategy={meta.get('strategy', '?')} "
+        f"budget={meta.get('budget', '?')} seed={meta.get('seed', '?')} "
+        f"scale={meta.get('scale', '?')} "
+        f"workloads={','.join(meta.get('workloads', []))}"
+    )
+    return render_trials(records, front, winners, ranking, defaults, header)
+
+
+def _final_complete(records: Sequence[Mapping]) -> list[dict]:
+    """Each complete trial's highest-rung record."""
+    latest: dict[int, dict] = {}
+    for record in records:
+        if record.get("status") != "ok":
+            continue
+        current = latest.get(record["trial"])
+        if current is None or record.get("rung", 0) > current.get("rung", 0):
+            latest[record["trial"]] = dict(record)
+    return [latest[trial] for trial in sorted(latest)]

@@ -1,0 +1,143 @@
+"""CLI coverage for ``repro tune`` / ``repro tune report``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+RUN_ARGS = ["--scale", "small", "--workloads", "cmp,wc"]
+
+
+def _read_log(path):
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            records.append(json.loads(line))
+    return records
+
+
+class TestTuneRun:
+    def test_shorthand_runs_a_search(self, tmp_path, capsys):
+        out = tmp_path / "trials.jsonl"
+        code = main(["tune", "--budget", "3", "--seed", "1",
+                     "--out", str(out), *RUN_ARGS])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "Pareto front" in stdout
+        assert "paper defaults" in stdout
+        lines = _read_log(out)
+        assert lines[0]["type"] == "meta" and lines[0]["kind"] == "tune"
+        assert [l["type"] for l in lines].count("trial") == 3
+        assert lines[-2]["type"] == "pareto"
+        assert lines[-1]["type"] == "metrics"
+        assert lines[-1]["counters"]["search.trials"] == 3
+
+    def test_explicit_run_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "trials.jsonl"
+        code = main(["tune", "run", "--budget", "2", "--strategy", "grid",
+                     "--axes", "cache_bytes", "--out", str(out), *RUN_ARGS])
+        assert code == 0
+        lines = _read_log(out)
+        trials = [l for l in lines if l["type"] == "trial"]
+        # Restricted grid: only cache_bytes varies.
+        assert {t["candidate"]["block_bytes"] for t in trials} == {64}
+
+    def test_jobs_produce_identical_logs(self, tmp_path):
+        """Satellite determinism check at the CLI level."""
+        logs = {}
+        for jobs in (1, 2):
+            out = tmp_path / f"trials_j{jobs}.jsonl"
+            code = main(["tune", "--budget", "3", "--seed", "7",
+                         "--jobs", str(jobs), "--out", str(out), *RUN_ARGS])
+            assert code == 0
+            stripped = []
+            for record in _read_log(out):
+                record.pop("wall_s", None)
+                record.pop("elapsed_s", None)
+                stripped.append(json.dumps(record, sort_keys=True))
+            logs[jobs] = stripped
+        assert logs[1] == logs[2]
+
+    def test_unknown_workload_exits_2(self, tmp_path, capsys):
+        code = main(["tune", "--workloads", "cmp,nosuch",
+                     "--out", str(tmp_path / "t.jsonl")])
+        assert code == 2
+        assert "unknown workloads" in capsys.readouterr().err
+
+    def test_unknown_axis_exits_2(self, tmp_path, capsys):
+        code = main(["tune", "--axes", "minprob",
+                     "--out", str(tmp_path / "t.jsonl"), *RUN_ARGS])
+        assert code == 2
+        assert "unknown axis" in capsys.readouterr().err
+
+    def test_telemetry_dump(self, tmp_path):
+        out = tmp_path / "trials.jsonl"
+        telemetry = tmp_path / "telemetry.json"
+        code = main(["tune", "--budget", "2", "--out", str(out),
+                     "--telemetry", str(telemetry), *RUN_ARGS])
+        assert code == 0
+        document = json.loads(telemetry.read_text())
+        assert document["meta"]["kind"] == "tune"
+        assert document["totals"]["jobs"] > 0
+
+
+class TestTuneReport:
+    def test_rerenders_a_trial_log(self, tmp_path, capsys):
+        out = tmp_path / "trials.jsonl"
+        assert main(["tune", "--budget", "2", "--seed", "3",
+                     "--out", str(out), *RUN_ARGS]) == 0
+        capsys.readouterr()
+        code = main(["tune", "report", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "tune run — strategy=random" in stdout
+        assert "Pareto front" in stdout
+
+    def test_empty_front_exits_1(self, tmp_path, capsys):
+        log = tmp_path / "empty.jsonl"
+        with open(log, "w") as handle:
+            handle.write(json.dumps({"type": "meta", "kind": "tune"}) + "\n")
+            handle.write(json.dumps(
+                {"type": "metrics", "counters": {}}
+            ) + "\n")
+        code = main(["tune", "report", str(log)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "Pareto front is empty" in captured.err
+
+
+class TestReportIntegration:
+    """Satellite: ``repro report`` understands tune output."""
+
+    @pytest.fixture()
+    def tune_files(self, tmp_path, capsys):
+        out = tmp_path / "trials.jsonl"
+        trace = tmp_path / "trace.jsonl"
+        assert main(["tune", "--budget", "2", "--seed", "4",
+                     "--out", str(out), "--trace-out", str(trace),
+                     *RUN_ARGS]) == 0
+        capsys.readouterr()
+        return out, trace
+
+    def test_report_renders_trial_log_as_pareto(self, tune_files, capsys):
+        out, _ = tune_files
+        assert main(["report", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "tune run — strategy=random" in stdout
+        assert "Pareto front" in stdout
+        # Not the anonymous span-soup rendering.
+        assert "per-phase span timings" not in stdout
+
+    def test_report_groups_trace_spans_by_candidate(
+        self, tune_files, capsys
+    ):
+        _, trace = tune_files
+        assert main(["report", str(trace)]) == 0
+        stdout = capsys.readouterr().out
+        assert "tune trace" in stdout
+        assert "tune trials by candidate" in stdout
+        assert "t000" in stdout
+        assert "trial evaluations" in stdout

@@ -1,0 +1,71 @@
+"""Satellite: the hyperparameter plumbing changes nothing at the defaults.
+
+``MIN_PROB`` and the inline-expansion thresholds became explicit pipeline
+parameters (``PlacementOptions.tuned``); tables 2-7 must render
+byte-identically whether the pipeline runs with the implicit defaults or
+with the explicitly-spelled paper values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import experiments
+from repro.engine.store import options_fingerprint
+from repro.experiments.runner import ExperimentRunner
+from repro.placement.inline import InlinePolicy
+from repro.placement.pipeline import PlacementOptions
+from repro.placement.trace_selection import MIN_PROB
+
+TABLES = ("table2", "table3", "table4", "table5", "table6", "table7")
+
+
+class TestDefaultEquivalence:
+    def test_paper_equals_default_constructor(self):
+        assert PlacementOptions.paper() == PlacementOptions()
+
+    def test_tuned_without_overrides_equals_default(self):
+        assert PlacementOptions.tuned() == PlacementOptions()
+        assert (
+            options_fingerprint(PlacementOptions.tuned())
+            == options_fingerprint(PlacementOptions())
+        )
+
+    def test_tuned_defaults_are_the_published_constants(self):
+        options = PlacementOptions.tuned()
+        assert options.min_prob == MIN_PROB == 0.7
+        assert options.inline.min_call_count == InlinePolicy().min_call_count
+        assert (
+            options.inline.max_code_growth == InlinePolicy().max_code_growth
+        )
+
+    def test_tuned_overrides_change_the_fingerprint(self):
+        default = options_fingerprint(PlacementOptions())
+        for tuned in (
+            PlacementOptions.tuned(min_prob=0.8),
+            PlacementOptions.tuned(inline_min_call_count=125),
+            PlacementOptions.tuned(inline_max_code_growth=2.0),
+        ):
+            assert options_fingerprint(tuned) != default
+
+
+@pytest.fixture(scope="module")
+def explicit_runner():
+    """A runner whose options spell out the paper's values explicitly."""
+    return ExperimentRunner(
+        scale="small",
+        options=PlacementOptions.tuned(
+            min_prob=MIN_PROB,
+            inline_min_call_count=InlinePolicy().min_call_count,
+            inline_max_code_growth=InlinePolicy().max_code_growth,
+        ),
+    )
+
+
+@pytest.mark.parametrize("table", TABLES)
+def test_tables_byte_identical_at_defaults(
+    table, small_runner, explicit_runner
+):
+    implicit = getattr(experiments, table).run(small_runner)
+    explicit = getattr(experiments, table).run(explicit_runner)
+    assert implicit == explicit

@@ -1,0 +1,109 @@
+"""Pareto-front analysis: domination, winners, and sensitivity."""
+
+from __future__ import annotations
+
+from repro.search.pareto import (
+    dominates,
+    pareto_front,
+    per_workload_winners,
+    sensitivity,
+)
+
+
+def _record(trial, miss, traffic, code, candidate=None, workloads=None):
+    return {
+        "trial": trial,
+        "fingerprint": f"fp{trial}",
+        "candidate": candidate or {},
+        "workloads": workloads or {},
+        "objectives": {
+            "miss_ratio": miss, "traffic_ratio": traffic, "code_bytes": code,
+        },
+        "status": "ok",
+    }
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates(_record(0, 0.1, 0.2, 100),
+                         _record(1, 0.2, 0.3, 200))
+
+    def test_better_on_one_equal_elsewhere(self):
+        assert dominates(_record(0, 0.1, 0.2, 100),
+                         _record(1, 0.1, 0.2, 200))
+
+    def test_trade_does_not_dominate(self):
+        a = _record(0, 0.1, 0.2, 300)   # better miss, worse code
+        b = _record(1, 0.2, 0.2, 100)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_equal_records_do_not_dominate(self):
+        a, b = _record(0, 0.1, 0.2, 100), _record(1, 0.1, 0.2, 100)
+        assert not dominates(a, b) and not dominates(b, a)
+
+
+class TestFront:
+    def test_keeps_nondominated_only(self):
+        records = [
+            _record(0, 0.2, 0.2, 100),
+            _record(1, 0.1, 0.3, 200),   # trades miss against traffic+code
+            _record(2, 0.3, 0.3, 300),   # dominated by 0
+        ]
+        front = pareto_front(records)
+        assert [r["trial"] for r in front] == [1, 0]
+
+    def test_duplicates_all_survive(self):
+        records = [_record(0, 0.1, 0.2, 100), _record(1, 0.1, 0.2, 100)]
+        assert len(pareto_front(records)) == 2
+
+    def test_ordered_by_miss_then_trial(self):
+        records = [
+            _record(3, 0.1, 0.4, 100),
+            _record(1, 0.3, 0.1, 100),
+            _record(2, 0.2, 0.2, 100),
+        ]
+        assert [r["trial"] for r in pareto_front(records)] == [3, 2, 1]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+
+class TestWinners:
+    def test_best_per_workload_with_tiebreak(self):
+        records = [
+            _record(0, 0.2, 0.2, 100, workloads={
+                "cmp": {"miss_ratio": 0.05},
+                "wc": {"miss_ratio": 0.20},
+            }),
+            _record(1, 0.1, 0.2, 100, workloads={
+                "cmp": {"miss_ratio": 0.05},   # tie -> lower trial wins
+                "wc": {"miss_ratio": 0.10},
+            }),
+        ]
+        winners = per_workload_winners(records)
+        assert winners["cmp"]["trial"] == 0
+        assert winners["wc"]["trial"] == 1
+        assert winners["wc"]["miss_ratio"] == 0.10
+
+
+class TestSensitivity:
+    def test_ranks_by_spread(self):
+        records = [
+            _record(0, 0.10, 0, 0, candidate={"p": 0.5, "cache": 512}),
+            _record(1, 0.30, 0, 0, candidate={"p": 0.9, "cache": 512}),
+            _record(2, 0.11, 0, 0, candidate={"p": 0.5, "cache": 1024}),
+            _record(3, 0.29, 0, 0, candidate={"p": 0.9, "cache": 1024}),
+        ]
+        ranking = sensitivity(records)
+        assert ranking[0]["axis"] == "p"        # 0.105 vs 0.295 -> 0.19
+        assert ranking[0]["best_value"] == 0.5
+        assert ranking[1]["axis"] == "cache"    # 0.20 vs 0.20 -> 0.0
+        assert ranking[1]["spread"] < ranking[0]["spread"]
+
+    def test_single_value_axis_scores_zero(self):
+        records = [
+            _record(0, 0.1, 0, 0, candidate={"fixed": 1}),
+            _record(1, 0.3, 0, 0, candidate={"fixed": 1}),
+        ]
+        assert sensitivity(records)[0]["spread"] == 0.0
