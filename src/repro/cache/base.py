@@ -14,12 +14,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import diagnose, obs
 
 __all__ = [
     "CacheStats",
     "MissSampler",
     "emit_cache_sim",
+    "new_probe",
     "require_power_of_two",
     "top_sets",
     "BUS_WORD_BYTES",
@@ -92,13 +93,36 @@ class MissSampler:
 
 
 def top_sets(set_misses, n: int = 8) -> list[tuple[int, int]]:
-    """The ``n`` cache sets with the most misses: ``(set_index, misses)``."""
+    """The ``n`` cache sets with the most misses: ``(set_index, misses)``.
+
+    ``set_misses`` is either a dense per-set sequence or a sparse
+    ``{index: count}`` mapping (the paging simulators count faults per
+    page number, which is too sparse for a dense array).  Ties break on
+    the lower index, so the ranking is deterministic.
+    """
+    items = (
+        set_misses.items() if hasattr(set_misses, "items")
+        else enumerate(set_misses)
+    )
     ranked = sorted(
-        ((index, int(count)) for index, count in enumerate(set_misses)
-         if count),
+        ((int(index), int(count)) for index, count in items if count),
         key=lambda pair: (-pair[1], pair[0]),
     )
     return ranked[:n]
+
+
+def new_probe(
+    granule_bytes: int, capacity_bytes: int
+) -> diagnose.MissProbe | None:
+    """A miss probe when attribution is on, else ``None``.
+
+    The simulators call this once per run and guard every per-miss
+    recording behind ``probe is not None`` — the off path stays
+    byte-identical and does no extra work.
+    """
+    if not diagnose.current().enabled:
+        return None
+    return diagnose.MissProbe(granule_bytes, capacity_bytes)
 
 
 def emit_cache_sim(
@@ -108,13 +132,22 @@ def emit_cache_sim(
     organization: str,
     set_misses=None,
     sampler: MissSampler | None = None,
+    addresses=None,
+    probe=None,
 ) -> None:
-    """Report one finished simulation to the active recorder.
+    """Report one finished simulation to the active recorder and collector.
 
-    A no-op under the null recorder.  The event inherits whatever span
-    context is open (workload, layout, table), which is how the report
-    renderer attributes conflict sets to workloads.
+    A no-op under the null recorder / null collector.  The obs event
+    inherits whatever span context is open (workload, layout, table),
+    which is how the report renderer attributes conflict sets to
+    workloads; the diagnose collector classifies the probe's miss stream
+    (3C + symbols) under its ambient scope.
     """
+    if probe is not None and addresses is not None:
+        diagnose.current().record(
+            organization, cache_bytes, block_bytes, addresses, probe,
+            set_misses=set_misses,
+        )
     recorder = obs.current()
     if not recorder.enabled:
         return

@@ -17,6 +17,7 @@ from repro.cache.base import (
     CacheStats,
     MissSampler,
     emit_cache_sim,
+    new_probe,
     require_power_of_two,
 )
 
@@ -75,6 +76,8 @@ def simulate_direct(
     set_misses = cache.set_misses
     recorder = obs.current()
     sampler = MissSampler() if recorder.enabled else None
+    probe = new_probe(block_bytes, cache_bytes)
+    seen: list[int] | None = [] if probe is not None else None
     accesses = 0
     misses = 0
     for address in addresses:
@@ -82,17 +85,22 @@ def simulate_direct(
         block = address >> shift
         index = block & mask
         if tags[index] != block:
+            if probe is not None:
+                probe.miss(accesses - 1, tags[index])
             tags[index] = block
             misses += 1
             set_misses[index] += 1
             if sampler is not None:
                 sampler.offer(address)
+        if seen is not None:
+            seen.append(address)
     cache.accesses = accesses
     cache.misses = misses
     stats = cache.stats()
-    if recorder.enabled:
+    if recorder.enabled or probe is not None:
         emit_cache_sim(
             stats, cache_bytes, block_bytes, "direct",
             set_misses=set_misses, sampler=sampler,
+            addresses=seen, probe=probe,
         )
     return stats

@@ -27,7 +27,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cache.base import require_power_of_two
+from repro import obs
+from repro.cache.base import (
+    BUS_WORD_BYTES,
+    CacheStats,
+    emit_cache_sim,
+    new_probe,
+    require_power_of_two,
+)
 
 __all__ = [
     "PagingStats",
@@ -62,23 +69,28 @@ class WorkingSetStats:
     peak_pages: int
 
 
-def _page_transitions(addresses: np.ndarray, page_bytes: int) -> np.ndarray:
+def _page_transitions(
+    addresses: np.ndarray, page_bytes: int
+) -> tuple[np.ndarray, np.ndarray]:
     """Compress the trace to the subsequence where the page changes.
 
     Instruction fetches are overwhelmingly same-page sequential, so
     page-level simulation over the compressed sequence is exact for LRU
     (repeats never change LRU state beyond refreshing recency, which the
     transition itself already does) and orders of magnitude faster.
+    Returns ``(pages, positions)`` — the transition pages and their
+    indices in the original trace (faults only happen at transitions,
+    which is what lets the miss probe point back into the full trace).
     """
     pages = np.asarray(addresses, dtype=np.int64) >> (
         page_bytes.bit_length() - 1
     )
     if len(pages) == 0:
-        return pages
+        return pages, np.empty(0, dtype=np.int64)
     keep = np.empty(len(pages), dtype=bool)
     keep[0] = True
     keep[1:] = pages[1:] != pages[:-1]
-    return pages[keep]
+    return pages[keep], np.nonzero(keep)[0]
 
 
 def simulate_paging(
@@ -88,27 +100,51 @@ def simulate_paging(
     require_power_of_two(page_bytes, "page_bytes")
     if resident_pages < 1:
         raise ValueError("need at least one resident page")
-    transitions = _page_transitions(addresses, page_bytes)
+    transitions, positions = _page_transitions(addresses, page_bytes)
+
+    recorder = obs.current()
+    # The fill unit is a page and the real cache *is* fully-associative
+    # LRU, so classification degenerates to compulsory + capacity — a
+    # useful degenerate case the 3C tests pin (conflict == 0).
+    probe = new_probe(page_bytes, page_bytes * resident_pages)
+    #: Per-page fault counts (sparse: page number -> faults).
+    page_faults: dict[int, int] = {}
 
     lru: list[int] = []   # most-recent first
     faults = 0
     distinct: set[int] = set()
-    for page in map(int, transitions):
+    for where, page in enumerate(map(int, transitions)):
         distinct.add(page)
         try:
             lru.remove(page)
         except ValueError:
             faults += 1
+            evicted = -1
             if len(lru) >= resident_pages:
-                lru.pop()
+                evicted = lru.pop()
+            page_faults[page] = page_faults.get(page, 0) + 1
+            if probe is not None:
+                probe.miss(int(positions[where]), evicted)
         lru.insert(0, page)
 
-    return PagingStats(
+    stats = PagingStats(
         accesses=len(addresses),
         faults=faults,
         bytes_transferred=faults * page_bytes,
         distinct_pages=len(distinct),
     )
+    if recorder.enabled or probe is not None:
+        emit_cache_sim(
+            CacheStats(
+                accesses=stats.accesses,
+                misses=stats.faults,
+                words_transferred=stats.bytes_transferred // BUS_WORD_BYTES,
+                extras={"distinct_pages": float(stats.distinct_pages)},
+            ),
+            page_bytes * resident_pages, page_bytes, "paging",
+            set_misses=page_faults, addresses=addresses, probe=probe,
+        )
+    return stats
 
 
 def simulate_sectored_paging(
@@ -136,21 +172,33 @@ def simulate_sectored_paging(
 
     # Compress to sector transitions (same argument as for pages).
     sectors = np.asarray(addresses, dtype=np.int64) >> sector_shift
+    positions = np.empty(0, dtype=np.int64)
     if len(sectors):
         keep = np.empty(len(sectors), dtype=bool)
         keep[0] = True
         keep[1:] = sectors[1:] != sectors[:-1]
+        positions = np.nonzero(keep)[0]
         sectors = sectors[keep]
+
+    recorder = obs.current()
+    # The fill unit is a sector, so the 3C shadow is a fully-associative
+    # sector cache of the same byte capacity; the eviction of a whole
+    # page charges the displaced page's first sector as the evictor.
+    probe = new_probe(sector_bytes, page_bytes * resident_pages)
+    pages_shift = page_shift - sector_shift
+    #: Per-page sector-fault counts (sparse: page number -> faults).
+    page_faults: dict[int, int] = {}
 
     lru: list[int] = []
     valid: dict[int, int] = {}      # page -> sector bitmap
     faults = 0
     transferred = 0
     distinct: set[int] = set()
-    for sector in map(int, sectors):
-        page = sector >> (page_shift - sector_shift)
+    for where, sector in enumerate(map(int, sectors)):
+        page = sector >> pages_shift
         bit = 1 << (sector & (sectors_per_page - 1))
         distinct.add(page)
+        evicted = -1
         try:
             lru.remove(page)
         except ValueError:
@@ -163,13 +211,32 @@ def simulate_sectored_paging(
             valid[page] |= bit
             faults += 1
             transferred += sector_bytes
+            page_faults[page] = page_faults.get(page, 0) + 1
+            if probe is not None:
+                probe.miss(
+                    int(positions[where]),
+                    -1 if evicted < 0 else evicted << pages_shift,
+                )
 
-    return PagingStats(
+    stats = PagingStats(
         accesses=len(addresses),
         faults=faults,
         bytes_transferred=transferred,
         distinct_pages=len(distinct),
     )
+    if recorder.enabled or probe is not None:
+        emit_cache_sim(
+            CacheStats(
+                accesses=stats.accesses,
+                misses=stats.faults,
+                words_transferred=stats.bytes_transferred // BUS_WORD_BYTES,
+                extras={"distinct_pages": float(stats.distinct_pages)},
+            ),
+            page_bytes * resident_pages, page_bytes,
+            f"sectored-paging/{sector_bytes}B",
+            set_misses=page_faults, addresses=addresses, probe=probe,
+        )
+    return stats
 
 
 def working_set_profile(

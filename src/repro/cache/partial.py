@@ -25,7 +25,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cache.base import BUS_WORD_BYTES, CacheStats, require_power_of_two
+from repro import obs
+from repro.cache.base import (
+    BUS_WORD_BYTES,
+    CacheStats,
+    MissSampler,
+    emit_cache_sim,
+    new_probe,
+    require_power_of_two,
+)
 
 __all__ = ["simulate_partial"]
 
@@ -48,6 +56,16 @@ def simulate_partial(
 
     tags = [-1] * num_sets
     valid = [0] * num_sets            # bit w set = word w present
+    #: Per-set miss counts (block repurposes and word fills both count).
+    set_misses = [0] * num_sets
+
+    recorder = obs.current()
+    sampler = MissSampler() if recorder.enabled else None
+    # The fill unit is a 4-byte word, so the 3C shadow is a fully
+    # associative word cache of the same capacity; a block repurpose
+    # evicts the old tag (scaled to its first word's granule number).
+    probe = new_probe(BUS_WORD_BYTES, cache_bytes)
+    words_shift = block_shift - word_shift
 
     n = len(addresses)
     misses = 0
@@ -65,9 +83,20 @@ def simulate_partial(
 
         misses += 1
         miss_positions.append(position)
+        set_misses[index] += 1
+        if sampler is not None:
+            sampler.offer(address)
         if tags[index] != block:
+            if probe is not None:
+                evicted = tags[index]
+                probe.miss(
+                    position,
+                    -1 if evicted < 0 else evicted << words_shift,
+                )
             tags[index] = block
             bits = 0
+        elif probe is not None:
+            probe.miss(position)      # word fill within the present block
         # Fill from the missed word to the first valid word or block end.
         ahead = bits >> word          # bit 0 is the missed word (0 here)
         if ahead == 0:
@@ -82,12 +111,19 @@ def simulate_partial(
         np.asarray(miss_positions, dtype=np.int64),
     )
     extras["avg_fetch"] = words_transferred / misses if misses else 0.0
-    return CacheStats(
+    stats = CacheStats(
         accesses=n,
         misses=misses,
         words_transferred=words_transferred,
         extras=extras,
     )
+    if recorder.enabled or probe is not None:
+        emit_cache_sim(
+            stats, cache_bytes, block_bytes, "partial",
+            set_misses=set_misses, sampler=sampler,
+            addresses=addresses, probe=probe,
+        )
+    return stats
 
 
 def _execution_run_stats(

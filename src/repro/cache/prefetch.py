@@ -24,7 +24,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cache.base import BUS_WORD_BYTES, require_power_of_two
+from repro import obs
+from repro.cache.base import (
+    BUS_WORD_BYTES,
+    CacheStats,
+    MissSampler,
+    emit_cache_sim,
+    new_probe,
+    require_power_of_two,
+)
 
 __all__ = ["PrefetchStats", "simulate_prefetch"]
 
@@ -83,6 +91,15 @@ def simulate_prefetch(
 
     tags = [-1] * num_sets
     tag_bit = [False] * num_sets      # block arrived by prefetch, unused yet
+    #: Per-set demand-miss counts (prefetch fills are not misses).
+    set_misses = [0] * num_sets
+
+    recorder = obs.current()
+    sampler = MissSampler() if recorder.enabled else None
+    # 3C applies to the demand-miss stream; the shadow has no prefetcher,
+    # so "conflict" here is a demand miss a fully-associative non-
+    # prefetching cache of the same size would have hit.
+    probe = new_probe(block_bytes, cache_bytes)
 
     demand_misses = 0
     prefetches = 0
@@ -99,7 +116,9 @@ def simulate_prefetch(
         prefetches += 1
         transferred += words_per_block
 
-    for address in map(int, np.asarray(addresses, dtype=np.int64)):
+    for position, address in enumerate(
+        map(int, np.asarray(addresses, dtype=np.int64))
+    ):
         block = address >> shift
         index = block & set_mask
         if tags[index] == block:
@@ -111,15 +130,36 @@ def simulate_prefetch(
                     prefetch(block + 1)
             continue
         demand_misses += 1
+        set_misses[index] += 1
+        if sampler is not None:
+            sampler.offer(address)
+        if probe is not None:
+            probe.miss(position, tags[index])
         transferred += words_per_block
         tags[index] = block
         tag_bit[index] = False
         prefetch(block + 1)
 
-    return PrefetchStats(
+    stats = PrefetchStats(
         accesses=len(addresses),
         demand_misses=demand_misses,
         prefetches=prefetches,
         useful_prefetches=useful,
         words_transferred=transferred,
     )
+    if recorder.enabled or probe is not None:
+        emit_cache_sim(
+            CacheStats(
+                accesses=stats.accesses,
+                misses=stats.demand_misses,
+                words_transferred=stats.words_transferred,
+                extras={
+                    "prefetches": float(prefetches),
+                    "accuracy": stats.accuracy,
+                },
+            ),
+            cache_bytes, block_bytes, f"prefetch/{policy}",
+            set_misses=set_misses, sampler=sampler,
+            addresses=addresses, probe=probe,
+        )
+    return stats

@@ -16,7 +16,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cache.base import BUS_WORD_BYTES, CacheStats, require_power_of_two
+from repro import obs
+from repro.cache.base import (
+    BUS_WORD_BYTES,
+    CacheStats,
+    MissSampler,
+    emit_cache_sim,
+    new_probe,
+    require_power_of_two,
+)
 
 __all__ = ["simulate_sectored"]
 
@@ -48,9 +56,19 @@ def simulate_sectored(
 
     tags = [-1] * num_sets
     valid = [0] * num_sets            # bit k set = sector k present
+    #: Per-set miss counts (block and sector misses both land here).
+    set_misses = [0] * num_sets
+
+    recorder = obs.current()
+    sampler = MissSampler() if recorder.enabled else None
+    # The fill unit is a sector, so the 3C shadow is a fully-associative
+    # sector cache of the same capacity; the evictor of a *block* miss is
+    # the displaced tag, scaled to its first sector's granule number.
+    probe = new_probe(sector_bytes, cache_bytes)
+    sectors_shift = block_shift - sector_shift
 
     misses = 0
-    for address in map(int, addresses):
+    for position, address in enumerate(map(int, addresses)):
         block = address >> block_shift
         index = block & set_mask
         sector = (address >> sector_shift) & sector_mask_bits
@@ -59,13 +77,31 @@ def simulate_sectored(
             if valid[index] & bit:
                 continue
             valid[index] |= bit       # sector miss within a present block
+            if probe is not None:
+                probe.miss(position)  # no eviction: lazy sector fill
         else:
+            if probe is not None:
+                evicted = tags[index]
+                probe.miss(
+                    position,
+                    -1 if evicted < 0 else evicted << sectors_shift,
+                )
             tags[index] = block       # block miss: only this sector loads
             valid[index] = bit
         misses += 1
+        set_misses[index] += 1
+        if sampler is not None:
+            sampler.offer(address)
 
-    return CacheStats(
+    stats = CacheStats(
         accesses=len(addresses),
         misses=misses,
         words_transferred=misses * words_per_sector,
     )
+    if recorder.enabled or probe is not None:
+        emit_cache_sim(
+            stats, cache_bytes, block_bytes, f"sectored/{sector_bytes}B",
+            set_misses=set_misses, sampler=sampler,
+            addresses=addresses, probe=probe,
+        )
+    return stats

@@ -17,6 +17,7 @@ from repro.cache.base import (
     CacheStats,
     MissSampler,
     emit_cache_sim,
+    new_probe,
     require_power_of_two,
 )
 
@@ -104,10 +105,14 @@ def simulate_set_associative(
     set_misses = cache.set_misses
     recorder = obs.current()
     sampler = MissSampler() if recorder.enabled else None
+    probe = new_probe(block_bytes, cache_bytes)
+    seen: list[int] | None = [] if probe is not None else None
     accesses = 0
     misses = 0
     for address in addresses:
         accesses += 1
+        if seen is not None:
+            seen.append(address)
         block = address >> shift
         index = block & mask
         lru = sets[index]
@@ -120,16 +125,20 @@ def simulate_set_associative(
             set_misses[index] += 1
             if sampler is not None:
                 sampler.offer(address)
+            evicted = -1
             if len(lru) >= assoc:
-                lru.pop()
+                evicted = lru.pop()
+            if probe is not None:
+                probe.miss(accesses - 1, evicted)
         lru.insert(0, block)
     cache.accesses = accesses
     cache.misses = misses
     stats = cache.stats()
-    if recorder.enabled:
+    if recorder.enabled or probe is not None:
         emit_cache_sim(
             stats, cache_bytes, block_bytes, f"{assoc}-way",
             set_misses=set_misses, sampler=sampler,
+            addresses=seen, probe=probe,
         )
     return stats
 

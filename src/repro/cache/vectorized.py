@@ -21,6 +21,7 @@ from repro.cache.base import (
     CacheStats,
     MissSampler,
     emit_cache_sim,
+    new_probe,
     require_power_of_two,
 )
 
@@ -70,12 +71,14 @@ def simulate_direct_vectorized(
         words_transferred=misses * (block_bytes // BUS_WORD_BYTES),
     )
     recorder = obs.current()
-    if recorder.enabled:
+    probe = new_probe(block_bytes, cache_bytes)
+    if recorder.enabled or probe is not None:
         # Per-set conflict counts and a decimated miss-address sample,
-        # computed only when a recorder is attached (one extra bincount).
+        # computed only when a recorder or collector is attached.
         num_sets = cache_bytes // block_bytes
         block_shift = block_bytes.bit_length() - 1
-        miss_addresses = np.asarray(addresses, dtype=np.int64)[miss]
+        addresses = np.asarray(addresses, dtype=np.int64)
+        miss_addresses = addresses[miss]
         set_misses = np.bincount(
             (miss_addresses >> block_shift) & (num_sets - 1),
             minlength=num_sets,
@@ -83,8 +86,24 @@ def simulate_direct_vectorized(
         sampler = MissSampler()
         for address in miss_addresses[:: max(1, len(miss_addresses) // 256)]:
             sampler.offer(int(address))
+        if probe is not None and len(addresses):
+            # Evictor of a missing access = the block the previous access
+            # to the same set installed (-1 on a cold set).  In the
+            # set-grouped stable order that is simply the predecessor row
+            # whenever it shares the set.
+            blocks = addresses >> block_shift
+            sets = blocks & (num_sets - 1)
+            order = np.argsort(sets, kind="stable")
+            evict_sorted = np.full(len(addresses), -1, dtype=np.int64)
+            same_set = sets[order][1:] == sets[order][:-1]
+            evict_sorted[1:][same_set] = blocks[order][:-1][same_set]
+            evictors = np.empty(len(addresses), dtype=np.int64)
+            evictors[order] = evict_sorted
+            probe.positions = np.nonzero(miss)[0].tolist()
+            probe.evictors = evictors[miss].tolist()
         emit_cache_sim(
             stats, cache_bytes, block_bytes, "direct-vectorized",
             set_misses=set_misses, sampler=sampler,
+            addresses=addresses, probe=probe,
         )
     return stats

@@ -25,6 +25,10 @@ Commands
     interpreter/placement/cache layers, and the final metrics snapshot —
     as JSONL; ``--chrome-trace PATH`` additionally exports the spans in
     Chrome trace-event format (viewable in Perfetto / chrome://tracing).
+    ``--attribution`` (with ``--trace-out``) additionally classifies
+    every miss (compulsory/capacity/conflict against a fully-associative
+    LRU shadow) and attributes it to the function whose placement caused
+    it; the result is embedded in the run file for ``repro report``.
 ``tune [run]``
     Search the placement/cache design space: ``--strategy
     {grid,random,halving}`` picks candidates (grid order, seeded random
@@ -48,7 +52,16 @@ Commands
     as Pareto reports; trace files from tune runs group their trial
     spans by candidate.  ``report --compare A B`` diffs two runs and
     exits 1 when any miss ratio or counter regresses beyond
-    ``--threshold`` (default 10%).
+    ``--threshold`` (default 10%).  ``--html OUT.html`` renders the run
+    (including any embedded miss attribution) as a self-contained HTML
+    dashboard — inline CSS only, no external assets; ``--top N`` bounds
+    every ranking.
+``explain WORKLOAD``
+    Classify one workload's misses at a chosen cache geometry: the 3C
+    breakdown (compulsory/capacity/conflict), per-function miss tables,
+    the inter-function conflict map (victim <- evictor), and a per-set
+    heat map, for the optimized layout and a ``--baseline`` layout side
+    by side.  Store-backed: warm runs replay without interpreting.
 ``cache {ls,stats,verify,clear}``
     Inspect, integrity-check, or empty the artifact cache.  ``verify``
     checks every entry's SHA-256 manifest and quarantines corrupt ones
@@ -126,6 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--chrome-trace", default=None, metavar="PATH",
                        help="also export spans as a Chrome trace-event "
                             "JSON file (Perfetto-viewable)")
+    table.add_argument("--attribution", action="store_true",
+                       help="classify every miss (3C + symbol attribution) "
+                            "and embed the result in the --trace-out run "
+                            "file (requires --trace-out)")
     _add_cache_arguments(table)
 
     tune = sub.add_parser(
@@ -188,6 +205,39 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="FRACTION",
                         help="relative regression threshold for --compare "
                              "(default 0.10)")
+    report.add_argument("--html", default=None, metavar="OUT.html",
+                        help="write a self-contained HTML dashboard "
+                             "(inline CSS/SVG, no external assets)")
+    report.add_argument("--top", type=int, default=10, metavar="N",
+                        help="rows per ranking in report output "
+                             "(default 10)")
+
+    explain = sub.add_parser(
+        "explain",
+        help="classify one workload's misses (3C + conflict map)",
+    )
+    explain.add_argument("workload")
+    explain.add_argument("--cache-bytes", type=int, default=2048,
+                         metavar="N", help="cache size (default 2048)")
+    explain.add_argument("--block-bytes", type=int, default=64,
+                         metavar="N", help="block size (default 64)")
+    explain.add_argument("--assoc", type=int, default=1, metavar="N",
+                         help="associativity (1 = direct-mapped, default)")
+    explain.add_argument("--layout", default="optimized",
+                         choices=("optimized", "natural", "random",
+                                  "conflict_aware", "pettis_hansen"))
+    explain.add_argument("--baseline", default="natural",
+                         choices=("optimized", "natural", "random",
+                                  "conflict_aware", "pettis_hansen"),
+                         help="comparison layout (default natural)")
+    explain.add_argument("--scale", default="small",
+                         choices=("default", "small"),
+                         help="workload input scale (default small)")
+    explain.add_argument("--top", type=int, default=10, metavar="N",
+                         help="rows per ranking (default 10)")
+    explain.add_argument("--no-cache", action="store_true",
+                         help="do not persist artifacts to the cache")
+    _add_cache_arguments(explain)
 
     cache = sub.add_parser("cache", help="inspect the artifact cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -258,7 +308,7 @@ EXIT_PARTIAL_FAILURE = 3
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
-    from repro import obs
+    from repro import diagnose, obs
     from repro.engine.jobs import ALL_TABLE_NAMES, table_plan
     from repro.engine.scheduler import ExperimentFailure, run_jobs
     from repro.engine.telemetry import Telemetry
@@ -278,7 +328,16 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
     tables = list(ALL_TABLE_NAMES) if name == "all" else [name]
     observing = bool(args.trace_out or args.chrome_trace)
+    if args.attribution and not args.trace_out:
+        print(
+            "repro table: --attribution needs --trace-out PATH (the run "
+            "file is where the attribution is stored; render it with "
+            "`repro report PATH` or `repro report PATH --html OUT.html`)",
+            file=sys.stderr,
+        )
+        return 2
     recorder = obs.Recorder() if observing else obs.NULL
+    collector = diagnose.Collector() if args.attribution else diagnose.NULL
     # One metric namespace: the run's robustness counters and the
     # observability counters land in the same registry.
     telemetry = Telemetry(
@@ -296,7 +355,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
         cache_dir, use_cache = temp_cache.name, True
     failure = None
     try:
-        with obs.use(recorder):
+        with obs.use(recorder), diagnose.use(collector):
             values = run_jobs(
                 table_plan(tables, args.scale),
                 jobs=args.jobs,
@@ -320,6 +379,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
                 telemetry_totals=telemetry.totals(),
                 telemetry_counters=telemetry.counters,
             )
+            if collector.enabled:
+                recorder.meta["attribution"] = collector.to_dict()
             if args.trace_out:
                 recorder.dump_jsonl(args.trace_out)
             if args.chrome_trace:
@@ -462,7 +523,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print("repro report: a RUN.jsonl argument or --compare A B "
               "is required", file=sys.stderr)
         return 2
-    print(RunReport.load(args.run).render())
+    report = RunReport.load(args.run)
+    if args.html:
+        from repro.diagnose.html import render_html
+
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_html(report, top=args.top))
+        print(f"wrote {args.html}")
+        return 0
+    print(report.render(top=args.top))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.diagnose.explain import explain
+    from repro.workloads.registry import workload_names
+
+    if args.workload not in workload_names():
+        print(
+            f"repro explain: unknown workload {args.workload!r}; "
+            f"known: {', '.join(workload_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    print(explain(
+        args.workload,
+        cache_bytes=args.cache_bytes,
+        block_bytes=args.block_bytes,
+        assoc=args.assoc,
+        layout=args.layout,
+        baseline=args.baseline,
+        scale=args.scale,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        top=args.top,
+    ))
     return 0
 
 
@@ -609,6 +704,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_tune_run(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "explain":
+            return _cmd_explain(args)
         if args.command == "cache":
             return _cmd_cache(args)
         if args.command == "optimize":

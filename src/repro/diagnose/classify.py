@@ -1,0 +1,331 @@
+"""3C miss classification against a fully-associative LRU shadow cache.
+
+The paper's central comparison — IMPACT-I layouts versus Smith's
+fully-associative design targets (its Table 1) — is, by definition, a
+statement about *conflict* misses: the gap between a direct-mapped cache
+and a fully-associative one of the same size.  This module makes that gap
+a measured, per-miss quantity using the standard 3C model (Hill):
+
+* **compulsory** — the first access ever to a memory granule (misses in
+  any cache, of any size);
+* **capacity**  — a non-first-touch miss that a fully-associative LRU
+  cache of the same capacity *also* misses (the working set simply does
+  not fit);
+* **conflict**  — everything else: the real cache missed where the
+  fully-associative shadow hit, i.e. a mapping artifact the layout could
+  have avoided.
+
+The three classes partition the real miss stream by construction, so
+``compulsory + capacity + conflict == misses`` holds for every simulator
+(test-asserted).  LRU is not inclusion-ordered across organisations, so
+the shadow can occasionally miss where the real cache hits; those
+accesses are *hits* (not counted in any class) but are tallied as
+``anomaly``, giving the exact algebraic identity::
+
+    conflict == real_misses - shadow_misses + anomaly
+
+which for our traces makes "conflict misses" literally the measured gap
+to the paper's fully-associative baseline (``anomaly`` is zero on every
+bundled workload; the tests pin the identity anyway).
+
+Classification granularity follows each simulator's fill unit: whole
+blocks for direct/set-associative/prefetching caches, sectors for the
+sectored cache, 4-byte words for partial loading, pages for paging.  The
+shadow is a fully-associative LRU cache of the same byte capacity
+organised in those granules.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Attribution",
+    "MissProbe",
+    "attribute",
+    "fully_associative_miss_positions",
+]
+
+
+class MissProbe:
+    """Per-miss evidence a simulator collects when attribution is on.
+
+    ``positions`` are indices into the simulated address trace, one per
+    miss, in trace order.  ``evictors`` is parallel: the granule number
+    previously resident in the frame this miss displaced (``-1`` when the
+    frame was empty — a cold fill evicts nobody).  ``granule_bytes`` is
+    the simulator's fill unit (block, sector, word, or page) and
+    ``capacity_bytes`` the total capacity the fully-associative shadow
+    should be given.
+    """
+
+    __slots__ = ("granule_bytes", "capacity_bytes", "positions", "evictors")
+
+    def __init__(self, granule_bytes: int, capacity_bytes: int) -> None:
+        self.granule_bytes = granule_bytes
+        self.capacity_bytes = capacity_bytes
+        self.positions: list[int] = []
+        self.evictors: list[int] = []
+
+    def miss(self, position: int, evicted: int = -1) -> None:
+        """Record one miss at trace ``position`` displacing ``evicted``."""
+        self.positions.append(position)
+        self.evictors.append(evicted)
+
+
+@dataclass
+class Attribution:
+    """The 3C + symbol-level accounting of one simulation's misses.
+
+    :meth:`merge` is plain counter addition, used when *aggregating*
+    attributions of different configurations for rendering (a collector
+    never sums replays of the same configuration — last result wins,
+    they are deterministic).
+    """
+
+    organization: str = ""
+    cache_bytes: int = 0
+    block_bytes: int = 0
+    granule_bytes: int = 0
+    accesses: int = 0
+    misses: int = 0
+    compulsory: int = 0
+    capacity: int = 0
+    conflict: int = 0
+    anomaly: int = 0
+    shadow_misses: int = 0
+    #: function -> [compulsory, capacity, conflict] miss counts.
+    function_misses: dict[str, list[int]] = field(default_factory=dict)
+    #: (victim function, evictor function) -> conflict-miss count.
+    conflict_pairs: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: basic-block bid -> total misses landing in it (symbolised runs only).
+    block_misses: dict[int, int] = field(default_factory=dict)
+    #: cache set index -> misses (copied from the simulator when present).
+    set_misses: dict[int, int] = field(default_factory=dict)
+
+    def merge(self, other: "Attribution") -> "Attribution":
+        """Fold another attribution of the same configuration in."""
+        self.accesses += other.accesses
+        self.misses += other.misses
+        self.compulsory += other.compulsory
+        self.capacity += other.capacity
+        self.conflict += other.conflict
+        self.anomaly += other.anomaly
+        self.shadow_misses += other.shadow_misses
+        for name, counts in other.function_misses.items():
+            mine = self.function_misses.setdefault(name, [0, 0, 0])
+            for i in range(3):
+                mine[i] += counts[i]
+        for pair, count in other.conflict_pairs.items():
+            self.conflict_pairs[pair] = self.conflict_pairs.get(pair, 0) + count
+        for bid, count in other.block_misses.items():
+            self.block_misses[bid] = self.block_misses.get(bid, 0) + count
+        for index, count in other.set_misses.items():
+            self.set_misses[index] = self.set_misses.get(index, 0) + count
+        return self
+
+    # -- serialisation (JSON-safe: tuple keys flattened) -------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "organization": self.organization,
+            "cache_bytes": self.cache_bytes,
+            "block_bytes": self.block_bytes,
+            "granule_bytes": self.granule_bytes,
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "compulsory": self.compulsory,
+            "capacity": self.capacity,
+            "conflict": self.conflict,
+            "anomaly": self.anomaly,
+            "shadow_misses": self.shadow_misses,
+            "function_misses": {
+                name: list(counts)
+                for name, counts in sorted(self.function_misses.items())
+            },
+            "conflict_pairs": [
+                [victim, evictor, count]
+                for (victim, evictor), count in sorted(
+                    self.conflict_pairs.items()
+                )
+            ],
+            "block_misses": {
+                str(bid): count
+                for bid, count in sorted(self.block_misses.items())
+            },
+            "set_misses": {
+                str(index): count
+                for index, count in sorted(self.set_misses.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Attribution":
+        return cls(
+            organization=data.get("organization", ""),
+            cache_bytes=int(data.get("cache_bytes", 0)),
+            block_bytes=int(data.get("block_bytes", 0)),
+            granule_bytes=int(data.get("granule_bytes", 0)),
+            accesses=int(data.get("accesses", 0)),
+            misses=int(data.get("misses", 0)),
+            compulsory=int(data.get("compulsory", 0)),
+            capacity=int(data.get("capacity", 0)),
+            conflict=int(data.get("conflict", 0)),
+            anomaly=int(data.get("anomaly", 0)),
+            shadow_misses=int(data.get("shadow_misses", 0)),
+            function_misses={
+                name: list(map(int, counts))
+                for name, counts in data.get("function_misses", {}).items()
+            },
+            conflict_pairs={
+                (victim, evictor): int(count)
+                for victim, evictor, count in data.get("conflict_pairs", [])
+            },
+            block_misses={
+                int(bid): int(count)
+                for bid, count in data.get("block_misses", {}).items()
+            },
+            set_misses={
+                int(index): int(count)
+                for index, count in data.get("set_misses", {}).items()
+            },
+        )
+
+
+def fully_associative_miss_positions(
+    granules: np.ndarray, capacity_granules: int
+) -> np.ndarray:
+    """Positions (trace order) missing in a fully-associative LRU cache.
+
+    Exact LRU over the *granule-transition* subsequence: an access to the
+    same granule as its predecessor always hits and only refreshes a
+    recency the transition already established, so skipping it changes
+    nothing — which turns an O(trace) Python loop into an O(transitions)
+    one (instruction fetch is overwhelmingly sequential-within-granule).
+    """
+    n = len(granules)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    keep = np.empty(n, dtype=bool)
+    keep[0] = True
+    keep[1:] = granules[1:] != granules[:-1]
+    transition_positions = np.nonzero(keep)[0]
+
+    resident: OrderedDict[int, None] = OrderedDict()
+    miss_positions: list[int] = []
+    move_to_end = resident.move_to_end
+    for position in transition_positions:
+        granule = int(granules[position])
+        if granule in resident:
+            move_to_end(granule)
+        else:
+            miss_positions.append(int(position))
+            if len(resident) >= capacity_granules:
+                resident.popitem(last=False)
+            resident[granule] = None
+    return np.asarray(miss_positions, dtype=np.int64)
+
+
+def _first_touch_positions(granules: np.ndarray) -> np.ndarray:
+    """The position of the first access to each distinct granule."""
+    _, first = np.unique(granules, return_index=True)
+    return np.sort(first)
+
+
+def attribute(
+    addresses: np.ndarray,
+    probe: MissProbe,
+    organization: str,
+    cache_bytes: int,
+    block_bytes: int,
+    symbols=None,
+    set_misses=None,
+) -> Attribution:
+    """Classify one simulation's misses and attribute them to symbols.
+
+    ``addresses`` is the very trace the simulator consumed; ``probe``
+    carries its per-miss positions and evictors.  ``symbols`` (a
+    :class:`repro.diagnose.symbols.SymbolTable` or ``None``) turns
+    addresses into (function, basic block); without it the attribution
+    still produces exact 3C totals, just no symbol tables.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    n = len(addresses)
+    shift = probe.granule_bytes.bit_length() - 1
+    granules = addresses >> shift
+    capacity_granules = max(1, probe.capacity_bytes // probe.granule_bytes)
+
+    shadow = fully_associative_miss_positions(granules, capacity_granules)
+    first_touch = _first_touch_positions(granules)
+    miss_positions = np.asarray(probe.positions, dtype=np.int64)
+    evictors = np.asarray(probe.evictors, dtype=np.int64)
+
+    # Membership tests via searchsorted: every array is sorted & unique
+    # in trace order (first_touch by construction, shadow because LRU
+    # yields positions in order, miss positions because simulation does).
+    def _member(positions: np.ndarray, of: np.ndarray) -> np.ndarray:
+        if len(of) == 0:
+            return np.zeros(len(positions), dtype=bool)
+        idx = np.searchsorted(of, positions)
+        idx = np.minimum(idx, len(of) - 1)
+        return of[idx] == positions
+
+    is_compulsory = _member(miss_positions, first_touch)
+    in_shadow = _member(miss_positions, shadow)
+    is_capacity = ~is_compulsory & in_shadow
+    is_conflict = ~is_compulsory & ~in_shadow
+
+    # Shadow misses where the real cache hit (LRU non-inclusion anomaly).
+    anomaly = int(len(shadow) - int(in_shadow.sum()))
+
+    result = Attribution(
+        organization=organization,
+        cache_bytes=cache_bytes,
+        block_bytes=block_bytes,
+        granule_bytes=probe.granule_bytes,
+        accesses=n,
+        misses=len(miss_positions),
+        compulsory=int(is_compulsory.sum()),
+        capacity=int(is_capacity.sum()),
+        conflict=int(is_conflict.sum()),
+        anomaly=anomaly,
+        shadow_misses=len(shadow),
+    )
+    if set_misses is not None:
+        result.set_misses = {
+            int(index): int(count)
+            for index, count in (
+                set_misses.items() if hasattr(set_misses, "items")
+                else enumerate(set_misses)
+            )
+            if count
+        }
+
+    if symbols is None or len(miss_positions) == 0:
+        return result
+
+    miss_addresses = addresses[miss_positions]
+    functions, bids = symbols.resolve(miss_addresses)
+    classes = np.where(is_compulsory, 0, np.where(is_capacity, 1, 2))
+    function_misses = result.function_misses
+    block_misses = result.block_misses
+    for name, bid, cls in zip(functions, bids, classes):
+        counts = function_misses.setdefault(str(name), [0, 0, 0])
+        counts[int(cls)] += 1
+        bid = int(bid)
+        if bid >= 0:
+            block_misses[bid] = block_misses.get(bid, 0) + 1
+
+    conflict_idx = np.nonzero(is_conflict & (evictors >= 0))[0]
+    if len(conflict_idx):
+        evictor_addresses = evictors[conflict_idx] << shift
+        evictor_functions, _ = symbols.resolve(evictor_addresses)
+        pairs = result.conflict_pairs
+        victim_functions = functions[conflict_idx]
+        for victim, evictor in zip(victim_functions, evictor_functions):
+            key = (str(victim), str(evictor))
+            pairs[key] = pairs.get(key, 0) + 1
+    return result

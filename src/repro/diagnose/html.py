@@ -1,0 +1,226 @@
+"""Self-contained HTML dashboard for an observability run.
+
+``repro report RUN.jsonl --html OUT.html`` renders the run summary —
+engine counters, phase timings, per-workload miss ratios — and, when the
+run was recorded with ``--attribution``, the miss-attribution views: 3C
+stacked bars per cache configuration, per-function miss tables, the
+inter-function conflict pairs, and a per-set miss heat map.
+
+The output is one file with inline CSS and inline SVG only — no
+external assets, scripts, or network fetches — so it renders anywhere,
+including the CI artifact viewer.
+"""
+
+from __future__ import annotations
+
+import html as _html
+
+from repro.diagnose.classify import Attribution
+
+__all__ = ["render_html"]
+
+_CSS = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto;
+       max-width: 70em; color: #1a1a2e; padding: 0 1em; }
+h1 { font-size: 1.4em; border-bottom: 2px solid #1a1a2e; }
+h2 { font-size: 1.1em; margin-top: 2em; }
+h3 { font-size: 1.0em; margin-bottom: 0.3em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { padding: 0.2em 0.8em; text-align: right; }
+th { border-bottom: 1px solid #888; }
+td:first-child, th:first-child { text-align: left; }
+tr:nth-child(even) td { background: #f3f4f8; }
+.bar { display: flex; height: 1.1em; width: 24em; background: #eee;
+       border-radius: 2px; overflow: hidden; }
+.bar span { display: block; height: 100%; }
+.compulsory { background: #4e79a7; }
+.capacity { background: #f28e2b; }
+.conflict { background: #e15759; }
+.legend span { display: inline-block; padding: 0 0.5em; margin-right: 1em;
+               border-radius: 2px; color: #fff; font-size: 0.85em; }
+.meta { color: #555; font-size: 0.9em; }
+.heat { display: grid; grid-template-columns: repeat(32, 12px); gap: 1px; }
+.heat div { width: 12px; height: 12px; background: #e8e8ee; }
+.config { margin-bottom: 2.2em; }
+"""
+
+
+def _esc(value) -> str:
+    return _html.escape(str(value))
+
+
+def _bar(entry: Attribution) -> str:
+    """The 3C stacked bar for one attribution entry."""
+    misses = max(entry.misses, 1)
+    parts = []
+    for cls in ("compulsory", "capacity", "conflict"):
+        pct = 100.0 * getattr(entry, cls) / misses
+        parts.append(
+            f'<span class="{cls}" style="width:{pct:.2f}%" '
+            f'title="{cls}: {getattr(entry, cls)}"></span>'
+        )
+    return f'<div class="bar">{"".join(parts)}</div>'
+
+
+def _heatmap(entry: Attribution) -> str:
+    """Per-set miss intensity as a CSS grid (no canvas, no scripts)."""
+    num_sets = entry.cache_bytes // entry.block_bytes
+    if not entry.set_misses or num_sets <= 0 or num_sets > 4096:
+        return ""
+    peak = max(entry.set_misses.values()) or 1
+    cells = []
+    for index in range(num_sets):
+        count = entry.set_misses.get(index, 0)
+        # Cold sets stay grey; hot sets ramp white -> red.
+        if count:
+            level = count / peak
+            red = 225
+            other = int(225 * (1 - level))
+            style = f' style="background:rgb({red},{other},{other})"'
+        else:
+            style = ""
+        cells.append(f'<div{style} title="set {index}: {count}"></div>')
+    return (
+        f'<div class="heat">{"".join(cells)}</div>'
+        f'<p class="meta">per-set misses, row-major from set 0 '
+        f"(peak {peak})</p>"
+    )
+
+
+def _function_table(entry: Attribution, top: int) -> str:
+    functions = sorted(
+        entry.function_misses.items(), key=lambda kv: (-sum(kv[1]), kv[0])
+    )[:top]
+    if not functions:
+        return ""
+    rows = "".join(
+        f"<tr><td>{_esc(name)}</td><td>{comp + cap + conf}</td>"
+        f"<td>{comp}</td><td>{cap}</td><td>{conf}</td></tr>"
+        for name, (comp, cap, conf) in functions
+    )
+    return (
+        "<table><tr><th>function</th><th>misses</th><th>comp</th>"
+        f"<th>cap</th><th>conf</th></tr>{rows}</table>"
+    )
+
+
+def _pair_table(entry: Attribution, top: int) -> str:
+    pairs = sorted(
+        entry.conflict_pairs.items(), key=lambda kv: (-kv[1], kv[0])
+    )[:top]
+    if not pairs:
+        return ""
+    rows = "".join(
+        f"<tr><td>{_esc(victim)}</td><td>{_esc(evictor)}</td>"
+        f"<td>{count}</td></tr>"
+        for (victim, evictor), count in pairs
+    )
+    return (
+        "<table><tr><th>victim</th><th>evicting function</th>"
+        f"<th>conflict misses</th></tr>{rows}</table>"
+    )
+
+
+def _attribution_sections(attribution: dict, top: int) -> list[str]:
+    entries: list[tuple[tuple, Attribution]] = []
+    for flat_key, payload in sorted(attribution.items()):
+        workload, layout, organization, cache_bytes, block_bytes = (
+            flat_key.split("|")
+        )
+        entries.append((
+            (workload, layout, organization,
+             int(cache_bytes), int(block_bytes)),
+            Attribution.from_dict(payload),
+        ))
+    if not entries:
+        return []
+    out = ["<h2>Miss attribution (3C)</h2>"]
+    out.append(
+        '<p class="legend">'
+        '<span class="compulsory">compulsory</span>'
+        '<span class="capacity">capacity</span>'
+        '<span class="conflict">conflict</span></p>'
+    )
+    for (workload, layout, organization, cache, block), entry in entries:
+        out.append('<div class="config">')
+        out.append(
+            f"<h3>{_esc(workload)} / {_esc(layout)} — {_esc(organization)}, "
+            f"{cache}B cache, {block}B blocks</h3>"
+        )
+        out.append(
+            f'<p class="meta">{entry.accesses} accesses, '
+            f"{entry.misses} misses — compulsory {entry.compulsory}, "
+            f"capacity {entry.capacity}, conflict {entry.conflict}"
+            + (f", anomaly {entry.anomaly}" if entry.anomaly else "")
+            + "</p>"
+        )
+        out.append(_bar(entry))
+        out.append(_function_table(entry, top))
+        out.append(_pair_table(entry, top))
+        out.append(_heatmap(entry))
+        out.append("</div>")
+    return out
+
+
+def render_html(report, top: int = 10) -> str:
+    """The full dashboard for one :class:`repro.obs.report.RunReport`."""
+    meta = report.meta
+    title = "repro run dashboard"
+    if meta.get("tables"):
+        title += f" — {', '.join(meta['tables'])}"
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+    ]
+    bits = []
+    if meta.get("scale"):
+        bits.append(f"scale={_esc(meta['scale'])}")
+    if meta.get("jobs"):
+        bits.append(f"jobs={_esc(meta['jobs'])}")
+    totals = report.totals()
+    if totals:
+        bits.append(f"engine jobs={totals.get('jobs', 0)}")
+        bits.append(
+            f"interp instructions={totals.get('interp_instructions', 0)}"
+        )
+    if bits:
+        parts.append(f'<p class="meta">{" · ".join(bits)}</p>')
+
+    timings = report.phase_timings()
+    if timings:
+        parts.append("<h2>Per-phase span timings</h2><table>")
+        parts.append("<tr><th>phase</th><th>count</th><th>total</th></tr>")
+        for cat, name, count, total in timings[:top]:
+            parts.append(
+                f"<tr><td>{_esc(cat)}:{_esc(name)}</td>"
+                f"<td>{count}</td><td>{total:.3f}s</td></tr>"
+            )
+        parts.append("</table>")
+
+    ratios = report.miss_ratios()
+    if ratios:
+        parts.append("<h2>Per-workload miss ratios</h2><table>")
+        parts.append(
+            "<tr><th>workload</th><th>layout</th><th>cache</th>"
+            "<th>block</th><th>miss ratio</th></tr>"
+        )
+        for (workload, layout, cache, block), fields in sorted(
+            ratios.items(),
+            key=lambda kv: (str(kv[0][0]), str(kv[0][1]),
+                            -(kv[0][2] or 0), kv[0][3] or 0),
+        ):
+            parts.append(
+                f"<tr><td>{_esc(workload)}</td><td>{_esc(layout)}</td>"
+                f"<td>{cache}B</td><td>{block}B</td>"
+                f"<td>{100 * fields.get('miss_ratio', 0.0):.2f}%</td></tr>"
+            )
+        parts.append("</table>")
+
+    parts.extend(
+        _attribution_sections(meta.get("attribution", {}), top)
+    )
+    parts.append("</body></html>")
+    return "\n".join(part for part in parts if part)

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import obs
+from repro import diagnose, obs
 from repro.engine import faults
 from repro.engine.store import ArtifactStore
 from repro.engine.telemetry import JobRecord, Telemetry
@@ -73,6 +73,9 @@ class JobOutcome:
     ``obs_records``/``obs_metrics`` carry the worker's observability
     spans, events, and metric snapshot when the run is being traced
     (empty otherwise — an unobserved run ships no extra bytes).
+    ``attribution`` likewise carries the worker's serialized 3C miss
+    attribution (:meth:`repro.diagnose.Collector.to_dict`) when the run
+    was started with attribution on, and is empty otherwise.
     """
 
     job_id: str
@@ -81,6 +84,7 @@ class JobOutcome:
     counters: dict = field(default_factory=dict)
     obs_records: list = field(default_factory=list)
     obs_metrics: dict = field(default_factory=dict)
+    attribution: dict = field(default_factory=dict)
 
 
 def workloads_for_table(table: str) -> tuple[str, ...]:
@@ -140,6 +144,7 @@ def execute_job(
     runner=None,
     attempt: int = 0,
     observe: bool = False,
+    attribute: bool = False,
 ) -> JobOutcome:
     """Run one job; the sequential scheduler and pool workers both use this.
 
@@ -154,6 +159,10 @@ def execute_job(
     installed) collect observability spans/events for this job and ship
     them back in the outcome; in-process callers inherit whatever
     recorder is already current, so their records flow in directly.
+    ``attribute=True`` does the same for 3C miss attribution: a worker
+    installs a fresh :class:`repro.diagnose.Collector` and ships its
+    serialized entries; in-process callers record straight into the
+    collector the caller installed.
     """
     from repro.experiments.runner import ExperimentRunner
 
@@ -176,6 +185,18 @@ def execute_job(
         own_recorder = obs.Recorder()
         obs.install(own_recorder)
         recorder = own_recorder
+
+    collector = diagnose.current()
+    own_collector = None
+    if attribute and (
+        not collector.enabled
+        or getattr(collector, "_pid", None) != os.getpid()
+    ):
+        # Same reasoning as the recorder above: a worker (or a forked
+        # child) cannot mutate the parent's collector, so record into a
+        # fresh one and ship the entries through the outcome.
+        own_collector = diagnose.Collector()
+        diagnose.install(own_collector)
 
     telemetry = Telemetry()
     try:
@@ -247,11 +268,14 @@ def execute_job(
     finally:
         if own_recorder is not None:
             obs.install(obs.NULL)
+        if own_collector is not None:
+            diagnose.install(diagnose.NULL)
     return JobOutcome(
         job_id=spec.job_id, value=value, records=telemetry.records,
         counters=counters,
         obs_records=own_recorder.records if own_recorder else [],
         obs_metrics=own_recorder.metrics.to_dict() if own_recorder else {},
+        attribution=own_collector.to_dict() if own_collector else {},
     )
 
 

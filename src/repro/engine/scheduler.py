@@ -34,7 +34,7 @@ import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
-from repro import obs
+from repro import diagnose, obs
 from repro.engine.jobs import JobOutcome, JobSpec, execute_job
 from repro.engine.store import ArtifactStore
 from repro.engine.telemetry import Telemetry
@@ -237,6 +237,12 @@ def _consume(
     if recorder.enabled and (outcome.obs_records or outcome.obs_metrics):
         # Worker-side spans/events/metrics fold into the run-level record.
         recorder.absorb(outcome.obs_records, outcome.obs_metrics)
+    collector = diagnose.current()
+    if collector.enabled and outcome.attribution:
+        # Worker-side miss attributions fold into the run collector.
+        # Entry replacement (not summation) keeps --jobs N identical to
+        # --jobs 1 even when two tables replay the same configuration.
+        collector.merge_dict(outcome.attribution)
 
 
 def _blocked_by(
@@ -372,6 +378,7 @@ def _run_parallel(
                 future = pool.submit(
                     execute_job, spec, cache_dir, True, None,
                     attempts.get(spec.job_id, 0), obs.current().enabled,
+                    diagnose.current().enabled,
                 )
                 in_flight[spec.job_id] = future
                 if job_timeout is not None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import diagnose
 from repro.cache.set_assoc import (
     simulate_fully_associative,
     simulate_set_associative,
@@ -45,27 +46,32 @@ class Row:
 def compute(runner: ExperimentRunner) -> list[Row]:
     """Measure the associativity ladder on the stress benchmarks."""
     rows = []
+    collector = diagnose.current()
     for name in STRESS_BENCHMARKS:
         optimized = runner.addresses(name, "optimized")
         natural = runner.addresses(name, "natural")
+        with collector.scope(workload=name, layout="optimized"):
+            direct = simulate_direct_vectorized(
+                optimized, CACHE_BYTES, BLOCK_BYTES
+            ).miss_ratio
+            two_way = simulate_set_associative(
+                optimized, CACHE_BYTES, BLOCK_BYTES, 2
+            ).miss_ratio
+            four_way = simulate_set_associative(
+                optimized, CACHE_BYTES, BLOCK_BYTES, 4
+            ).miss_ratio
+            fully = simulate_fully_associative(
+                optimized, CACHE_BYTES, BLOCK_BYTES
+            ).miss_ratio
+        with collector.scope(workload=name, layout="natural"):
+            fully_natural = simulate_fully_associative(
+                natural, CACHE_BYTES, BLOCK_BYTES
+            ).miss_ratio
         rows.append(
             Row(
-                name=name,
-                direct=simulate_direct_vectorized(
-                    optimized, CACHE_BYTES, BLOCK_BYTES
-                ).miss_ratio,
-                two_way=simulate_set_associative(
-                    optimized, CACHE_BYTES, BLOCK_BYTES, 2
-                ).miss_ratio,
-                four_way=simulate_set_associative(
-                    optimized, CACHE_BYTES, BLOCK_BYTES, 4
-                ).miss_ratio,
-                fully=simulate_fully_associative(
-                    optimized, CACHE_BYTES, BLOCK_BYTES
-                ).miss_ratio,
-                fully_natural=simulate_fully_associative(
-                    natural, CACHE_BYTES, BLOCK_BYTES
-                ).miss_ratio,
+                name=name, direct=direct, two_way=two_way,
+                four_way=four_way, fully=fully,
+                fully_natural=fully_natural,
             )
         )
     return rows

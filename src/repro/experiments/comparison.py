@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import diagnose
 from repro.cache.set_assoc import simulate_fully_associative
 from repro.cache.vectorized import simulate_direct_vectorized
 from repro.experiments.report import fmt_pct, render_table
@@ -54,13 +55,18 @@ def compute(runner: ExperimentRunner) -> list[Point]:
         optimized: list[tuple[str, float]] = []
         fully_assoc: list[float] = []
         for name in names:
-            opt_stats = simulate_direct_vectorized(
-                runner.addresses(name, "optimized"), cache_bytes, block_bytes
-            )
+            collector = diagnose.current()
+            with collector.scope(workload=name, layout="optimized"):
+                opt_stats = simulate_direct_vectorized(
+                    runner.addresses(name, "optimized"),
+                    cache_bytes, block_bytes,
+                )
             optimized.append((name, opt_stats.miss_ratio))
-            fa_stats = simulate_fully_associative(
-                runner.addresses(name, "natural"), cache_bytes, block_bytes
-            )
+            with collector.scope(workload=name, layout="natural"):
+                fa_stats = simulate_fully_associative(
+                    runner.addresses(name, "natural"),
+                    cache_bytes, block_bytes,
+                )
             fully_assoc.append(fa_stats.miss_ratio)
         worst_name, worst = max(optimized, key=lambda item: item[1])
         points.append(

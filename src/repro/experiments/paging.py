@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import diagnose
 from repro.cache.paging import (
     simulate_paging,
     simulate_sectored_paging,
@@ -61,12 +62,15 @@ def compute(runner: ExperimentRunner) -> list[Row]:
     for name in PAGED_BENCHMARKS:
         optimized = runner.addresses(name, "optimized")
         natural = runner.addresses(name, "natural")
+        collector = diagnose.current()
         for page_bytes in PAGE_BYTES:
-            opt = simulate_paging(optimized, page_bytes, RESIDENT_PAGES)
-            nat = simulate_paging(natural, page_bytes, RESIDENT_PAGES)
-            sect = simulate_sectored_paging(
-                optimized, page_bytes, RESIDENT_PAGES, SECTOR_BYTES
-            )
+            with collector.scope(workload=name, layout="optimized"):
+                opt = simulate_paging(optimized, page_bytes, RESIDENT_PAGES)
+                sect = simulate_sectored_paging(
+                    optimized, page_bytes, RESIDENT_PAGES, SECTOR_BYTES
+                )
+            with collector.scope(workload=name, layout="natural"):
+                nat = simulate_paging(natural, page_bytes, RESIDENT_PAGES)
             opt_ws = working_set_profile(optimized, page_bytes, WS_WINDOW)
             nat_ws = working_set_profile(natural, page_bytes, WS_WINDOW)
             rows.append(

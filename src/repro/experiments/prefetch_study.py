@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import diagnose
 from repro.cache.prefetch import simulate_prefetch
 from repro.cache.vectorized import simulate_direct_vectorized
 from repro.experiments.report import fmt_pct, render_table
@@ -44,25 +45,30 @@ class Row:
 def compute(runner: ExperimentRunner) -> list[Row]:
     """Measure the four configurations on the stress benchmarks."""
     rows = []
+    collector = diagnose.current()
     for name in STRESS_BENCHMARKS:
         natural = runner.addresses(name, "natural")
         optimized = runner.addresses(name, "optimized")
-        natural_pf = simulate_prefetch(
-            natural, CACHE_BYTES, BLOCK_BYTES, "tagged"
-        )
-        optimized_pf = simulate_prefetch(
-            optimized, CACHE_BYTES, BLOCK_BYTES, "tagged"
-        )
+        with collector.scope(workload=name, layout="natural"):
+            natural_pf = simulate_prefetch(
+                natural, CACHE_BYTES, BLOCK_BYTES, "tagged"
+            )
+            natural_plain = simulate_direct_vectorized(
+                natural, CACHE_BYTES, BLOCK_BYTES
+            ).miss_ratio
+        with collector.scope(workload=name, layout="optimized"):
+            optimized_pf = simulate_prefetch(
+                optimized, CACHE_BYTES, BLOCK_BYTES, "tagged"
+            )
+            optimized_plain = simulate_direct_vectorized(
+                optimized, CACHE_BYTES, BLOCK_BYTES
+            ).miss_ratio
         rows.append(
             Row(
                 name=name,
-                natural_plain=simulate_direct_vectorized(
-                    natural, CACHE_BYTES, BLOCK_BYTES
-                ).miss_ratio,
+                natural_plain=natural_plain,
                 natural_prefetch=natural_pf.miss_ratio,
-                optimized_plain=simulate_direct_vectorized(
-                    optimized, CACHE_BYTES, BLOCK_BYTES
-                ).miss_ratio,
+                optimized_plain=optimized_plain,
                 optimized_prefetch=optimized_pf.miss_ratio,
                 optimized_accuracy=optimized_pf.accuracy,
                 optimized_prefetch_traffic=optimized_pf.traffic_ratio,

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import obs
+from repro import diagnose, obs
 from repro.engine.store import ArtifactPayload, ArtifactStore, artifact_key
 from repro.engine.telemetry import Telemetry
 from repro.interp.interpreter import Interpreter
@@ -327,6 +327,21 @@ class ExperimentRunner:
                 else art.original_trace
             )
             addresses = trace.addresses(image)
+        collector = diagnose.current()
+        if collector.enabled and scaling == 1.0:
+            # The address->symbol map every attribution under this
+            # (workload, layout) resolves misses through.  Trace labels
+            # come from the placement selections on optimized layouts
+            # (natural/random images are of the pre-trace-selection
+            # program, which has no selections).
+            selections = (
+                art.placement.selections
+                if layout in ("optimized", "conflict_aware") else None
+            )
+            collector.register_symbols(
+                name, layout,
+                diagnose.SymbolTable.from_image(image, selections),
+            )
         if scaling == 1.0 and layout in ("optimized", "natural"):
             self._addresses[key] = addresses
         return addresses

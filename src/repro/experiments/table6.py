@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import obs
+from repro import diagnose, obs
 from repro.cache.vectorized import simulate_direct_vectorized
 from repro.experiments.report import fmt_pct, render_table
 from repro.experiments.runner import ExperimentRunner, default_runner
@@ -41,7 +41,8 @@ def compute(
         addresses = runner.addresses(name, layout)
         results = {}
         with recorder.span("simulate", cat="simulation",
-                           table="table6", workload=name, layout=layout):
+                           table="table6", workload=name, layout=layout), \
+                diagnose.current().scope(workload=name, layout=layout):
             for cache_bytes in CACHE_SIZES:
                 stats = simulate_direct_vectorized(
                     addresses, cache_bytes, BLOCK_BYTES

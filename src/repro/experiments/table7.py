@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import obs
+from repro import diagnose, obs
 from repro.cache.vectorized import simulate_direct_vectorized
 from repro.experiments.report import fmt_pct, render_table
 from repro.experiments.runner import ExperimentRunner, default_runner
@@ -42,7 +42,8 @@ def compute(
         addresses = runner.addresses(name, layout)
         results = {}
         with recorder.span("simulate", cat="simulation",
-                           table="table7", workload=name, layout=layout):
+                           table="table7", workload=name, layout=layout), \
+                diagnose.current().scope(workload=name, layout=layout):
             for block_bytes in BLOCK_SIZES:
                 stats = simulate_direct_vectorized(
                     addresses, CACHE_BYTES, block_bytes

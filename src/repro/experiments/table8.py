@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import diagnose
 from repro.cache.partial import simulate_partial
 from repro.cache.sectored import simulate_sectored
 from repro.experiments.report import fmt_pct, render_table
@@ -50,10 +51,11 @@ def compute(
     rows = []
     for name in runner.names():
         addresses = runner.addresses(name, layout)
-        sector = simulate_sectored(
-            addresses, CACHE_BYTES, BLOCK_BYTES, SECTOR_BYTES
-        )
-        partial = simulate_partial(addresses, CACHE_BYTES, BLOCK_BYTES)
+        with diagnose.current().scope(workload=name, layout=layout):
+            sector = simulate_sectored(
+                addresses, CACHE_BYTES, BLOCK_BYTES, SECTOR_BYTES
+            )
+            partial = simulate_partial(addresses, CACHE_BYTES, BLOCK_BYTES)
         rows.append(
             Row(
                 name=name,

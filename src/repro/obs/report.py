@@ -67,7 +67,9 @@ class RunReport:
             (cat, name, len(durs), sum(durs))
             for (cat, name), durs in groups.items()
         ]
-        rows.sort(key=lambda row: -row[3])
+        # Tie-break on (cat, name) so equal-duration phases (common in
+        # replayed runs) render in a stable order.
+        rows.sort(key=lambda row: (-row[3], row[0], row[1]))
         return rows
 
     def miss_ratios(self) -> dict[tuple, dict]:
@@ -176,6 +178,29 @@ class RunReport:
         rows.sort(key=lambda row: (-row[3], row[0]))
         return rows
 
+    def attributions(self) -> list[tuple[tuple, "object"]]:
+        """Embedded miss attributions: ``(key, Attribution)`` rows.
+
+        ``key`` is ``(workload, layout, organization, cache_bytes,
+        block_bytes)``; present only for runs recorded with
+        ``--attribution``.
+        """
+        from repro.diagnose.classify import Attribution
+
+        rows = []
+        for flat_key, payload in sorted(
+            self.meta.get("attribution", {}).items()
+        ):
+            workload, layout, organization, cache_bytes, block_bytes = (
+                flat_key.split("|")
+            )
+            rows.append((
+                (workload, layout, organization,
+                 int(cache_bytes), int(block_bytes)),
+                Attribution.from_dict(payload),
+            ))
+        return rows
+
     def counters(self) -> dict[str, int]:
         return dict(self.metrics.get("counters", {}))
 
@@ -185,7 +210,7 @@ class RunReport:
 
     # -- rendering ---------------------------------------------------------
 
-    def render(self) -> str:
+    def render(self, top: int = 10) -> str:
         """The full human-readable summary.
 
         A tune trial log (``repro tune --out``) is a different animal
@@ -268,7 +293,7 @@ class RunReport:
         if timings:
             lines.append("")
             lines.append("per-phase span timings")
-            for cat, name, count, total in timings[:15]:
+            for cat, name, count, total in timings[:max(top, 15)]:
                 lines.append(
                     f"  {cat:>9}:{name:<18} {count:>4}x  {total:8.3f}s total"
                 )
@@ -292,7 +317,7 @@ class RunReport:
                 )
                 lines.append(f"  {workload:<10} {layout:<12} {cells}")
 
-        conflicts = self.top_conflict_sets()
+        conflicts = self.top_conflict_sets(n=top)
         if conflicts:
             lines.append("")
             lines.append("top conflict sets (misses, workload, cache, set)")
@@ -301,7 +326,50 @@ class RunReport:
                     f"  {misses:>8}  {workload:<10} {label:<9} set {set_index}"
                 )
 
-        traces = self.hottest_traces()
+        attributions = self.attributions()
+        if attributions:
+            lines.append("")
+            total = len(attributions)
+            shown = sorted(
+                attributions,
+                key=lambda row: (-row[1].conflict, row[0]),
+            )[:top]
+            shown.sort(key=lambda row: row[0])
+            suffix = (
+                f" (top {len(shown)} of {total} by conflict misses)"
+                if total > len(shown) else ""
+            )
+            lines.append(f"miss attribution (3C; comp/cap/conf){suffix}")
+            for (workload, layout, org, cache, block), a in shown:
+                misses = a.misses or 1
+                lines.append(
+                    f"  {workload:<10} {layout:<12} "
+                    f"{_cache_label(cache, block):<9} {org:<20} "
+                    f"{a.misses:>7} misses = "
+                    f"{a.compulsory} + {a.capacity} + {a.conflict} "
+                    f"({100 * a.conflict / misses:.0f}% conflict)"
+                )
+            pairs = sorted(
+                (
+                    (count, workload, layout, victim, evictor)
+                    for (workload, layout, _, _, _), a in attributions
+                    for (victim, evictor), count in a.conflict_pairs.items()
+                ),
+                key=lambda row: (-row[0], row[1], row[2], row[3], row[4]),
+            )[:top]
+            if pairs:
+                lines.append("")
+                lines.append(
+                    "top conflicting function pairs "
+                    "(misses, workload, layout, victim <- evictor)"
+                )
+                for count, workload, layout, victim, evictor in pairs:
+                    lines.append(
+                        f"  {count:>8}  {workload:<10} {layout:<12} "
+                        f"{victim} <- {evictor}"
+                    )
+
+        traces = self.hottest_traces(n=top)
         if traces:
             lines.append("")
             lines.append("hottest traces (weight, workload, function, blocks)")
