@@ -1,0 +1,149 @@
+"""Benchmark of the experiment service: cold vs. warm, 1/4/16 clients.
+
+Starts one in-process daemon on an ephemeral port, then drives it with
+the stdlib load-test harness at three concurrency levels over a mix of
+table and explain requests.  The cold phase (empty store) pays for
+interpretation; warm phases replay everything from the content-addressed
+store, so their latencies measure the service path itself (HTTP + queue
++ hydrate).  Identical concurrent requests coalesce onto one in-flight
+execution, and the measured hit rate of that dedup lands in the output.
+
+The rendered comparison goes to ``results/service.txt`` and the raw
+numbers to ``BENCH_service.json`` at the repo root, which the benchmark
+trajectory graphs across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from benchmarks.conftest import emit
+from repro.experiments.report import render_table
+from repro.service import ExperimentService
+from repro.service.client import load_test
+
+SCALE = "small"
+CLIENT_LEVELS = (1, 4, 16)
+#: Mixed traffic: tables (multi-workload DAGs) + explains (single
+#: workload, diagnose-heavy).  Sixteen requests covers the 16-client run.
+REQUESTS = (
+    [{"kind": "table", "table": name, "scale": SCALE}
+     for name in ("table4", "table6", "table7", "table8")] * 2
+    + [{"kind": "explain", "workload": name, "scale": SCALE, "top": 5}
+       for name in ("wc", "cmp", "grep", "tee")] * 2
+)
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _phase(url: str, clients: int) -> dict:
+    outcome = load_test(url, list(REQUESTS), clients=clients, timeout=600.0)
+    assert outcome["failed"] == 0, outcome["errors"]
+    return outcome
+
+
+def test_service_cold_warm_concurrency(benchmark):
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as root:
+        service = ExperimentService(
+            port=0, cache_dir=os.path.join(root, "cache"),
+            workers=4, queue_depth=64,
+        )
+        service.start()
+        try:
+            # Cold: first contact, empty store, 16 concurrent clients —
+            # the acceptance scenario (mixed traffic, zero failures).
+            cold = benchmark.pedantic(
+                _phase, args=(service.url, 16), rounds=1, iterations=1,
+            )
+            warm = {
+                clients: _phase(service.url, clients)
+                for clients in CLIENT_LEVELS
+            }
+            metrics = ExperimentServiceMetrics(service)
+        finally:
+            drained = service.shutdown(timeout=30.0)
+        assert drained
+
+    rows = [
+        [
+            label,
+            clients,
+            outcome["requests"],
+            f"{outcome['wall_s']:.2f}s",
+            f"{outcome['latency_s']['p50'] * 1000:.0f}ms",
+            f"{outcome['latency_s']['p99'] * 1000:.0f}ms",
+            outcome["coalesced"],
+            outcome["store_hits"],
+            outcome["store_misses"],
+        ]
+        for label, clients, outcome in (
+            [("cold", 16, cold)]
+            + [(f"warm", clients, warm[clients])
+               for clients in CLIENT_LEVELS]
+        )
+    ]
+    text = render_table(
+        f"Experiment service: {len(REQUESTS)} mixed table/explain "
+        f"requests ({SCALE} scale, 4 workers)",
+        ["phase", "clients", "requests", "wall", "p50", "p99",
+         "coalesced", "store hits", "store misses"],
+        rows,
+        note=(
+            "cold pays for interpretation once; warm runs replay from "
+            "the content-addressed store, so p50/p99 measure the "
+            "service path itself.  Identical concurrent requests "
+            "coalesce onto one in-flight execution."
+        ),
+    )
+    emit("service", text)
+
+    document = {
+        "scale": SCALE,
+        "requests": len(REQUESTS),
+        "workers": 4,
+        "cold": _doc(cold),
+        "warm": {str(clients): _doc(warm[clients])
+                 for clients in CLIENT_LEVELS},
+        "coalescing_hit_rate": metrics.coalescing_hit_rate,
+        "daemon_counters": metrics.counters,
+    }
+    path = os.path.join(_REPO_ROOT, "BENCH_service.json")
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+
+    # Acceptance: 16 concurrent clients, zero failures, and the warm
+    # 16-client run must be store-served (no recomputation).
+    assert cold["ok"] == len(REQUESTS) and cold["failed"] == 0
+    for clients in CLIENT_LEVELS:
+        assert warm[clients]["failed"] == 0
+    assert warm[16]["store_misses"] == 0
+    assert warm[16]["store_hits"] > 0
+
+
+class ExperimentServiceMetrics:
+    """Snapshot the daemon-side numbers before shutdown tears them down."""
+
+    def __init__(self, service: ExperimentService) -> None:
+        self.counters = service.registry.counter_values()
+        requests = self.counters.get("service.requests", 0)
+        coalesced = self.counters.get("service.coalesced", 0)
+        submissions = requests + coalesced
+        #: Fraction of submissions absorbed by an in-flight ticket.
+        self.coalescing_hit_rate = (
+            coalesced / submissions if submissions else 0.0
+        )
+
+
+def _doc(outcome: dict) -> dict:
+    return {
+        "clients": outcome["clients"],
+        "ok": outcome["ok"],
+        "failed": outcome["failed"],
+        "wall_s": outcome["wall_s"],
+        "latency_s": outcome["latency_s"],
+        "coalesced": outcome["coalesced"],
+        "store_hits": outcome["store_hits"],
+        "store_misses": outcome["store_misses"],
+    }

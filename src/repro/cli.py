@@ -62,11 +62,33 @@ Commands
     the inter-function conflict map (victim <- evictor), and a per-set
     heat map, for the optimized layout and a ``--baseline`` layout side
     by side.  Store-backed: warm runs replay without interpreting.
-``cache {ls,stats,verify,clear}``
+``cache {ls,stats,verify,clear,gc}``
     Inspect, integrity-check, or empty the artifact cache.  ``verify``
     checks every entry's SHA-256 manifest and quarantines corrupt ones
     (exit 1 when any are found); ``stats`` includes the quarantine
-    directory's entry count and size.
+    directory's entry count and size.  ``gc --max-bytes N`` shrinks the
+    cache to a byte budget: quarantined entries count against the
+    budget and are evicted first, then live entries go least-recently-
+    used first; stale in-flight markers are swept as a side effect.
+``serve``
+    Run the experiment service: a long-lived HTTP daemon that accepts
+    ``table`` / ``tune`` / ``explain`` requests from many concurrent
+    clients (``POST /v1/jobs``), coalesces identical in-flight requests
+    by fingerprint, applies 429 + ``Retry-After`` backpressure past
+    ``--queue-depth``, exposes ``/healthz`` and ``/metrics``, and on
+    SIGTERM drains every accepted job before exiting 0.  ``--workers``
+    sets service worker threads; ``--jobs`` fans each request's
+    engine DAG out over processes.
+``submit KIND [NAME]``
+    Submit one request to a running daemon (``--url``).  ``repro submit
+    table table6 --scale small --wait`` prints the rendered table —
+    byte-identical to ``repro table table6 --scale small`` — and
+    ``--receipt PATH`` saves the provenance receipt (store keys,
+    fingerprint, telemetry counters) as JSON.  Extra request fields ride
+    ``--param KEY=VALUE``.
+``status [JOB_ID]``
+    Poll a daemon: without an id, its health and queue stats; with one,
+    that job's status document.
 ``optimize``
     Run the placement pipeline on one benchmark and report inline /
     trace-selection / footprint statistics plus cache ratios for a chosen
@@ -248,6 +270,66 @@ def build_parser() -> argparse.ArgumentParser:
         ("clear", "remove every cached entry"),
     ):
         _add_cache_arguments(cache_sub.add_parser(name, help=help_text))
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict down to a byte budget (LRU, quarantine first)"
+    )
+    cache_gc.add_argument("--max-bytes", type=int, required=True,
+                          metavar="N",
+                          help="target total size; quarantined entries "
+                               "are evicted first, then LRU entries")
+    _add_cache_arguments(cache_gc)
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant experiment service daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787, metavar="N",
+                       help="listen port (default 8787; 0 = ephemeral)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="engine worker processes per request")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="service worker threads (default 1)")
+    serve.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                       help="max queued+running jobs before 429 "
+                            "backpressure (default 64)")
+    serve.add_argument("--trace-dir", default=None, metavar="PATH",
+                       help="dump one observability JSONL per request")
+    _add_cache_arguments(serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one request to a running service daemon"
+    )
+    submit.add_argument("kind", choices=("table", "tune", "explain"))
+    submit.add_argument("name", nargs="?", default=None, metavar="NAME",
+                        help="table name (kind=table) or workload name "
+                             "(kind=explain); unused for tune")
+    submit.add_argument("--scale", default=None,
+                        choices=("default", "small"),
+                        help="workload input scale (service default: "
+                             "CLI defaults per kind)")
+    submit.add_argument("--param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="extra request field (repeatable); integers "
+                             "parse as integers, comma-lists as lists")
+    submit.add_argument("--url", default="http://127.0.0.1:8787",
+                        help="service base URL")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until done and print the result output")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        metavar="SECONDS",
+                        help="--wait polling deadline (default 600)")
+    submit.add_argument("--receipt", default=None, metavar="PATH",
+                        help="with --wait: save the provenance receipt "
+                             "as JSON")
+
+    status = sub.add_parser(
+        "status", help="query a running service daemon"
+    )
+    status.add_argument("job_id", nargs="?", default=None, metavar="JOB_ID",
+                        help="job to inspect (omit for daemon health)")
+    status.add_argument("--url", default="http://127.0.0.1:8787",
+                        help="service base URL")
 
     optimize = sub.add_parser(
         "optimize", help="run the placement pipeline on one benchmark"
@@ -613,9 +695,126 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = store.clear()
         print(f"removed {removed} cached entr"
               f"{'y' if removed == 1 else 'ies'} from {store.root}")
+    elif args.cache_command == "gc":
+        if args.max_bytes < 0:
+            print("repro cache gc: --max-bytes must be >= 0",
+                  file=sys.stderr)
+            return 2
+        report = store.gc(args.max_bytes)
+        print(f"gc {store.root}: {report['bytes_before']} -> "
+              f"{report['bytes_after']} bytes "
+              f"(budget {args.max_bytes})")
+        print(f"  quarantine removed: {report['quarantine_removed']}")
+        print(f"  entries evicted:    {report['evicted']}")
+        print(f"  markers swept:      {report['markers_swept']}")
     else:  # pragma: no cover - subparser enforces the choice
         raise AssertionError(args.cache_command)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ExperimentService
+
+    if args.workers < 1 or args.jobs < 1 or args.queue_depth < 1:
+        print("repro serve: --workers, --jobs and --queue-depth must be "
+              ">= 1", file=sys.stderr)
+        return 2
+    service = ExperimentService(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        trace_dir=args.trace_dir,
+    )
+    print(f"repro serve: listening on {service.url} "
+          f"(workers={args.workers}, jobs={args.jobs}, "
+          f"queue-depth={args.queue_depth})", file=sys.stderr, flush=True)
+    code = service.run_forever()
+    print("repro serve: drained, exiting", file=sys.stderr)
+    return code
+
+
+def _parse_param(raw: str):
+    """``KEY=VALUE`` -> (key, typed value): ints, comma-lists, strings."""
+    key, sep, value = raw.partition("=")
+    if not sep or not key:
+        raise ValueError(f"--param needs KEY=VALUE, got {raw!r}")
+    if "," in value:
+        return key, [part.strip() for part in value.split(",") if part.strip()]
+    try:
+        return key, int(value)
+    except ValueError:
+        return key, value
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    request: dict = {"kind": args.kind}
+    if args.name is not None:
+        request["table" if args.kind == "table" else "workload"] = args.name
+    elif args.kind in ("table", "explain"):
+        print(f"repro submit: kind {args.kind!r} needs a NAME "
+              f"(a table or workload)", file=sys.stderr)
+        return 2
+    if args.scale is not None:
+        request["scale"] = args.scale
+    try:
+        for raw in args.param:
+            key, value = _parse_param(raw)
+            request[key] = value
+    except ValueError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 2
+
+    client = ServiceClient(args.url)
+    try:
+        accepted = client.submit(request)
+        if not args.wait:
+            print(json.dumps(accepted, indent=2))
+            return 0
+        document = client.wait(accepted["id"], timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"repro submit: cannot reach {args.url}: {exc}",
+              file=sys.stderr)
+        return 1
+    # The rendered output, exactly as the equivalent CLI command prints
+    # it — `repro submit table6 --wait | cmp - <(repro table table6)`.
+    print(document["output"])
+    if args.receipt:
+        with open(args.receipt, "w", encoding="utf-8") as handle:
+            json.dump(document.get("receipt", {}), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_id is None:
+            print(json.dumps(client.healthz(), indent=2))
+            return 0
+        print(json.dumps(client.status(args.job_id), indent=2))
+        return 0
+    except ServiceError as exc:
+        print(f"repro status: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"repro status: cannot reach {args.url}: {exc}",
+              file=sys.stderr)
+        return 1
 
 
 def _cmd_optimize(
@@ -708,6 +907,12 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_explain(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "status":
+            return _cmd_status(args)
         if args.command == "optimize":
             return _cmd_optimize(
                 args.workload, args.scale, args.cache, args.block, args.layout

@@ -26,6 +26,7 @@ identical to ``--jobs 1``.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 
 from repro.diagnose.classify import Attribution, MissProbe, attribute
@@ -166,26 +167,43 @@ class Collector:
 NULL = NullCollector()
 
 _CURRENT: Collector | NullCollector = NULL
+_TLS = threading.local()
 
 
 def current() -> Collector | NullCollector:
-    """The collector attribution hooks should write to (never ``None``)."""
-    return _CURRENT
+    """The collector attribution hooks should write to (never ``None``).
+
+    A thread's :func:`use` override wins over the process-wide
+    :func:`install` default, so concurrent service worker threads each
+    collect into their own collector.
+    """
+    override = getattr(_TLS, "current", None)
+    return override if override is not None else _CURRENT
 
 
 def install(collector: Collector | NullCollector) -> Collector | NullCollector:
-    """Make ``collector`` the process-wide current collector."""
+    """Make ``collector`` the process-wide current collector.
+
+    Also clears this thread's :func:`use` override: a forked pool
+    worker inherits the parent's override, and its explicit install
+    must supersede that dead-end collector.
+    """
     global _CURRENT
     _CURRENT = collector
+    _TLS.current = None
     return collector
 
 
 @contextmanager
 def use(collector: Collector | NullCollector):
-    """Temporarily install ``collector``, restoring the previous one."""
-    previous = current()
-    install(collector)
+    """Make ``collector`` current for this thread, restoring on exit.
+
+    Thread-local (unlike :func:`install`): two threads explaining
+    different workloads concurrently must not interleave entries.
+    """
+    previous = getattr(_TLS, "current", None)
+    _TLS.current = collector
     try:
         yield collector
     finally:
-        install(previous)
+        _TLS.current = previous

@@ -26,6 +26,7 @@ from repro.diagnose.classify import Attribution
 
 __all__ = [
     "explain",
+    "explain_with_runner",
     "render_attribution",
     "render_comparison",
     "render_set_heatmap",
@@ -72,6 +73,35 @@ def explain(
 
     store = ArtifactStore(cache_dir) if use_cache else None
     runner = ExperimentRunner(scale=scale, store=store)
+    return explain_with_runner(
+        runner,
+        workload,
+        cache_bytes=cache_bytes,
+        block_bytes=block_bytes,
+        assoc=assoc,
+        layout=layout,
+        baseline=baseline,
+        top=top,
+    )
+
+
+def explain_with_runner(
+    runner,
+    workload: str,
+    cache_bytes: int = 2048,
+    block_bytes: int = 64,
+    assoc: int = 1,
+    layout: str = "optimized",
+    baseline: str = "natural",
+    top: int = 10,
+) -> str:
+    """``explain`` against an existing runner (the engine's job path).
+
+    The engine's ``explain`` job kind lands here with the scheduler's
+    shared runner, whose artifact dependencies have already been
+    satisfied from the store — so a service-submitted explain replays
+    only the requested geometry, byte-identical to the CLI's output.
+    """
     collector = diagnose.Collector()
     with diagnose.use(collector):
         for which in (layout, baseline):
@@ -86,7 +116,7 @@ def explain(
     header = (
         f"explain {workload} — {cache_bytes}B cache, {block_bytes}B blocks, "
         f"{'direct-mapped' if assoc <= 1 else f'{assoc}-way'}, "
-        f"scale={scale}"
+        f"scale={runner.scale}"
     )
     lines.append(header)
     lines.append("=" * len(header))

@@ -1,6 +1,6 @@
 """Experiment work expressed as a DAG of picklable job specs.
 
-Three job kinds cover the whole evaluation:
+Four job kinds cover the whole evaluation:
 
 * ``artifacts`` — build+profile+place+trace one workload at one scale and
   persist the result in the artifact store.  With a ``placement`` entry
@@ -12,14 +12,19 @@ Three job kinds cover the whole evaluation:
   exist, so a table job never interprets anything itself);
 * ``trial`` — score one autotuner candidate: rehydrate its artifacts and
   replay the trace under the candidate's layout and cache geometry (see
-  :mod:`repro.search.evaluate`).
+  :mod:`repro.search.evaluate`);
+* ``explain`` — classify one workload's misses at one cache geometry
+  (3C + conflict attribution, :func:`repro.diagnose.explain
+  .explain_with_runner`), rehydrating its artifacts like a table job.
 
 :func:`table_plan` builds the DAG for any set of tables: one artifact job
 per distinct (workload, scale), then one table job depending on exactly
-the workloads that table sweeps.  :func:`execute_job` is the single entry
-point both the sequential path and the process-pool workers run; it seeds
-the PRNGs deterministically from the job id so a parallel run is as
-reproducible as a serial one.
+the workloads that table sweeps.  :func:`request_plan` lowers one
+normalized experiment-service request (``repro serve``) onto these same
+kinds.  :func:`execute_job` is the single entry point both the
+sequential path and the process-pool workers run; it seeds the PRNGs
+deterministically from the job id so a parallel run is as reproducible
+as a serial one.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ __all__ = [
     "JobOutcome",
     "JobSpec",
     "execute_job",
+    "request_plan",
     "table_plan",
     "workloads_for_table",
 ]
@@ -128,6 +134,49 @@ def table_plan(tables: list[str], scale: str = "default") -> list[JobSpec]:
         for table in tables
     )
     return specs
+
+
+#: Request fields an ``explain`` job forwards to the diagnose layer.
+_EXPLAIN_FIELDS = (
+    "cache_bytes", "block_bytes", "assoc", "layout", "baseline", "top",
+)
+
+
+def request_plan(request: dict) -> list[JobSpec]:
+    """Lower one normalized service request into an engine job DAG.
+
+    ``table`` and ``explain`` requests lower directly: an artifact
+    fan-out plus the job that consumes it.  ``tune`` requests are not
+    lowered here — :func:`repro.search.evaluate.run_search` already
+    drives the scheduler rung by rung, so the service worker calls it
+    whole.
+    """
+    kind = request.get("kind")
+    scale = request.get("scale", "default")
+    if kind == "table":
+        return table_plan([request["table"]], scale)
+    if kind == "explain":
+        workload = request["workload"]
+        artifacts = JobSpec(
+            job_id=f"artifacts:{workload}",
+            kind="artifacts",
+            params={"workload": workload, "scale": scale},
+        )
+        params = {"workload": workload, "scale": scale}
+        params.update(
+            (field_, request[field_])
+            for field_ in _EXPLAIN_FIELDS if field_ in request
+        )
+        return [
+            artifacts,
+            JobSpec(
+                job_id=f"explain:{workload}",
+                kind="explain",
+                params=params,
+                deps=(artifacts.job_id,),
+            ),
+        ]
+    raise ValueError(f"request kind {kind!r} has no engine lowering")
 
 
 def _seed_for(job_id: str) -> int:
@@ -260,6 +309,22 @@ def execute_job(
                 from repro.search.evaluate import run_trial
 
                 value = run_trial(spec.params, runner)
+            elif spec.kind == "explain":
+                from repro.diagnose.explain import explain_with_runner
+
+                value = explain_with_runner(
+                    runner,
+                    spec.params["workload"],
+                    **{
+                        key: spec.params[key]
+                        for key in _EXPLAIN_FIELDS if key in spec.params
+                    },
+                )
+                telemetry.record(
+                    job_id=spec.job_id,
+                    kind="explain",
+                    wall_s=time.perf_counter() - started,
+                )
             else:
                 raise ValueError(f"unknown job kind {spec.kind!r}")
         counters = {}

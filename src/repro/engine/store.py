@@ -36,7 +36,20 @@ Integrity and concurrency guarantees:
 :meth:`ArtifactStore.verify` checks every entry and quarantines the
 corrupt ones (``repro cache verify`` on the CLI).  Least-recently-used
 entries are evicted once the store exceeds ``REPRO_CACHE_MAX_BYTES``
-(default 4 GiB).
+(default 4 GiB); :meth:`ArtifactStore.gc` (``repro cache gc``) shrinks
+the store to an explicit budget on demand, counting quarantined entries
+against the budget and evicting them first.
+
+Duplicate-work suppression: a computation about to produce entry ``key``
+first calls :meth:`ArtifactStore.claim`, which atomically creates an
+*in-flight marker* under ``<root>/inflight/``.  A second process (or a
+second daemon request) that loses the claim race calls
+:meth:`ArtifactStore.wait_for` and blocks until the winner publishes,
+so concurrent submissions of the same configuration execute once and
+share the result.  Markers carry the owner's pid and creation time; a
+marker whose owner is dead or older than ``REPRO_INFLIGHT_STALE_S``
+(default 900 s) is reclaimed, so a crashed publisher can never wedge
+its waiters — they fall back to computing.
 """
 
 from __future__ import annotations
@@ -76,6 +89,10 @@ ENTRY_FORMAT = "repro-artifact-v2"
 
 #: Default eviction threshold, overridable via ``REPRO_CACHE_MAX_BYTES``.
 DEFAULT_MAX_BYTES = 4 * 1024**3
+
+#: Age past which an in-flight marker is presumed abandoned, overridable
+#: via ``REPRO_INFLIGHT_STALE_S``.
+DEFAULT_INFLIGHT_STALE_S = 900.0
 
 #: Source packages whose content defines the artifact code version.
 _VERSIONED_PACKAGES = ("ir", "interp", "placement", "workloads")
@@ -185,9 +202,13 @@ class ArtifactStore:
                 os.environ.get("REPRO_CACHE_MAX_BYTES", DEFAULT_MAX_BYTES)
             )
         self.max_bytes = max_bytes
+        self.inflight_stale_s = float(
+            os.environ.get("REPRO_INFLIGHT_STALE_S", DEFAULT_INFLIGHT_STALE_S)
+        )
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
+        self.waits = 0        # lookups satisfied by waiting on a claimant
 
     # -- paths -------------------------------------------------------------
 
@@ -199,8 +220,15 @@ class ArtifactStore:
     def quarantine_dir(self) -> str:
         return os.path.join(self.root, "quarantine")
 
+    @property
+    def inflight_dir(self) -> str:
+        return os.path.join(self.root, "inflight")
+
     def _entry_dir(self, key: str) -> str:
         return os.path.join(self.objects_dir, key)
+
+    def _marker_path(self, key: str) -> str:
+        return os.path.join(self.inflight_dir, key)
 
     # -- locking -----------------------------------------------------------
 
@@ -372,6 +400,105 @@ class ArtifactStore:
             shutil.rmtree(stage, ignore_errors=True)
             return False
 
+    # -- in-flight coordination --------------------------------------------
+
+    def _read_marker(self, key: str) -> dict | None:
+        try:
+            with open(self._marker_path(key)) as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError, ValueError):
+            return None
+
+    @staticmethod
+    def _owner_alive(marker: dict) -> bool:
+        pid = marker.get("pid")
+        if not isinstance(pid, int) or pid <= 0:
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except OSError:
+            pass               # e.g. EPERM: someone else's live process
+        return True
+
+    def _marker_stale(self, marker: dict | None) -> bool:
+        if marker is None:
+            return True
+        age = time.time() - float(marker.get("created", 0.0))
+        return age > self.inflight_stale_s or not self._owner_alive(marker)
+
+    def claim(self, key: str) -> bool:
+        """Atomically become the computer of ``key``.
+
+        Returns ``True`` when this process now owns the in-flight marker
+        (it must :meth:`release` after publishing, success or not) and
+        ``False`` when another live process already holds a fresh claim
+        — the caller should :meth:`wait_for` the publish instead of
+        duplicating the computation.  A marker left by a dead or stalled
+        owner is reclaimed.  Degrades to ``True`` (compute locally) on a
+        read-only store.
+        """
+        if key in self:
+            return False       # already published: nothing to compute
+        with self._lock():
+            if key in self:    # published while we waited on the lock
+                return False
+            path = self._marker_path(key)
+            marker = {"pid": os.getpid(), "created": time.time()}
+            try:
+                os.makedirs(self.inflight_dir, exist_ok=True)
+                handle = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+            except FileExistsError:
+                if not self._marker_stale(self._read_marker(key)):
+                    return False
+                # Abandoned claim (dead owner or past the staleness
+                # horizon): take it over in place, still under the lock.
+                try:
+                    self._write_json(path, marker)
+                except OSError:
+                    return True
+                return True
+            except OSError:
+                return True    # read-only store: just compute locally
+            with os.fdopen(handle, "w") as out:
+                json.dump(marker, out)
+            return True
+
+    def release(self, key: str) -> None:
+        """Drop this process's in-flight marker (best-effort)."""
+        try:
+            os.unlink(self._marker_path(key))
+        except OSError:
+            pass
+
+    def in_flight(self, key: str) -> bool:
+        """Is a live claimant currently computing ``key``?"""
+        return not self._marker_stale(self._read_marker(key))
+
+    def wait_for(
+        self, key: str, timeout: float | None = None, poll_s: float = 0.05
+    ) -> ArtifactPayload | None:
+        """Block until a concurrent claimant publishes ``key``.
+
+        Returns the published payload, or ``None`` if the claimant
+        vanished without publishing (its marker disappeared or went
+        stale) or ``timeout`` elapsed — the caller then computes the
+        entry itself.  Successful waits count in ``self.waits``.
+        """
+        if timeout is None:
+            timeout = self.inflight_stale_s
+        deadline = time.monotonic() + timeout
+        while True:
+            if key in self:
+                payload = self.get(key)
+                if payload is not None:
+                    self.waits += 1
+                return payload
+            if not self.in_flight(key) or time.monotonic() >= deadline:
+                return None
+            time.sleep(poll_s)
+
     # -- maintenance -------------------------------------------------------
 
     def entries(self) -> list[StoreEntry]:
@@ -482,6 +609,91 @@ class ArtifactStore:
         """Evict least-recently-used entries beyond the given limits."""
         with self._lock():
             return self._prune_locked(max_bytes, max_entries)
+
+    def gc(self, max_bytes: int) -> dict:
+        """Shrink the store to ``max_bytes`` (``repro cache gc``).
+
+        Quarantined entries count against the budget and are evicted
+        *first* (oldest first) — they are corpses kept for inspection,
+        so a bounded daemon store reclaims them before touching live
+        entries.  Stale in-flight markers are swept as a side effect.
+        Live entries are then LRU-evicted until the store fits.
+
+        Returns ``{"bytes_before", "bytes_after", "quarantine_removed",
+        "evicted", "markers_swept"}``.
+        """
+        with self._lock():
+            markers_swept = 0
+            try:
+                names = sorted(os.listdir(self.inflight_dir))
+            except OSError:
+                names = []
+            for name in names:
+                if self._marker_stale(self._read_marker(name)):
+                    try:
+                        os.unlink(self._marker_path(name))
+                        markers_swept += 1
+                    except OSError:
+                        pass
+
+            def _tree_bytes(path: str) -> int:
+                total = 0
+                for dirpath, _dirnames, filenames in os.walk(path):
+                    for filename in filenames:
+                        try:
+                            total += os.path.getsize(
+                                os.path.join(dirpath, filename)
+                            )
+                        except OSError:
+                            continue
+                return total
+
+            quarantine: list[tuple[float, str, int]] = []
+            try:
+                names = os.listdir(self.quarantine_dir)
+            except OSError:
+                names = []
+            for name in names:
+                path = os.path.join(self.quarantine_dir, name)
+                try:
+                    mtime = os.path.getmtime(path)
+                except OSError:
+                    mtime = 0.0
+                quarantine.append((mtime, name, _tree_bytes(path)))
+            quarantine.sort()
+
+            live_bytes = sum(entry.nbytes for entry in self.entries())
+            quarantine_bytes = sum(size for _mtime, _name, size in quarantine)
+            bytes_before = live_bytes + quarantine_bytes
+
+            total = bytes_before
+            quarantine_removed = 0
+            while quarantine and total > max_bytes:
+                _mtime, name, size = quarantine.pop(0)
+                shutil.rmtree(
+                    os.path.join(self.quarantine_dir, name),
+                    ignore_errors=True,
+                )
+                total -= size
+                quarantine_removed += 1
+            # Whatever quarantine survives still counts against the
+            # budget; live entries get the remainder.
+            kept_quarantine = sum(s for _m, _n, s in quarantine)
+            evicted = self._prune_locked(
+                max(0, max_bytes - kept_quarantine), None
+            )
+            self._write_index_locked()
+            bytes_after = (
+                sum(entry.nbytes for entry in self.entries())
+                + sum(s for _m, _n, s in quarantine)
+            )
+        return {
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_after,
+            "quarantine_removed": quarantine_removed,
+            "evicted": evicted,
+            "markers_swept": markers_swept,
+        }
 
     def _prune_locked(
         self, max_bytes: int | None, max_entries: int | None

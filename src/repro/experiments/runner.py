@@ -106,24 +106,35 @@ class ExperimentRunner:
                            workload=name, scale=self.scale):
             art = interp_steps = None
             outcome = "off"
+            claimed = False
+            key = None
             if self.store is not None:
-                payload = self.store.get(
-                    artifact_key(name, self.scale, self.options)
-                )
+                key = artifact_key(name, self.scale, self.options)
+                payload = self.store.get(key)
+                if payload is None:
+                    # Cold entry: claim it, or — if a concurrent process
+                    # already claimed this exact configuration — wait for
+                    # its publish instead of computing a duplicate.
+                    claimed = self.store.claim(key)
+                    if not claimed:
+                        payload = self.store.wait_for(key)
                 if payload is not None:
                     with recorder.span("hydrate", cat="pipeline"):
                         art = self._hydrate(workload, payload)
                     if art is not None:
                         interp_steps = 0
                         outcome = "hit"
-            if art is None:
-                art, interp_steps = self._compute(workload)
-                if self.store is not None:
-                    outcome = "miss"
-                    self.store.put(
-                        artifact_key(name, self.scale, self.options),
-                        self._dehydrate(art, interp_steps),
-                    )
+            try:
+                if art is None:
+                    art, interp_steps = self._compute(workload)
+                    if self.store is not None:
+                        outcome = "miss"
+                        self.store.put(
+                            key, self._dehydrate(art, interp_steps)
+                        )
+            finally:
+                if claimed:
+                    self.store.release(key)
             self._artifacts[name] = art
             if recorder.enabled:
                 self._emit_placement_event(recorder, name, art, outcome)
@@ -161,8 +172,10 @@ class ExperimentRunner:
             top_traces=top_traces,
             store=outcome,
         )
-        if outcome in ("hit", "miss"):
-            recorder.count(f"store_{outcome}s", 1)
+        if outcome == "hit":
+            recorder.count("store_hits", 1)
+        elif outcome == "miss":
+            recorder.count("store_misses", 1)
 
     # -- cold path: run the interpreter ------------------------------------
 

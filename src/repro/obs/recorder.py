@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 
@@ -170,26 +171,43 @@ class Recorder:
 NULL = NullRecorder()
 
 _CURRENT: Recorder | NullRecorder = NULL
+_TLS = threading.local()
 
 
 def current() -> Recorder | NullRecorder:
-    """The recorder instrumentation should write to (never ``None``)."""
-    return _CURRENT
+    """The recorder instrumentation should write to (never ``None``).
+
+    A thread's :func:`use` override wins over the process-wide
+    :func:`install` default, so concurrent service worker threads each
+    record into their own recorder.
+    """
+    override = getattr(_TLS, "current", None)
+    return override if override is not None else _CURRENT
 
 
 def install(recorder: Recorder | NullRecorder) -> Recorder | NullRecorder:
-    """Make ``recorder`` the process-wide current recorder."""
+    """Make ``recorder`` the process-wide current recorder.
+
+    Also clears this thread's :func:`use` override: a forked pool
+    worker inherits the parent's override, and its explicit install
+    must supersede that dead-end recorder.
+    """
     global _CURRENT
     _CURRENT = recorder
+    _TLS.current = None
     return recorder
 
 
 @contextmanager
 def use(recorder: Recorder | NullRecorder):
-    """Temporarily install ``recorder``, restoring the previous one."""
-    previous = current()
-    install(recorder)
+    """Make ``recorder`` current for this thread, restoring on exit.
+
+    Thread-local (unlike :func:`install`): concurrent requests in one
+    daemon must not interleave each other's spans.
+    """
+    previous = getattr(_TLS, "current", None)
+    _TLS.current = recorder
     try:
         yield recorder
     finally:
-        install(previous)
+        _TLS.current = previous

@@ -1,0 +1,50 @@
+"""The experiment service: the engine as a multi-tenant daemon.
+
+PRs 1-5 gave the engine everything a service needs except a front door:
+a content-addressed artifact store, a fault-tolerant DAG scheduler,
+tracing/metrics, an autotuner, and miss attribution.  This package adds
+the front door — a long-running, stdlib-only HTTP daemon (``repro
+serve``) that accepts ``table`` / ``tune`` / ``explain`` requests from
+many concurrent clients and lowers them onto that engine:
+
+* :mod:`repro.service.schemas` — request validation and canonical
+  *placement fingerprints*: two requests that would compute the same
+  thing normalize to the same fingerprint;
+* :mod:`repro.service.queue` — a bounded submission queue that
+  **coalesces** identical in-flight requests by fingerprint, so N
+  concurrent clients asking for the same table share one computation
+  (and one warm store), and rejects work beyond its depth with
+  429 + ``Retry-After`` backpressure;
+* :mod:`repro.service.worker` — the worker loop: pops tickets, lowers
+  them onto the engine scheduler (:func:`repro.engine.jobs
+  .request_plan` / :func:`repro.search.run_search`), and attaches a
+  provenance *receipt* (store keys, config fingerprint, telemetry
+  counters) to every result;
+* :mod:`repro.service.daemon` — the HTTP surface: ``POST /v1/jobs``,
+  ``GET /v1/jobs/<id>``, ``GET /v1/jobs/<id>/result``, ``GET
+  /healthz``, ``GET /metrics`` (wired to :mod:`repro.obs`), plus
+  graceful SIGTERM shutdown that drains accepted jobs before exiting;
+* :mod:`repro.service.client` — a stdlib client (``repro submit`` /
+  ``repro status``) and the load-test harness behind
+  ``benchmarks/bench_service.py``.
+
+Results are byte-identical to the equivalent CLI invocation: both paths
+run the same engine jobs against the same store.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import ExperimentService
+from repro.service.queue import JobQueue, QueueClosed, QueueFull, Ticket
+from repro.service.schemas import RequestError, normalize_request
+
+__all__ = [
+    "ExperimentService",
+    "JobQueue",
+    "QueueClosed",
+    "QueueFull",
+    "RequestError",
+    "ServiceClient",
+    "ServiceError",
+    "Ticket",
+    "normalize_request",
+]

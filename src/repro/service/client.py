@@ -1,0 +1,205 @@
+"""A stdlib HTTP client for the experiment service.
+
+:class:`ServiceClient` backs ``repro submit`` / ``repro status`` and
+the benchmarks; :func:`load_test` is the concurrent-clients harness
+behind ``benchmarks/bench_service.py``.
+
+The client is deliberately thin: JSON in, JSON out, with
+:class:`ServiceError` carrying the HTTP status and the server's error
+document.  Polling (:meth:`ServiceClient.wait`) honors the daemon's
+``Retry-After`` backpressure hint when a submission is rejected with
+429 — :meth:`submit` retries after the hinted delay by default, because
+a multi-tenant client that hammers a full queue makes everyone slower.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["ServiceClient", "ServiceError", "load_test"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response; carries status and server document."""
+
+    def __init__(self, status: int, document: dict) -> None:
+        self.status = status
+        self.document = document
+        detail = document.get("error") or json.dumps(document)
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class ServiceClient:
+    """Talk to one running :class:`repro.service.ExperimentService`."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8787",
+                 timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _call(self, path: str, body: dict | None = None) -> tuple[int, dict]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=data, headers=headers,
+            method="POST" if body is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.status, json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            # The daemon replies JSON on every route, including errors.
+            try:
+                document = json.loads(exc.read() or b"{}")
+            except json.JSONDecodeError:
+                document = {"error": str(exc)}
+            document.setdefault("retry_after_s",
+                                _retry_after(exc.headers))
+            return exc.code, document
+
+    # -- endpoints ---------------------------------------------------------
+
+    def submit(self, request: dict, retries: int = 3) -> dict:
+        """POST one request; returns the 202 acceptance document.
+
+        On 429 backpressure, sleeps the server's ``Retry-After`` hint
+        and retries up to ``retries`` times before giving up with
+        :class:`ServiceError`.
+        """
+        attempt = 0
+        while True:
+            status, document = self._call("/v1/jobs", body=request)
+            if status == 202:
+                return document
+            if status == 429 and attempt < retries:
+                attempt += 1
+                time.sleep(min(30.0, float(
+                    document.get("retry_after_s") or 2.0)))
+                continue
+            raise ServiceError(status, document)
+
+    def status(self, job_id: str) -> dict:
+        code, document = self._call(f"/v1/jobs/{job_id}")
+        if code != 200:
+            raise ServiceError(code, document)
+        return document
+
+    def result(self, job_id: str) -> dict | None:
+        """The result document once done, ``None`` while in flight."""
+        code, document = self._call(f"/v1/jobs/{job_id}/result")
+        if code == 200:
+            return document
+        if code == 202:
+            return None
+        raise ServiceError(code, document)
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_s: float = 0.2) -> dict:
+        """Poll until the job finishes; return its result document."""
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.result(job_id)
+            if document is not None:
+                return document
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    408, {"error": f"job {job_id} still running "
+                                   f"after {timeout:.0f}s"})
+            time.sleep(poll_s)
+
+    def run(self, request: dict, timeout: float = 300.0) -> dict:
+        """Submit and wait — the one-call path ``repro submit --wait``
+        uses."""
+        accepted = self.submit(request)
+        return self.wait(accepted["id"], timeout=timeout)
+
+    def healthz(self) -> dict:
+        _code, document = self._call("/healthz")
+        return document
+
+    def metrics(self) -> dict:
+        code, document = self._call("/metrics")
+        if code != 200:
+            raise ServiceError(code, document)
+        return document
+
+
+def _retry_after(headers) -> float | None:
+    value = headers.get("Retry-After") if headers else None
+    try:
+        return float(value) if value is not None else None
+    except ValueError:
+        return None
+
+
+def load_test(url: str, requests: list[dict], clients: int = 4,
+              timeout: float = 300.0) -> dict:
+    """Fire ``requests`` at a daemon from ``clients`` concurrent threads.
+
+    Each request is submitted and awaited independently (its own
+    :class:`ServiceClient`, like real tenants).  Returns latency
+    percentiles and outcome counts::
+
+        {"clients", "requests", "ok", "failed", "wall_s",
+         "latency_s": {"p50", "p90", "p99", "mean", "max"},
+         "coalesced", "store_hits", "store_misses"}
+    """
+    def one(request: dict) -> dict:
+        client = ServiceClient(url, timeout=timeout)
+        started = time.perf_counter()
+        try:
+            document = client.run(request, timeout=timeout)
+        except ServiceError as exc:
+            return {"ok": False, "wall_s": time.perf_counter() - started,
+                    "error": str(exc)}
+        receipt = document.get("receipt", {})
+        return {
+            "ok": True,
+            "wall_s": time.perf_counter() - started,
+            "coalesced": receipt.get("coalesced", 0),
+            "store_hits": receipt.get("store", {}).get("hits", 0),
+            "store_misses": receipt.get("store", {}).get("misses", 0),
+        }
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        outcomes = list(pool.map(one, requests))
+    wall = time.perf_counter() - started
+
+    walls = sorted(outcome["wall_s"] for outcome in outcomes)
+
+    def pct(q: float) -> float:
+        if not walls:
+            return 0.0
+        return walls[min(len(walls) - 1, int(q * len(walls)))]
+
+    ok = [outcome for outcome in outcomes if outcome["ok"]]
+    return {
+        "clients": clients,
+        "requests": len(requests),
+        "ok": len(ok),
+        "failed": len(outcomes) - len(ok),
+        "errors": [outcome["error"] for outcome in outcomes
+                   if not outcome["ok"]][:5],
+        "wall_s": wall,
+        "latency_s": {
+            "p50": pct(0.50),
+            "p90": pct(0.90),
+            "p99": pct(0.99),
+            "mean": sum(walls) / len(walls) if walls else 0.0,
+            "max": walls[-1] if walls else 0.0,
+        },
+        "coalesced": sum(outcome.get("coalesced", 0) for outcome in ok),
+        "store_hits": sum(outcome.get("store_hits", 0) for outcome in ok),
+        "store_misses": sum(outcome.get("store_misses", 0) for outcome in ok),
+    }

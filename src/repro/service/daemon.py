@@ -1,0 +1,299 @@
+"""The HTTP surface of the experiment service (stdlib only).
+
+:class:`ExperimentService` assembles the queue, the worker threads, and
+a :class:`ThreadingHTTPServer` into one long-running daemon::
+
+    service = ExperimentService(port=8787, cache_dir="/var/cache/repro")
+    service.start()            # background: server + workers
+    ...
+    service.shutdown()         # drain accepted jobs, then stop
+
+or, blocking with signal handling (the ``repro serve`` path)::
+
+    service.run_forever()      # SIGTERM/SIGINT -> drain -> exit 0
+
+Endpoints
+---------
+
+``POST /v1/jobs``
+    Body: a request document (see :mod:`repro.service.schemas`).
+    202 + ``{"id", "state", "coalesced", "fingerprint"}`` on accept —
+    ``coalesced`` true means an identical request was already in flight
+    and this submission attached to it.  400 on validation errors,
+    429 + ``Retry-After`` when the queue is at depth, 503 once
+    draining.
+``GET /v1/jobs/<id>``
+    The ticket's status document; 404 for unknown ids.
+``GET /v1/jobs/<id>/result``
+    200 + ``{"output", "detail", "receipt"}`` once done; 202 + status
+    while queued/running; 500 + error after a failed run.
+``GET /healthz``
+    200 while serving (queue stats, uptime, workers); 503 once
+    draining.
+``GET /metrics``
+    The service metrics registry (:mod:`repro.obs.metrics` snapshot):
+    request/completion/failure/coalesce counters, queue-depth gauge,
+    latency and queue-wait histograms, plus engine counters
+    (``store_hits``, ``cache_sims``, ...) folded in by the workers.
+
+Graceful shutdown: the first SIGTERM/SIGINT stops the listener and the
+queue (new submissions are refused) but every accepted ticket is
+drained to completion before the process exits 0 — a client that got a
+202 can still collect its result until the socket closes.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.queue import JobQueue, QueueClosed, QueueFull
+from repro.service.schemas import (
+    RequestError,
+    normalize_request,
+    request_fingerprint,
+)
+from repro.service.worker import ServiceWorker
+
+__all__ = ["ExperimentService"]
+
+#: Largest accepted request body; a valid request is a few hundred bytes.
+MAX_BODY_BYTES = 64 * 1024
+
+
+class ExperimentService:
+    """One daemon: HTTP front door + submission queue + worker threads."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        cache_dir: str | None = None,
+        jobs: int = 1,
+        workers: int = 1,
+        queue_depth: int = 64,
+        trace_dir: str | None = None,
+        executor=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.cache_dir = cache_dir
+        self.jobs = jobs
+        self.trace_dir = trace_dir
+        self.registry = MetricsRegistry()
+        self.queue = JobQueue(depth=queue_depth)
+        self.started_at = time.time()
+        self.draining = False
+        self._workers = [
+            ServiceWorker(
+                self.queue, self.registry,
+                cache_dir=cache_dir, jobs=jobs, trace_dir=trace_dir,
+                executor=executor, name=f"repro-worker-{index}",
+            )
+            for index in range(workers)
+        ]
+        handler = _make_handler(self)
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._serve_thread: threading.Thread | None = None
+
+    # -- addresses ---------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Serve in background threads (tests and the bench harness)."""
+        for worker in self._workers:
+            worker.start()
+        self._serve_thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-serve",
+            daemon=True,
+        )
+        self._serve_thread.start()
+
+    def run_forever(self) -> int:
+        """Serve on the calling thread until SIGTERM/SIGINT; then drain.
+
+        Returns the process exit code: 0 after a clean drain.
+        """
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(
+                signum, lambda *_: self._initiate_shutdown()
+            )
+        try:
+            for worker in self._workers:
+                worker.start()
+            self._server.serve_forever(poll_interval=0.1)
+            # serve_forever returned: a signal initiated the drain.
+            self.queue.close()
+            clean = self.queue.drained()
+            self._server.server_close()
+            return 0 if clean else 1
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+
+    def _initiate_shutdown(self) -> None:
+        """Signal-safe: flip to draining and stop the accept loop."""
+        if self.draining:
+            return
+        self.draining = True
+        self.queue.close()
+        # shutdown() blocks until the serve loop exits, so it must run
+        # off the signal-handling (= serving) thread.
+        threading.Thread(target=self._server.shutdown, daemon=True).start()
+
+    def shutdown(self, timeout: float | None = None) -> bool:
+        """Programmatic drain-and-stop (for :meth:`start` callers)."""
+        self.draining = True
+        self.queue.close()
+        drained = self.queue.drained(timeout)
+        self._server.shutdown()
+        self._server.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        return drained
+
+    # -- request handling (called from handler threads) --------------------
+
+    def handle_submit(self, raw_body: bytes) -> tuple[int, dict, dict]:
+        """Returns ``(http_status, headers, body_document)``."""
+        try:
+            document = json.loads(raw_body or b"null")
+        except json.JSONDecodeError as exc:
+            return 400, {}, {"error": f"invalid JSON: {exc}"}
+        try:
+            request = normalize_request(document)
+        except RequestError as exc:
+            return 400, {}, {"error": str(exc)}
+        fingerprint = request_fingerprint(request)
+        try:
+            ticket, created = self.queue.submit(request, fingerprint)
+        except QueueFull as exc:
+            self._count("service.rejected")
+            return 429, {"Retry-After": f"{exc.retry_after_s:.0f}"}, {
+                "error": str(exc),
+                "retry_after_s": exc.retry_after_s,
+            }
+        except QueueClosed as exc:
+            return 503, {}, {"error": str(exc)}
+        if not created:
+            self._count("service.coalesced")
+        return 202, {}, {
+            "id": ticket.id,
+            "state": ticket.state,
+            "coalesced": not created,
+            "fingerprint": fingerprint,
+        }
+
+    def handle_status(self, ticket_id: str) -> tuple[int, dict, dict]:
+        ticket = self.queue.get(ticket_id)
+        if ticket is None:
+            return 404, {}, {"error": f"unknown job {ticket_id!r}"}
+        return 200, {}, ticket.status_doc()
+
+    def handle_result(self, ticket_id: str) -> tuple[int, dict, dict]:
+        ticket = self.queue.get(ticket_id)
+        if ticket is None:
+            return 404, {}, {"error": f"unknown job {ticket_id!r}"}
+        if ticket.state in ("queued", "running"):
+            return 202, {}, ticket.status_doc()
+        if ticket.state == "failed":
+            return 500, {}, ticket.status_doc()
+        document = dict(ticket.result or {})
+        document["id"] = ticket.id
+        document["state"] = ticket.state
+        return 200, {}, document
+
+    def handle_healthz(self) -> tuple[int, dict, dict]:
+        stats = self.queue.stats()
+        status = 503 if self.draining else 200
+        return status, {}, {
+            "status": "draining" if self.draining else "ok",
+            "uptime_s": time.time() - self.started_at,
+            "workers": len(self._workers),
+            "engine_jobs": self.jobs,
+            "queue": stats,
+        }
+
+    def handle_metrics(self) -> tuple[int, dict, dict]:
+        return 200, {}, self.registry.to_dict()
+
+    def _count(self, name: str) -> None:
+        # Handler threads race workers on the registry; the counter inc
+        # itself is GIL-coarse but cheap contention is fine here.
+        self.registry.counter(name).inc()
+
+
+def _make_handler(service: ExperimentService):
+    """A request-handler class closed over one service instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-service/1"
+        protocol_version = "HTTP/1.1"
+
+        # Silence the default stderr-per-request logging; the metrics
+        # registry is the daemon's observability surface.
+        def log_message(self, format, *args):  # noqa: A002
+            pass
+
+        def _reply(self, status: int, headers: dict, document: dict) -> None:
+            payload = json.dumps(document).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def do_POST(self) -> None:  # noqa: N802
+            if self.path != "/v1/jobs":
+                self._reply(404, {}, {"error": f"no route {self.path!r}"})
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY_BYTES:
+                self._reply(413, {}, {"error": "request body too large"})
+                return
+            body = self.rfile.read(length)
+            self._reply(*service.handle_submit(body))
+
+        def do_GET(self) -> None:  # noqa: N802
+            if self.path == "/healthz":
+                self._reply(*service.handle_healthz())
+                return
+            if self.path == "/metrics":
+                self._reply(*service.handle_metrics())
+                return
+            parts = [part for part in self.path.split("/") if part]
+            if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                self._reply(*service.handle_status(parts[2]))
+                return
+            if (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+                    and parts[3] == "result"):
+                self._reply(*service.handle_result(parts[2]))
+                return
+            self._reply(404, {}, {"error": f"no route {self.path!r}"})
+
+    return Handler

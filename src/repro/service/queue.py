@@ -1,0 +1,250 @@
+"""The submission queue: bounded, coalescing, drainable.
+
+Every accepted request becomes a :class:`Ticket` with a daemon-unique
+id and a lifecycle of ``queued -> running -> done | failed``.  The
+queue enforces the service's two core multi-tenancy behaviors:
+
+* **Coalescing** — a submission whose fingerprint matches a ticket that
+  is still queued or running returns *that* ticket instead of creating
+  a new one.  Concurrent clients asking for the same computation share
+  one warm store and one in-flight execution; the ticket counts how
+  many submissions it absorbed (``coalesced``).  Finished tickets are
+  never coalesced onto: a re-submission after completion gets a fresh
+  ticket (which will then be served warm by the artifact store).
+* **Backpressure** — at most ``depth`` tickets may be queued-or-running
+  at once; past that, :meth:`JobQueue.submit` raises
+  :class:`QueueFull` carrying a ``retry_after_s`` estimate (the HTTP
+  layer turns it into 429 + ``Retry-After``).
+
+Shutdown: :meth:`close` makes further submissions raise
+:class:`QueueClosed` while everything already accepted stays claimable,
+and :meth:`drained` lets the daemon block until the workers have
+finished every accepted ticket.
+
+Thread-safe throughout; completed tickets are retained (bounded by
+``keep_finished``) so clients can poll results after completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+__all__ = ["JobQueue", "QueueClosed", "QueueFull", "Ticket"]
+
+#: Ticket lifecycle states.
+STATES = ("queued", "running", "done", "failed")
+
+
+class QueueFull(RuntimeError):
+    """The queue is at depth; carries a client backoff hint."""
+
+    def __init__(self, depth: int, retry_after_s: float) -> None:
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"queue is full ({depth} jobs accepted); "
+            f"retry after {retry_after_s:.0f}s"
+        )
+
+
+class QueueClosed(RuntimeError):
+    """The daemon is draining; no new work is accepted."""
+
+
+@dataclass
+class Ticket:
+    """One accepted request and everything that happened to it."""
+
+    id: str
+    request: dict                 # the normalized request document
+    fingerprint: str
+    state: str = "queued"
+    created: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    coalesced: int = 0            # extra submissions this ticket absorbed
+    result: dict | None = None    # {"output": ..., "receipt": ...}
+    error: str | None = None
+
+    def status_doc(self) -> dict:
+        """The JSON document ``GET /v1/jobs/<id>`` returns."""
+        doc = {
+            "id": self.id,
+            "state": self.state,
+            "kind": self.request.get("kind"),
+            "request": self.request,
+            "fingerprint": self.fingerprint,
+            "created": self.created,
+            "coalesced": self.coalesced,
+        }
+        if self.started is not None:
+            doc["started"] = self.started
+        if self.finished is not None:
+            doc["finished"] = self.finished
+            doc["wall_s"] = self.finished - (self.started or self.created)
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+class JobQueue:
+    """Bounded FIFO of tickets with fingerprint coalescing."""
+
+    def __init__(self, depth: int = 64, keep_finished: int = 512) -> None:
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.depth = depth
+        self.keep_finished = keep_finished
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._ids = itertools.count(1)
+        self._pending: deque[Ticket] = deque()
+        self._tickets: OrderedDict[str, Ticket] = OrderedDict()
+        self._inflight_by_fp: dict[str, Ticket] = {}
+        self._running = 0
+        self._closed = False
+        # Latency of recently finished work, for Retry-After estimates.
+        self._recent_wall_s: deque[float] = deque(maxlen=32)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: dict, fingerprint: str) -> tuple[Ticket, bool]:
+        """Accept (or coalesce) one normalized request.
+
+        Returns ``(ticket, created)``: ``created`` is False when the
+        submission coalesced onto an existing queued/running ticket.
+        Raises :class:`QueueFull` past ``depth`` accepted-unfinished
+        tickets and :class:`QueueClosed` once draining.
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("service is draining; resubmit later")
+            existing = self._inflight_by_fp.get(fingerprint)
+            if existing is not None:
+                existing.coalesced += 1
+                return existing, False
+            accepted = len(self._pending) + self._running
+            if accepted >= self.depth:
+                raise QueueFull(accepted, self._retry_after_locked())
+            ticket = Ticket(
+                id=f"job-{next(self._ids):06d}",
+                request=dict(request),
+                fingerprint=fingerprint,
+            )
+            self._tickets[ticket.id] = ticket
+            self._inflight_by_fp[fingerprint] = ticket
+            self._pending.append(ticket)
+            self._trim_finished_locked()
+            self._work.notify()
+            return ticket, True
+
+    def _retry_after_locked(self) -> float:
+        """How long a 429'd client should wait: roughly one job's wall."""
+        if self._recent_wall_s:
+            mean = sum(self._recent_wall_s) / len(self._recent_wall_s)
+            return max(1.0, min(120.0, mean))
+        return 2.0
+
+    def _trim_finished_locked(self) -> None:
+        finished = [
+            ticket_id for ticket_id, ticket in self._tickets.items()
+            if ticket.state in ("done", "failed")
+        ]
+        for ticket_id in finished[: max(0, len(finished)
+                                        - self.keep_finished)]:
+            del self._tickets[ticket_id]
+
+    # -- worker side -------------------------------------------------------
+
+    def claim(self, timeout: float | None = None) -> Ticket | None:
+        """Block for the next queued ticket; mark it running.
+
+        Returns ``None`` on timeout or when the queue is closed and
+        empty (the worker's signal to exit).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while not self._pending:
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._work.wait(remaining if remaining is not None else 0.5)
+            ticket = self._pending.popleft()
+            ticket.state = "running"
+            ticket.started = time.time()
+            self._running += 1
+            return ticket
+
+    def finish(self, ticket: Ticket, result: dict | None = None,
+               error: str | None = None) -> None:
+        """Record a claimed ticket's outcome and release its fingerprint."""
+        with self._lock:
+            ticket.finished = time.time()
+            if error is None:
+                ticket.state = "done"
+                ticket.result = result
+            else:
+                ticket.state = "failed"
+                ticket.error = error
+            self._running -= 1
+            self._recent_wall_s.append(
+                ticket.finished - (ticket.started or ticket.created)
+            )
+            if self._inflight_by_fp.get(ticket.fingerprint) is ticket:
+                del self._inflight_by_fp[ticket.fingerprint]
+            self._idle.notify_all()
+
+    # -- introspection -----------------------------------------------------
+
+    def get(self, ticket_id: str) -> Ticket | None:
+        with self._lock:
+            return self._tickets.get(ticket_id)
+
+    def stats(self) -> dict:
+        """Queue-shape numbers for ``/healthz`` and the metrics gauges."""
+        with self._lock:
+            states: dict[str, int] = dict.fromkeys(STATES, 0)
+            for ticket in self._tickets.values():
+                states[ticket.state] += 1
+            return {
+                "depth": self.depth,
+                "queued": len(self._pending),
+                "running": self._running,
+                "accepted": len(self._pending) + self._running,
+                "closed": self._closed,
+                "states": states,
+                "coalesced": sum(
+                    ticket.coalesced for ticket in self._tickets.values()
+                ),
+            }
+
+    # -- shutdown ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting; wake every blocked worker so drains progress."""
+        with self._lock:
+            self._closed = True
+            self._work.notify_all()
+            self._idle.notify_all()
+
+    def drained(self, timeout: float | None = None) -> bool:
+        """Block until every accepted ticket has finished."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._pending or self._running:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining if remaining is not None else 0.5)
+            return True

@@ -1,0 +1,270 @@
+"""The worker loop: tickets in, engine jobs through, receipts out.
+
+Each worker thread claims tickets from the :class:`~repro.service.queue
+.JobQueue` and lowers them onto the existing engine:
+
+* ``table`` and ``explain`` requests lower through
+  :func:`repro.engine.jobs.request_plan` into the same DAG the CLI
+  runs, against the same artifact store — which is why a service result
+  is byte-identical to the equivalent CLI invocation;
+* ``tune`` requests call :func:`repro.search.run_search` whole (it
+  drives the scheduler rung by rung itself).
+
+Every execution runs under a fresh per-request :class:`repro.obs
+.Recorder` whose metrics registry is the *service* registry, so
+``GET /metrics`` aggregates across requests while span records stay
+per-request (dumped to ``trace_dir`` when configured, discarded
+otherwise — a long-running daemon's memory stays bounded).
+``obs.use`` / ``diagnose.use`` are thread-local, so concurrent worker
+threads never interleave spans or miss attributions.
+
+The receipt attached to every result is the provenance trail: the
+normalized request and its fingerprint, the engine code version, the
+artifact-store keys the request maps to, store hit/miss counts, and the
+run's telemetry counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import obs
+from repro.engine.telemetry import Telemetry
+from repro.service.queue import JobQueue, Ticket
+
+__all__ = ["ServiceWorker", "execute_request"]
+
+
+def _store_keys(request: dict) -> list[str]:
+    """The artifact-store keys a normalized request reads or creates."""
+    from repro.engine.jobs import workloads_for_table
+    from repro.engine.store import artifact_key
+    from repro.placement.pipeline import PlacementOptions
+
+    scale = request.get("scale", "default")
+    options = PlacementOptions()
+    if request["kind"] == "table":
+        return [
+            artifact_key(name, scale, options)
+            for name in workloads_for_table(request["table"])
+        ]
+    if request["kind"] == "explain":
+        return [artifact_key(request["workload"], scale, options)]
+    # tune: the keys depend on each candidate's placement axes; the
+    # default candidate's keys are the stable, always-touched subset.
+    return [
+        artifact_key(name, scale, options)
+        for name in request.get("workloads", ())
+    ]
+
+
+def execute_request(
+    request: dict,
+    cache_dir: str | None = None,
+    jobs: int = 1,
+    telemetry: Telemetry | None = None,
+) -> dict:
+    """Run one normalized request on the engine; return its output.
+
+    Returns ``{"output": <rendered text>, "detail": {...}}`` where
+    ``output`` is exactly what the equivalent CLI invocation prints
+    (before the trailing newline) and ``detail`` carries structured
+    extras (the tune Pareto front, trial counts).  Raises whatever the
+    engine raises — the caller turns that into a failed ticket.
+    """
+    kind = request["kind"]
+    if kind in ("table", "explain"):
+        from repro.engine.jobs import request_plan
+        from repro.engine.scheduler import run_jobs
+
+        values = run_jobs(
+            request_plan(request),
+            jobs=jobs,
+            cache_dir=cache_dir,
+            use_cache=True,
+            telemetry=telemetry,
+        )
+        if kind == "table":
+            output = values[f"table:{request['table']}"]
+        else:
+            output = values[f"explain:{request['workload']}"]
+        return {"output": output, "detail": {}}
+
+    from repro.search import default_space, make_strategy, run_search
+    from repro.search.report import render_result
+
+    space = default_space().restrict(request["axes"])
+    result = run_search(
+        space,
+        make_strategy(request["strategy"], request["seed"]),
+        list(request["workloads"]),
+        budget=request["budget"],
+        scale=request["scale"],
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=True,
+        telemetry=telemetry,
+        seed=request["seed"],
+    )
+    return {
+        "output": render_result(result),
+        "detail": {
+            "trials": len(result.records),
+            "pruned": result.pruned,
+            "front": [
+                {
+                    "trial": record["trial"],
+                    "candidate": record["candidate"],
+                    "objectives": record["objectives"],
+                }
+                for record in result.front
+            ],
+        },
+    }
+
+
+class ServiceWorker(threading.Thread):
+    """One daemon worker thread; run several for multi-tenant throughput."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        registry,
+        cache_dir: str | None = None,
+        jobs: int = 1,
+        trace_dir: str | None = None,
+        executor=None,
+        name: str = "repro-worker",
+    ) -> None:
+        super().__init__(name=name, daemon=True)
+        self.queue = queue
+        self.registry = registry
+        self.cache_dir = cache_dir
+        self.jobs = jobs
+        self.trace_dir = trace_dir
+        # Tests inject a stub executor; production uses execute_request.
+        self.executor = executor or execute_request
+        self._metrics_lock = threading.Lock()
+
+    # -- metrics helpers (thread-safe against sibling workers) -------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._metrics_lock:
+            self.registry.counter(name).inc(amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        with self._metrics_lock:
+            self.registry.histogram(name).observe(value)
+
+    def _gauge(self, name: str, value: float) -> None:
+        with self._metrics_lock:
+            self.registry.gauge(name).set(value)
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(self) -> None:
+        while True:
+            ticket = self.queue.claim(timeout=0.5)
+            if ticket is None:
+                stats = self.queue.stats()
+                self._gauge("service.queue_depth", stats["queued"])
+                if stats["closed"] and not stats["accepted"]:
+                    return
+                continue
+            self._serve(ticket)
+
+    def _serve(self, ticket: Ticket) -> None:
+        kind = ticket.request["kind"]
+        queue_wait = (ticket.started or time.time()) - ticket.created
+        self._count("service.requests")
+        self._count(f"service.requests_{kind}")
+        self._observe("service.queue_wait_s", queue_wait)
+        self._gauge("service.queue_depth", self.queue.stats()["queued"])
+
+        recorder = obs.Recorder(meta={
+            "kind": "service-request", "job": ticket.id,
+            "request": ticket.request,
+        })
+        recorder.metrics = self.registry
+        # Per-request telemetry gets its own registry so the receipt
+        # reports this request's counters, not the daemon's cumulative
+        # ones; it is merged into the service registry afterwards.
+        telemetry = Telemetry()
+        started = time.perf_counter()
+        try:
+            with obs.use(recorder), recorder.span(
+                "request", cat="service",
+                job=ticket.id, kind=kind, fingerprint=ticket.fingerprint,
+            ):
+                body = self.executor(
+                    ticket.request,
+                    cache_dir=self.cache_dir,
+                    jobs=self.jobs,
+                    telemetry=telemetry,
+                )
+        except Exception as exc:
+            wall = time.perf_counter() - started
+            self._count("service.failed")
+            self._observe("service.latency_s", wall)
+            summary = getattr(exc, "summary", None)
+            self.queue.finish(
+                ticket,
+                error=summary() if callable(summary)
+                else f"{type(exc).__name__}: {exc}",
+            )
+            return
+        finally:
+            with self._metrics_lock:
+                self.registry.merge(
+                    {"counters": telemetry.registry.counter_values()}
+                )
+        wall = time.perf_counter() - started
+        self._count("service.completed")
+        self._observe("service.latency_s", wall)
+        self._observe(f"service.latency_s_{kind}", wall)
+
+        totals = telemetry.totals()
+        receipt = {
+            "id": ticket.id,
+            "kind": kind,
+            "request": ticket.request,
+            "fingerprint": ticket.fingerprint,
+            "code_version": self._code_version(),
+            "store": {
+                "keys": _store_keys(ticket.request),
+                "hits": totals.get("store_hits", 0),
+                "misses": totals.get("store_misses", 0),
+            },
+            "telemetry": {
+                "totals": totals,
+                "counters": dict(telemetry.counters),
+            },
+            "queue_wait_s": queue_wait,
+            "exec_s": wall,
+            "coalesced": ticket.coalesced,
+        }
+        if self.trace_dir:
+            receipt["trace"] = self._dump_trace(ticket, recorder)
+        self.queue.finish(
+            ticket,
+            result={"output": body["output"], "detail": body["detail"],
+                    "receipt": receipt},
+        )
+
+    @staticmethod
+    def _code_version() -> str:
+        from repro.engine.store import code_version
+
+        return code_version()
+
+    def _dump_trace(self, ticket: Ticket, recorder) -> str | None:
+        import os
+
+        path = os.path.join(self.trace_dir, f"{ticket.id}.jsonl")
+        try:
+            os.makedirs(self.trace_dir, exist_ok=True)
+            recorder.dump_jsonl(path)
+        except OSError:
+            return None
+        return path

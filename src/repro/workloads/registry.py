@@ -11,6 +11,7 @@ select one input for each benchmark to take the traces").
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from collections.abc import Callable
 
@@ -68,6 +69,7 @@ def _check_scale(scale: str) -> None:
 _REGISTRY: dict[str, Workload] = {}
 _SUITE_OF: dict[str, str] = {}
 _LOADED = False
+_LOAD_LOCK = threading.Lock()
 
 
 def register(workload: Workload, suite: str = "paper") -> Workload:
@@ -134,11 +136,21 @@ def _ensure_loaded() -> None:
 
     Guarded by an explicit flag, not registry truthiness: importing one
     workload module directly would otherwise mark the whole suite loaded.
+    The lock (and setting the flag only *after* the imports) keeps a
+    second thread from seeing a half-registered suite — service worker
+    threads hit this path concurrently.
     """
     global _LOADED
     if _LOADED:
         return
-    _LOADED = True
+    with _LOAD_LOCK:
+        if _LOADED:
+            return
+        _load_suites()
+        _LOADED = True
+
+
+def _load_suites() -> None:
     # Imported in the paper's table order; each module registers itself.
     from repro.workloads import wl_cccp  # noqa: F401
     from repro.workloads import wl_cmp  # noqa: F401

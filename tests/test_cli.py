@@ -304,3 +304,158 @@ class TestPartialFailure:
         assert "artifacts:wc" in captured.err
         assert "table:table4" in captured.err
         assert "Traceback" not in captured.err
+
+
+class TestServiceParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.jobs == 1
+        assert args.workers == 1
+        assert args.queue_depth == 64
+        assert args.cache_dir is None
+        assert args.trace_dir is None
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--jobs", "4", "--workers", "2",
+            "--queue-depth", "8", "--cache-dir", "/tmp/c",
+            "--trace-dir", "/tmp/t",
+        ])
+        assert args.port == 0 and args.jobs == 4 and args.workers == 2
+        assert args.queue_depth == 8
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit", "table", "table6"])
+        assert args.kind == "table" and args.name == "table6"
+        assert args.url == "http://127.0.0.1:8787"
+        assert not args.wait and args.scale is None
+        assert args.param == [] and args.receipt is None
+
+    def test_submit_params_repeat(self):
+        args = build_parser().parse_args([
+            "submit", "explain", "wc", "--scale", "small",
+            "--param", "cache_bytes=1024", "--param", "top=3", "--wait",
+        ])
+        assert args.param == ["cache_bytes=1024", "top=3"]
+        assert args.wait and args.scale == "small"
+
+    def test_submit_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "bogus"])
+
+    def test_status_job_id_optional(self):
+        assert build_parser().parse_args(["status"]).job_id is None
+        assert build_parser().parse_args(
+            ["status", "job-000001"]
+        ).job_id == "job-000001"
+
+    def test_cache_gc_requires_max_bytes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "gc"])
+        args = build_parser().parse_args(
+            ["cache", "gc", "--max-bytes", "1000"]
+        )
+        assert args.max_bytes == 1000
+
+
+class TestServiceCommands:
+    def test_submit_without_name_is_usage_error(self, capsys):
+        assert main(["submit", "table"]) == 2
+        assert "needs a NAME" in capsys.readouterr().err
+
+    def test_submit_bad_param_is_usage_error(self, capsys):
+        assert main([
+            "submit", "explain", "wc", "--param", "nonsense",
+        ]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_submit_unreachable_daemon_exits_1(self, capsys):
+        assert main([
+            "submit", "table", "table6",
+            "--url", "http://127.0.0.1:1",   # nothing listens on port 1
+        ]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_status_unreachable_daemon_exits_1(self, capsys):
+        assert main(["status", "--url", "http://127.0.0.1:1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_cache_gc_negative_budget_is_usage_error(self, capsys, tmp_path):
+        assert main([
+            "cache", "gc", "--max-bytes", "-1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 2
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_cache_gc_shrinks_to_budget(self, capsys, tmp_path):
+        import os
+
+        cache = str(tmp_path / "cache")
+        assert main([
+            "table6", "--scale", "small", "--cache-dir", cache,
+        ]) == 0
+        capsys.readouterr()
+
+        from repro.engine.store import ArtifactStore
+
+        store = ArtifactStore(cache)
+        sizes = sorted(entry.nbytes for entry in store.entries())
+        # The largest single entry always fits, so the LRU sweep must
+        # stop with at least one survivor — and with ten entries the
+        # total exceeds the budget, so it must evict at least one.
+        budget = sizes[-1]
+        assert main([
+            "cache", "gc", "--max-bytes", str(budget),
+            "--cache-dir", cache,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"(budget {budget})" in out
+        assert "entries evicted:" in out
+        remaining = ArtifactStore(cache).entries()
+        assert 0 < len(remaining) < 10
+        assert sum(entry.nbytes for entry in remaining) <= budget
+        # Gone from disk, not just the index.
+        assert len(os.listdir(os.path.join(cache, "objects"))) == len(
+            remaining
+        )
+
+    def test_serve_submit_status_roundtrip(self, capsys, tmp_path):
+        """One in-process daemon: submit --wait output == direct CLI."""
+        from repro.service import ExperimentService
+
+        cache = str(tmp_path / "cache")
+        service = ExperimentService(port=0, cache_dir=cache, workers=1)
+        service.start()
+        try:
+            assert main([
+                "submit", "explain", "wc", "--scale", "small",
+                "--param", "top=3", "--url", service.url, "--wait",
+                "--receipt", str(tmp_path / "receipt.json"),
+                "--timeout", "240",
+            ]) == 0
+            via_http = capsys.readouterr().out
+
+            assert main(["status", "--url", service.url]) == 0
+            health = capsys.readouterr().out
+            assert '"status": "ok"' in health
+
+            assert main([
+                "status", "job-000001", "--url", service.url,
+            ]) == 0
+            assert '"state": "done"' in capsys.readouterr().out
+        finally:
+            service.shutdown(timeout=10.0)
+
+        assert main([
+            "explain", "wc", "--scale", "small", "--top", "3",
+            "--cache-dir", cache,
+        ]) == 0
+        assert capsys.readouterr().out == via_http
+
+        import json
+
+        receipt = json.load(open(tmp_path / "receipt.json"))
+        assert receipt["kind"] == "explain"
+        assert receipt["store"]["keys"]

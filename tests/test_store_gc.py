@@ -1,0 +1,272 @@
+"""Store GC, in-flight claim coordination, and multi-process safety."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.store import ArtifactPayload, ArtifactStore
+
+
+def _payload(tag: int = 0, size: int = 10) -> ArtifactPayload:
+    return ArtifactPayload(
+        profiles={"pre": {"tag": tag}},
+        arrays={"trace_block_ids": np.arange(size, dtype=np.int32) + tag},
+        meta={"workload": f"wl{tag}", "scale": "small"},
+    )
+
+
+def _key(tag: int) -> str:
+    return f"{tag:024d}"
+
+
+# -- gc --------------------------------------------------------------------
+
+
+class TestGC:
+    def test_empty_store(self, tmp_path):
+        report = ArtifactStore(tmp_path).gc(0)
+        assert report == {
+            "bytes_before": 0, "bytes_after": 0,
+            "quarantine_removed": 0, "evicted": 0, "markers_swept": 0,
+        }
+
+    def test_fits_within_budget_evicts_nothing(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for tag in range(3):
+            store.put(_key(tag), _payload(tag))
+        report = store.gc(1 << 30)
+        assert report["evicted"] == 0
+        assert report["quarantine_removed"] == 0
+        assert len(store.entries()) == 3
+
+    def test_evicts_lru_first_down_to_budget(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for tag in range(4):
+            store.put(_key(tag), _payload(tag))
+        # Touch entries 2 and 3 so 0 and 1 are the LRU victims.
+        time.sleep(0.01)
+        store.get(_key(2))
+        store.get(_key(3))
+        sizes = {entry.key: entry.nbytes for entry in store.entries()}
+        budget = sizes[_key(2)] + sizes[_key(3)]
+        report = store.gc(budget)
+        assert report["evicted"] == 2
+        kept = {entry.key for entry in store.entries()}
+        assert kept == {_key(2), _key(3)}
+        assert report["bytes_after"] <= budget
+
+    def test_quarantine_counts_and_goes_first(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for tag in range(2):
+            store.put(_key(tag), _payload(tag))
+        # Corrupt one entry; verify() moves it to quarantine.
+        victim_dir = os.path.join(store.objects_dir, _key(0))
+        with open(os.path.join(victim_dir, "profiles.json"), "w") as out:
+            out.write("garbage")
+        report = store.verify()
+        assert report["corrupt"] == [_key(0)]
+        stats = store.stats()
+        assert stats["quarantine_entries"] == 1
+
+        live = sum(entry.nbytes for entry in store.entries())
+        # A budget that fits the live set exactly forces the quarantine
+        # corpse out but keeps every live entry.
+        gc_report = store.gc(live)
+        assert gc_report["quarantine_removed"] == 1
+        assert gc_report["evicted"] == 0
+        assert store.stats()["quarantine_entries"] == 0
+        assert len(store.entries()) == 1
+
+    def test_budget_zero_empties_everything(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for tag in range(3):
+            store.put(_key(tag), _payload(tag))
+        report = store.gc(0)
+        assert report["evicted"] == 3
+        assert report["bytes_after"] == 0
+        assert store.entries() == []
+
+    def test_sweeps_stale_markers_only(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.claim(_key(1))           # live marker (our pid)
+        os.makedirs(store.inflight_dir, exist_ok=True)
+        with open(store._marker_path(_key(2)), "w") as out:
+            json.dump({"pid": 2**22 + 12345,  # almost surely dead
+                       "created": time.time() - 10_000}, out)
+        report = store.gc(1 << 30)
+        assert report["markers_swept"] == 1
+        assert store.in_flight(_key(1))       # live claim survives
+        assert not os.path.exists(store._marker_path(_key(2)))
+        store.release(_key(1))
+
+
+# -- in-flight claims ------------------------------------------------------
+
+
+class TestClaims:
+    def test_single_claimant_wins(self, tmp_path):
+        first = ArtifactStore(tmp_path)
+        second = ArtifactStore(tmp_path)
+        assert first.claim(_key(7))
+        assert not second.claim(_key(7))
+        first.release(_key(7))
+        assert second.claim(_key(7))
+        second.release(_key(7))
+
+    def test_claim_refused_when_published(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(_key(7), _payload(7))
+        assert not store.claim(_key(7))
+
+    def test_wait_for_returns_published_payload(self, tmp_path):
+        producer = ArtifactStore(tmp_path)
+        consumer = ArtifactStore(tmp_path)
+        assert producer.claim(_key(9))
+
+        def publish():
+            time.sleep(0.1)
+            producer.put(_key(9), _payload(9))
+            producer.release(_key(9))
+
+        thread = threading.Thread(target=publish)
+        thread.start()
+        payload = consumer.wait_for(_key(9), timeout=5.0)
+        thread.join()
+        assert payload is not None
+        assert payload.profiles["pre"] == {"tag": 9}
+        assert consumer.waits == 1
+
+    def test_wait_for_gives_up_on_dead_claimant(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        os.makedirs(store.inflight_dir, exist_ok=True)
+        with open(store._marker_path(_key(5)), "w") as out:
+            json.dump({"pid": 2**22 + 54321, "created": time.time()}, out)
+        assert store.wait_for(_key(5), timeout=5.0) is None
+
+    def test_stale_marker_can_be_reclaimed(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.inflight_stale_s = 0.01
+        os.makedirs(store.inflight_dir, exist_ok=True)
+        with open(store._marker_path(_key(6)), "w") as out:
+            json.dump({"pid": os.getpid(),
+                       "created": time.time() - 100}, out)
+        assert store.claim(_key(6))   # steals the stale marker
+        store.release(_key(6))
+
+
+# -- the double-execution regression ---------------------------------------
+
+
+class _CountingRunner:
+    """An ExperimentRunner whose compute step counts invocations."""
+
+    def __init__(self, store, computed):
+        from repro.experiments.runner import ExperimentRunner
+
+        self.runner = ExperimentRunner(scale="small", store=store)
+        self.computed = computed
+        original = self.runner._compute
+
+        def counting(workload):
+            self.computed.append(workload.name)
+            time.sleep(0.2)     # hold the claim long enough to race
+            return original(workload)
+
+        self.runner._compute = counting
+
+
+def test_concurrent_same_artifact_executes_once(tmp_path):
+    """Regression: two runners racing one key must compute it once.
+
+    Before store-level in-flight markers, both would interpret the
+    workload and double-write; now the loser waits on the winner's
+    claim and hydrates the published entry.
+    """
+    computed: list[str] = []
+    runners = [
+        _CountingRunner(ArtifactStore(tmp_path), computed) for _ in range(2)
+    ]
+    results = [None, None]
+
+    def build(index):
+        results[index] = runners[index].runner.artifacts("wc")
+
+    threads = [
+        threading.Thread(target=build, args=(index,)) for index in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert computed == ["wc"]        # exactly one execution
+    assert results[0] is not None and results[1] is not None
+    assert np.array_equal(
+        results[0].trace.block_ids, results[1].trace.block_ids
+    )
+    # Exactly one of the two stores waited on the other's claim.
+    assert sum(r.runner.store.waits for r in runners) == 1
+    # No leftover markers.
+    store = ArtifactStore(tmp_path)
+    assert not store.in_flight(
+        list({entry.key for entry in store.entries()})[0]
+    )
+
+
+# -- two processes hammering one cache dir ---------------------------------
+
+
+def _hammer(cache_dir: str, seed: int, out_queue) -> None:
+    """Worker process: interleaved puts and gets against a shared store."""
+    store = ArtifactStore(cache_dir)
+    digests = {}
+    for round_number in range(8):
+        for tag in range(4):
+            key = _key(tag)
+            store.put(key, _payload(tag, size=50))
+            payload = store.get(key)
+            if payload is None:
+                out_queue.put(("miss-after-put", key))
+                return
+            digests[key] = payload.arrays["trace_block_ids"].tobytes()
+        # Exercise the mutating paths under contention too.
+        store.load_index()
+        if seed % 2 == 0:
+            store.verify()
+    out_queue.put(("ok", digests))
+
+
+def test_two_processes_shared_cache_dir_no_corruption(tmp_path):
+    """Two processes through the flock path: no corruption, same bytes."""
+    ctx = multiprocessing.get_context("spawn")
+    out_queue = ctx.Queue()
+    procs = [
+        ctx.Process(target=_hammer, args=(str(tmp_path), seed, out_queue))
+        for seed in range(2)
+    ]
+    for proc in procs:
+        proc.start()
+    outcomes = [out_queue.get(timeout=120) for _ in procs]
+    for proc in procs:
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
+
+    assert all(status == "ok" for status, _ in outcomes), outcomes
+    # Byte-identical reads across both processes.
+    first, second = (digests for _status, digests in outcomes)
+    assert first.keys() == second.keys()
+    for key in first:
+        assert first[key] == second[key]
+
+    # And the surviving store verifies clean.
+    store = ArtifactStore(tmp_path)
+    report = store.verify()
+    assert report["corrupt"] == []
+    assert report["checked"] == 4
