@@ -70,6 +70,9 @@ Commands
     cache to a byte budget: quarantined entries count against the
     budget and are evicted first, then live entries go least-recently-
     used first; stale in-flight markers are swept as a side effect.
+    ``gc --stale-after S`` sweeps orphaned in-flight claim markers
+    older than ``S`` seconds (crashed claimants) without touching
+    entries; the two flags compose.
 ``serve``
     Run the experiment service: a long-lived HTTP daemon that accepts
     ``table`` / ``tune`` / ``explain`` requests from many concurrent
@@ -78,7 +81,13 @@ Commands
     ``--queue-depth``, exposes ``/healthz`` and ``/metrics``, and on
     SIGTERM drains every accepted job before exiting 0.  ``--workers``
     sets service worker threads; ``--jobs`` fans each request's
-    engine DAG out over processes.
+    engine DAG out over processes.  Crash safety: a write-ahead job
+    journal (``--journal-dir``, default ``<cache>/journal``; disable
+    with ``--no-journal``) makes every accepted job durable before its
+    202 — after a crash, restart replays the journal, serves finished
+    results, and re-executes interrupted jobs.  ``--retries`` bounds
+    per-job re-execution; ``--job-timeout`` arms the watchdog that
+    reaps hung attempts.
 ``submit KIND [NAME]``
     Submit one request to a running daemon (``--url``).  ``repro submit
     table table6 --scale small --wait`` prints the rendered table —
@@ -88,7 +97,9 @@ Commands
     ``--param KEY=VALUE``.
 ``status [JOB_ID]``
     Poll a daemon: without an id, its health and queue stats; with one,
-    that job's status document.
+    that job's status document.  ``--recovered`` prints what the last
+    startup recovery did (journal segments replayed, jobs restored and
+    re-enqueued, corrupt records skipped, stale claims swept).
 ``optimize``
     Run the placement pipeline on one benchmark and report inline /
     trace-selection / footprint statistics plus cache ratios for a chosen
@@ -273,10 +284,15 @@ def build_parser() -> argparse.ArgumentParser:
     cache_gc = cache_sub.add_parser(
         "gc", help="evict down to a byte budget (LRU, quarantine first)"
     )
-    cache_gc.add_argument("--max-bytes", type=int, required=True,
+    cache_gc.add_argument("--max-bytes", type=int, default=None,
                           metavar="N",
                           help="target total size; quarantined entries "
                                "are evicted first, then LRU entries")
+    cache_gc.add_argument("--stale-after", type=float, default=None,
+                          metavar="SECONDS",
+                          help="sweep in-flight claim markers older than "
+                               "this (crashed claimants); does not touch "
+                               "entries")
     _add_cache_arguments(cache_gc)
 
     serve = sub.add_parser(
@@ -295,6 +311,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "backpressure (default 64)")
     serve.add_argument("--trace-dir", default=None, metavar="PATH",
                        help="dump one observability JSONL per request")
+    serve.add_argument("--journal-dir", default=None, metavar="PATH",
+                       help="write-ahead job journal directory (default: "
+                            "<cache-dir>/journal)")
+    serve.add_argument("--no-journal", action="store_true",
+                       help="disable the job journal (no crash recovery)")
+    serve.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="re-execution budget per job after a crashed, "
+                            "hung, or failed attempt (default 1)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="watchdog deadline: running attempts past this "
+                            "are reaped and retried (default: off)")
     _add_cache_arguments(serve)
 
     submit = sub.add_parser(
@@ -330,6 +358,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="job to inspect (omit for daemon health)")
     status.add_argument("--url", default="http://127.0.0.1:8787",
                         help="service base URL")
+    status.add_argument("--recovered", action="store_true",
+                        help="print the daemon's startup recovery summary "
+                             "(journal replay, restored jobs, swept claims)")
 
     optimize = sub.add_parser(
         "optimize", help="run the placement pipeline on one benchmark"
@@ -696,41 +727,78 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"removed {removed} cached entr"
               f"{'y' if removed == 1 else 'ies'} from {store.root}")
     elif args.cache_command == "gc":
-        if args.max_bytes < 0:
+        if args.max_bytes is None and args.stale_after is None:
+            print("repro cache gc: give --max-bytes and/or --stale-after",
+                  file=sys.stderr)
+            return 2
+        if args.max_bytes is not None and args.max_bytes < 0:
             print("repro cache gc: --max-bytes must be >= 0",
                   file=sys.stderr)
             return 2
-        report = store.gc(args.max_bytes)
-        print(f"gc {store.root}: {report['bytes_before']} -> "
-              f"{report['bytes_after']} bytes "
-              f"(budget {args.max_bytes})")
-        print(f"  quarantine removed: {report['quarantine_removed']}")
-        print(f"  entries evicted:    {report['evicted']}")
-        print(f"  markers swept:      {report['markers_swept']}")
+        if args.stale_after is not None and args.stale_after < 0:
+            print("repro cache gc: --stale-after must be >= 0",
+                  file=sys.stderr)
+            return 2
+        if args.stale_after is not None:
+            swept = store.sweep_inflight(args.stale_after)
+            print(f"gc {store.root}: swept {swept} stale in-flight "
+                  f"marker{'' if swept == 1 else 's'} "
+                  f"(older than {args.stale_after:g}s or dead owner)")
+        if args.max_bytes is not None:
+            report = store.gc(args.max_bytes)
+            print(f"gc {store.root}: {report['bytes_before']} -> "
+                  f"{report['bytes_after']} bytes "
+                  f"(budget {args.max_bytes})")
+            print(f"  quarantine removed: {report['quarantine_removed']}")
+            print(f"  entries evicted:    {report['evicted']}")
+            print(f"  markers swept:      {report['markers_swept']}")
     else:  # pragma: no cover - subparser enforces the choice
         raise AssertionError(args.cache_command)
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.engine.store import default_cache_dir
     from repro.service import ExperimentService
+    from repro.service.journal import JournalLocked
 
     if args.workers < 1 or args.jobs < 1 or args.queue_depth < 1:
         print("repro serve: --workers, --jobs and --queue-depth must be "
               ">= 1", file=sys.stderr)
         return 2
-    service = ExperimentService(
-        host=args.host,
-        port=args.port,
-        cache_dir=args.cache_dir,
-        jobs=args.jobs,
-        workers=args.workers,
-        queue_depth=args.queue_depth,
-        trace_dir=args.trace_dir,
-    )
+    if args.retries < 0:
+        print("repro serve: --retries must be >= 0", file=sys.stderr)
+        return 2
+    if args.no_journal and args.journal_dir:
+        print("repro serve: --no-journal and --journal-dir conflict",
+              file=sys.stderr)
+        return 2
+    journal_dir = None
+    if not args.no_journal:
+        journal_dir = args.journal_dir or os.path.join(
+            args.cache_dir or default_cache_dir(), "journal"
+        )
+    try:
+        service = ExperimentService(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            jobs=args.jobs,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            trace_dir=args.trace_dir,
+            journal_dir=journal_dir,
+            retries=args.retries,
+            job_timeout=args.job_timeout,
+        )
+    except JournalLocked as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 1
     print(f"repro serve: listening on {service.url} "
           f"(workers={args.workers}, jobs={args.jobs}, "
-          f"queue-depth={args.queue_depth})", file=sys.stderr, flush=True)
+          f"queue-depth={args.queue_depth}, "
+          f"journal={journal_dir or 'off'})",
+          file=sys.stderr, flush=True)
     code = service.run_forever()
     print("repro serve: drained, exiting", file=sys.stderr)
     return code
@@ -779,8 +847,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             return 0
         document = client.wait(accepted["id"], timeout=args.timeout)
     except ServiceError as exc:
-        print(f"repro submit: {exc}", file=sys.stderr)
+        if exc.status == 0:     # connection failure after retries
+            print(f"repro submit: cannot reach {args.url}: "
+                  f"{exc.document.get('error', exc)}", file=sys.stderr)
+        else:
+            print(f"repro submit: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        raise               # the reader went away; main() exits 0
     except OSError as exc:
         print(f"repro submit: cannot reach {args.url}: {exc}",
               file=sys.stderr)
@@ -803,14 +877,26 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
     client = ServiceClient(args.url)
     try:
+        if args.recovered:
+            print(json.dumps(client.recovery(), indent=2))
+            return 0
         if args.job_id is None:
-            print(json.dumps(client.healthz(), indent=2))
+            document = client.healthz()
+            if "status" not in document:    # connection failure doc
+                raise OSError(document.get("error", "connection failed"))
+            print(json.dumps(document, indent=2))
             return 0
         print(json.dumps(client.status(args.job_id), indent=2))
         return 0
     except ServiceError as exc:
-        print(f"repro status: {exc}", file=sys.stderr)
+        if exc.status == 0:     # connection failure after retries
+            print(f"repro status: cannot reach {args.url}: "
+                  f"{exc.document.get('error', exc)}", file=sys.stderr)
+        else:
+            print(f"repro status: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        raise               # the reader went away; main() exits 0
     except OSError as exc:
         print(f"repro status: cannot reach {args.url}: {exc}",
               file=sys.stderr)

@@ -41,6 +41,17 @@ Sites:
   ``corrupt`` makes a read fail integrity verification (the entry is
   quarantined, a miss) or truncates a staged write so a *later* read
   fails verification.
+* **Service sites** — consulted by the experiment service daemon via
+  :func:`maybe_fail`: ``accept`` (before a submission is journaled),
+  ``journal-append`` (after a record is durably written, before the
+  caller proceeds), ``journal-replay`` (at the top of startup
+  recovery), ``worker-exec`` (before a worker thread runs a ticket),
+  and ``response-write`` (before a result/acceptance response is
+  written back).  At these sites ``kill`` hard-exits the *daemon*
+  process unconditionally — they exist to chaos-test crash recovery,
+  so the tests must run the daemon as a subprocess.  ``corrupt`` at
+  ``journal-append`` makes the journal write a garbled record, which
+  replay must skip and count.
 
 Probabilities are decided by hashing ``(kind, site, unit, attempt)`` —
 never by a live PRNG — so retries of the same job legitimately re-roll
@@ -61,6 +72,7 @@ __all__ = [
     "FaultRule",
     "active_plan",
     "fires",
+    "maybe_fail",
     "maybe_fail_job",
     "parse_faults",
 ]
@@ -69,7 +81,13 @@ __all__ = [
 FAULTS_ENV = "REPRO_FAULTS"
 
 _KINDS = ("crash", "kill", "hang", "corrupt")
-_SITES = ("job", "store-read", "store-write")
+#: Daemon-scope sites: ``kill`` here hard-exits the calling process
+#: unconditionally (the chaos tests run the daemon as a subprocess).
+SERVICE_SITES = (
+    "accept", "journal-append", "journal-replay", "worker-exec",
+    "response-write",
+)
+_SITES = ("job", "store-read", "store-write") + SERVICE_SITES
 _OPTION_KEYS = ("p", "times", "seconds")
 
 
@@ -233,6 +251,32 @@ def maybe_fail_job(job_id: str, attempt: int = 0) -> None:
         os._exit(3)
     raise FaultInjected(
         f"injected {rule.kind} in job {job_id!r} (attempt {attempt})"
+    )
+
+
+def maybe_fail(site: str, unit: str, attempt: int = 0) -> None:
+    """Inject a fault at a daemon-scope service site, if one fires.
+
+    Unlike :func:`maybe_fail_job`, ``kill`` here calls ``os._exit(3)``
+    whether or not this is a pool worker: the service sites exist to
+    chaos-test the daemon's crash recovery, and the daemon *is* the
+    main process.  ``crash`` raises :class:`FaultInjected`, ``hang``
+    sleeps ``seconds``; ``corrupt`` rules never fire here (the journal
+    consults :func:`fires` for those directly).
+    """
+    plan = active_plan()
+    if not plan:
+        return
+    rule = plan.first_firing(site, unit, attempt)
+    if rule is None or rule.kind == "corrupt":
+        return
+    if rule.kind == "hang":
+        time.sleep(rule.seconds)
+        return
+    if rule.kind == "kill":
+        os._exit(3)
+    raise FaultInjected(
+        f"injected {rule.kind} at {site} for {unit!r} (attempt {attempt})"
     )
 
 

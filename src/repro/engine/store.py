@@ -501,6 +501,43 @@ class ArtifactStore:
 
     # -- maintenance -------------------------------------------------------
 
+    def sweep_inflight(self, stale_after: float | None = None) -> int:
+        """Remove stale in-flight claim markers; returns how many.
+
+        A marker is stale when its owner process is dead or it is older
+        than ``stale_after`` seconds (default: the store's
+        ``REPRO_INFLIGHT_STALE_S`` horizon).  Crashed daemons and
+        ``kill -9``'d workers leave these behind; live waiters already
+        treat them as reclaimable, but sweeping keeps ``inflight/`` from
+        accumulating corpses (``repro cache gc --stale-after`` and the
+        service's startup recovery both call this).
+        """
+        with self._lock():
+            return self._sweep_inflight_locked(stale_after)
+
+    def _sweep_inflight_locked(self, stale_after: float | None = None) -> int:
+        horizon = self.inflight_stale_s if stale_after is None else stale_after
+        swept = 0
+        try:
+            names = sorted(os.listdir(self.inflight_dir))
+        except OSError:
+            return 0
+        now = time.time()
+        for name in names:
+            marker = self._read_marker(name)
+            if marker is None:
+                stale = True
+            else:
+                age = now - float(marker.get("created", 0.0))
+                stale = age > horizon or not self._owner_alive(marker)
+            if stale:
+                try:
+                    os.unlink(self._marker_path(name))
+                    swept += 1
+                except OSError:
+                    pass
+        return swept
+
     def entries(self) -> list[StoreEntry]:
         """Scan the object directory (the source of truth, not the index)."""
         results = []
@@ -623,18 +660,7 @@ class ArtifactStore:
         "evicted", "markers_swept"}``.
         """
         with self._lock():
-            markers_swept = 0
-            try:
-                names = sorted(os.listdir(self.inflight_dir))
-            except OSError:
-                names = []
-            for name in names:
-                if self._marker_stale(self._read_marker(name)):
-                    try:
-                        os.unlink(self._marker_path(name))
-                        markers_swept += 1
-                    except OSError:
-                        pass
+            markers_swept = self._sweep_inflight_locked()
 
             def _tree_bytes(path: str) -> int:
                 total = 0

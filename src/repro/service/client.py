@@ -1,26 +1,46 @@
-"""A stdlib HTTP client for the experiment service.
+"""A resilient stdlib HTTP client for the experiment service.
 
 :class:`ServiceClient` backs ``repro submit`` / ``repro status`` and
 the benchmarks; :func:`load_test` is the concurrent-clients harness
 behind ``benchmarks/bench_service.py``.
 
-The client is deliberately thin: JSON in, JSON out, with
-:class:`ServiceError` carrying the HTTP status and the server's error
-document.  Polling (:meth:`ServiceClient.wait`) honors the daemon's
-``Retry-After`` backpressure hint when a submission is rejected with
-429 — :meth:`submit` retries after the hinted delay by default, because
-a multi-tenant client that hammers a full queue makes everyone slower.
+The transport layer retries what is safe to retry: connection errors
+(the daemon is restarting after a crash — exactly when a crash-safe
+service's clients must not give up), 5xx responses, and 429
+backpressure, with jittered exponential backoff that honors the
+server's ``Retry-After`` hint when one is sent.  The jitter is
+deterministic (hashed from the request path and attempt, never a live
+PRNG) so client behavior replays exactly.
+
+Retrying a POST is only safe because submissions are *idempotent*:
+:meth:`ServiceClient.submit` attaches a submission key — one fresh
+token per logical submit, reused verbatim across that submit's retries
+— in the ``X-Repro-Submission`` header.  The daemon journals the key
+with the accept, so a retried POST whose first 202 was lost (crashed
+daemon, dropped connection) re-matches the ticket it already created
+instead of double-executing, even across a daemon restart.
+
+Polling (:meth:`ServiceClient.wait`) starts fast and backs off to a
+capped interval instead of spinning at a fixed period, and treats a 429
+from the status endpoint as a backoff instruction rather than an error.
 """
 
 from __future__ import annotations
 
+import hashlib
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 
-__all__ = ["ServiceClient", "ServiceError", "load_test"]
+__all__ = ["RetryPolicy", "ServiceClient", "ServiceError", "load_test"]
+
+#: HTTP statuses the transport retries (server-side, not the request's
+#: fault).  429 is handled separately so Retry-After wins over backoff.
+_RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
 
 
 class ServiceError(RuntimeError):
@@ -33,24 +53,68 @@ class ServiceError(RuntimeError):
         super().__init__(f"HTTP {status}: {detail}")
 
 
+class RetryPolicy:
+    """Bounded retries with deterministic jittered exponential backoff."""
+
+    def __init__(
+        self,
+        retries: int = 5,
+        base_s: float = 0.1,
+        cap_s: float = 10.0,
+        jitter: float = 0.5,
+    ) -> None:
+        self.retries = retries
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.jitter = jitter
+
+    def delay_s(
+        self, attempt: int, unit: str = "", hint: float | None = None
+    ) -> float:
+        """How long to sleep before retry ``attempt`` (0-based).
+
+        A server ``Retry-After`` hint wins outright (capped); otherwise
+        exponential backoff from ``base_s`` with up to ``jitter``
+        fractional spread, hashed from ``(unit, attempt)`` so two
+        clients retrying the same failure de-synchronize while any one
+        client's schedule replays identically.
+        """
+        if hint is not None and hint > 0:
+            return min(self.cap_s, hint)
+        backoff = min(self.cap_s, self.base_s * (2.0 ** attempt))
+        digest = hashlib.sha256(f"{unit}|{attempt}".encode()).digest()
+        spread = int.from_bytes(digest[:8], "big") / 2**64
+        return backoff * (1.0 + self.jitter * spread)
+
+
 class ServiceClient:
     """Talk to one running :class:`repro.service.ExperimentService`."""
 
-    def __init__(self, url: str = "http://127.0.0.1:8787",
-                 timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        url: str = "http://127.0.0.1:8787",
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry or RetryPolicy()
 
     # -- transport ---------------------------------------------------------
 
-    def _call(self, path: str, body: dict | None = None) -> tuple[int, dict]:
+    def _call(
+        self, path: str, body: dict | None = None, headers: dict | None = None
+    ) -> tuple[int, dict]:
+        """One HTTP round trip; connection errors surface as status 0."""
         data = None
-        headers = {"Accept": "application/json"}
+        all_headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(body).encode()
-            headers["Content-Type"] = "application/json"
+            all_headers["Content-Type"] = "application/json"
+        if headers:
+            all_headers.update(headers)
         request = urllib.request.Request(
-            f"{self.url}{path}", data=data, headers=headers,
+            f"{self.url}{path}", data=data, headers=all_headers,
             method="POST" if body is not None else "GET",
         )
         try:
@@ -66,56 +130,122 @@ class ServiceClient:
             document.setdefault("retry_after_s",
                                 _retry_after(exc.headers))
             return exc.code, document
+        except (urllib.error.URLError, ConnectionError, TimeoutError,
+                http.client.HTTPException, OSError) as exc:
+            # Connection refused/reset/killed mid-response: the daemon
+            # is down or mid-restart.
+            return 0, {"error": f"connection failed: {exc}",
+                       "retry_after_s": None}
+
+    def _call_with_retries(
+        self,
+        path: str,
+        body: dict | None = None,
+        headers: dict | None = None,
+        retries: int | None = None,
+    ) -> tuple[int, dict]:
+        """``_call`` wrapped in the retry policy.
+
+        Retries connection failures (status 0), 5xx, and 429 — sleeping
+        the jittered backoff or the server's ``Retry-After``, whichever
+        the policy picks.  Anything else (2xx, 404, 400...) returns
+        immediately.  POST retries ride the caller's idempotency key.
+        """
+        budget = self.retry.retries if retries is None else retries
+        attempt = 0
+        while True:
+            status, document = self._call(path, body=body, headers=headers)
+            retryable = status == 0 or status in _RETRYABLE_STATUSES
+            if not retryable or attempt >= budget:
+                return status, document
+            time.sleep(self.retry.delay_s(
+                attempt, unit=path, hint=document.get("retry_after_s")
+            ))
+            attempt += 1
 
     # -- endpoints ---------------------------------------------------------
 
-    def submit(self, request: dict, retries: int = 3) -> dict:
+    def submit(
+        self,
+        request: dict,
+        retries: int | None = None,
+        submission: str | None = None,
+    ) -> dict:
         """POST one request; returns the 202 acceptance document.
 
-        On 429 backpressure, sleeps the server's ``Retry-After`` hint
-        and retries up to ``retries`` times before giving up with
-        :class:`ServiceError`.
+        Connection failures, 5xx, and 429 are retried with backoff
+        (``Retry-After`` honored).  Every retry carries the same
+        submission key — generated here when the caller does not pass
+        one — so the daemon can never double-execute a retried POST:
+        either the first attempt's ticket is re-matched
+        (``idempotent: true`` in the acceptance) or a fresh one is
+        created, never both.
         """
-        attempt = 0
-        while True:
-            status, document = self._call("/v1/jobs", body=request)
-            if status == 202:
-                return document
-            if status == 429 and attempt < retries:
-                attempt += 1
-                time.sleep(min(30.0, float(
-                    document.get("retry_after_s") or 2.0)))
-                continue
-            raise ServiceError(status, document)
+        key = submission or uuid.uuid4().hex
+        status, document = self._call_with_retries(
+            "/v1/jobs", body=request,
+            headers={"X-Repro-Submission": key},
+            retries=retries,
+        )
+        if status == 202:
+            document.setdefault("submission", key)
+            return document
+        raise ServiceError(status, document)
 
     def status(self, job_id: str) -> dict:
-        code, document = self._call(f"/v1/jobs/{job_id}")
+        code, document = self._call_with_retries(f"/v1/jobs/{job_id}")
         if code != 200:
             raise ServiceError(code, document)
         return document
 
     def result(self, job_id: str) -> dict | None:
         """The result document once done, ``None`` while in flight."""
-        code, document = self._call(f"/v1/jobs/{job_id}/result")
+        code, document = self._call_with_retries(f"/v1/jobs/{job_id}/result")
         if code == 200:
             return document
         if code == 202:
             return None
         raise ServiceError(code, document)
 
-    def wait(self, job_id: str, timeout: float = 300.0,
-             poll_s: float = 0.2) -> dict:
-        """Poll until the job finishes; return its result document."""
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_s: float = 0.05,
+        poll_cap_s: float = 2.0,
+    ) -> dict:
+        """Poll until the job finishes; return its result document.
+
+        Polling backs off geometrically from ``poll_s`` to
+        ``poll_cap_s`` instead of busy-spinning at a fixed period — a
+        client waiting on a 10-minute tune costs the daemon a few
+        hundred polls, not thousands.  A 429 from the endpoint resets
+        nothing but stretches the next sleep to the server's
+        ``Retry-After``; transient connection failures and 5xx are
+        absorbed by the transport retries (the daemon may be restarting
+        — the journal means the job survives the gap).
+        """
         deadline = time.monotonic() + timeout
+        interval = poll_s
         while True:
-            document = self.result(job_id)
-            if document is not None:
+            code, document = self._call_with_retries(
+                f"/v1/jobs/{job_id}/result"
+            )
+            if code == 200:
                 return document
+            if code not in (202, 429):
+                raise ServiceError(code, document)
             if time.monotonic() >= deadline:
                 raise ServiceError(
                     408, {"error": f"job {job_id} still running "
                                    f"after {timeout:.0f}s"})
-            time.sleep(poll_s)
+            sleep_s = interval
+            if code == 429:
+                hint = document.get("retry_after_s")
+                if hint:
+                    sleep_s = max(interval, min(30.0, float(hint)))
+            time.sleep(min(sleep_s, max(0.0, deadline - time.monotonic())))
+            interval = min(poll_cap_s, interval * 1.6)
 
     def run(self, request: dict, timeout: float = 300.0) -> dict:
         """Submit and wait — the one-call path ``repro submit --wait``
@@ -127,8 +257,14 @@ class ServiceClient:
         _code, document = self._call("/healthz")
         return document
 
+    def recovery(self) -> dict:
+        code, document = self._call_with_retries("/v1/recovery")
+        if code != 200:
+            raise ServiceError(code, document)
+        return document
+
     def metrics(self) -> dict:
-        code, document = self._call("/metrics")
+        code, document = self._call_with_retries("/metrics")
         if code != 200:
             raise ServiceError(code, document)
         return document

@@ -1,10 +1,12 @@
 """The HTTP surface of the experiment service (stdlib only).
 
-:class:`ExperimentService` assembles the queue, the worker threads, and
-a :class:`ThreadingHTTPServer` into one long-running daemon::
+:class:`ExperimentService` assembles the journal, the queue, the worker
+threads, the watchdog, and a :class:`ThreadingHTTPServer` into one
+long-running daemon::
 
-    service = ExperimentService(port=8787, cache_dir="/var/cache/repro")
-    service.start()            # background: server + workers
+    service = ExperimentService(port=8787, cache_dir="/var/cache/repro",
+                                journal_dir="/var/cache/repro/journal")
+    service.start()            # background: server + recovery + workers
     ...
     service.shutdown()         # drain accepted jobs, then stop
 
@@ -16,57 +18,80 @@ Endpoints
 ---------
 
 ``POST /v1/jobs``
-    Body: a request document (see :mod:`repro.service.schemas`).
-    202 + ``{"id", "state", "coalesced", "fingerprint"}`` on accept —
-    ``coalesced`` true means an identical request was already in flight
-    and this submission attached to it.  400 on validation errors,
-    429 + ``Retry-After`` when the queue is at depth, 503 once
-    draining.
+    Body: a request document (see :mod:`repro.service.schemas`).  An
+    optional ``X-Repro-Submission`` header carries the client's
+    idempotency key: retried POSTs with the same key re-match their
+    ticket instead of double-executing.  202 + ``{"id", "state",
+    "coalesced", "idempotent", "fingerprint"}`` on accept.  400 on
+    validation errors, 429 + ``Retry-After`` when the queue is at
+    depth, 503 while recovering (journal replay) or draining.
 ``GET /v1/jobs/<id>``
     The ticket's status document; 404 for unknown ids.
 ``GET /v1/jobs/<id>/result``
     200 + ``{"output", "detail", "receipt"}`` once done; 202 + status
-    while queued/running; 500 + error after a failed run.
+    while queued/running; 500 + error and the structured ``failure``
+    document after a failed run.
 ``GET /healthz``
-    200 while serving (queue stats, uptime, workers); 503 once
-    draining.
+    200 while serving (queue stats, uptime, workers); 503 while
+    recovering (the whole journal-replay window) or draining.
+``GET /v1/recovery``
+    What startup recovery did: journal segments replayed, tickets
+    restored with results, tickets re-enqueued, corrupt records
+    skipped, stale store claims swept (``repro status --recovered``).
 ``GET /metrics``
-    The service metrics registry (:mod:`repro.obs.metrics` snapshot):
-    request/completion/failure/coalesce counters, queue-depth gauge,
-    latency and queue-wait histograms, plus engine counters
-    (``store_hits``, ``cache_sims``, ...) folded in by the workers.
+    The service metrics registry (:mod:`repro.obs.metrics` snapshot).
 
-Graceful shutdown: the first SIGTERM/SIGINT stops the listener and the
-queue (new submissions are refused) but every accepted ticket is
-drained to completion before the process exits 0 — a client that got a
-202 can still collect its result until the socket closes.
+Crash safety: with a journal configured, every accepted request is
+durable before its 202 is written, every state transition is journaled,
+and startup replays the journal — restoring finished tickets (their
+results are served as if the crash never happened) and re-enqueueing
+interrupted ones — then compacts it and sweeps stale artifact-store
+claim markers the dead daemon left behind.  ``/healthz`` answers 503
+for the entire replay window, and submissions are refused with 503
+until the restored ticket table is in place (accepting earlier could
+hand out an id the replay is about to restore).
+
+Signals: the first SIGTERM/SIGINT stops the listener and the queue (new
+submissions are refused) but every accepted ticket is drained to
+completion before the process exits 0 — a client that got a 202 can
+still collect its result until the socket closes.  A SIGTERM *during*
+journal replay aborts the replay cleanly (nothing was promised yet).  A
+second SIGTERM forces an immediate ``exit(1)`` — the escape hatch when
+a drain is wedged; the journal makes that safe, since whatever was in
+flight is re-enqueued on the next start.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.engine import faults
 from repro.obs.metrics import MetricsRegistry
+from repro.service.journal import JobJournal
 from repro.service.queue import JobQueue, QueueClosed, QueueFull
 from repro.service.schemas import (
     RequestError,
     normalize_request,
     request_fingerprint,
 )
-from repro.service.worker import ServiceWorker
+from repro.service.worker import ServiceWatchdog, ServiceWorker
 
 __all__ = ["ExperimentService"]
 
 #: Largest accepted request body; a valid request is a few hundred bytes.
 MAX_BODY_BYTES = 64 * 1024
 
+#: Longest accepted idempotency key (an opaque client token).
+MAX_SUBMISSION_KEY = 128
+
 
 class ExperimentService:
-    """One daemon: HTTP front door + submission queue + worker threads."""
+    """One daemon: HTTP front door + journal + queue + workers + watchdog."""
 
     def __init__(
         self,
@@ -78,6 +103,10 @@ class ExperimentService:
         queue_depth: int = 64,
         trace_dir: str | None = None,
         executor=None,
+        journal_dir: str | None = None,
+        retries: int = 1,
+        job_timeout: float | None = None,
+        watchdog_poll_s: float = 0.25,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -85,21 +114,37 @@ class ExperimentService:
         self.jobs = jobs
         self.trace_dir = trace_dir
         self.registry = MetricsRegistry()
-        self.queue = JobQueue(depth=queue_depth)
+        self.journal = JobJournal(journal_dir) if journal_dir else None
+        self.queue = JobQueue(
+            depth=queue_depth, journal=self.journal, retries=retries
+        )
         self.started_at = time.time()
         self.draining = False
+        self.recovering = self.journal is not None
+        self.recovery: dict | None = None
+        self._executor = executor
+        self._signal_count = 0
         self._workers = [
-            ServiceWorker(
-                self.queue, self.registry,
-                cache_dir=cache_dir, jobs=jobs, trace_dir=trace_dir,
-                executor=executor, name=f"repro-worker-{index}",
-            )
-            for index in range(workers)
+            self._make_worker(index) for index in range(workers)
         ]
+        self._watchdog = ServiceWatchdog(
+            self.queue, self.registry, self._workers,
+            job_timeout=job_timeout, poll_s=watchdog_poll_s,
+            spawn_worker=self._make_worker,
+        )
         handler = _make_handler(self)
         self._server = ThreadingHTTPServer((host, port), handler)
         self._server.daemon_threads = True
         self._serve_thread: threading.Thread | None = None
+        self._startup_thread: threading.Thread | None = None
+
+    def _make_worker(self, index: int) -> ServiceWorker:
+        return ServiceWorker(
+            self.queue, self.registry,
+            cache_dir=self.cache_dir, jobs=self.jobs,
+            trace_dir=self.trace_dir,
+            executor=self._executor, name=f"repro-worker-{index}",
+        )
 
     # -- addresses ---------------------------------------------------------
 
@@ -115,12 +160,78 @@ class ExperimentService:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    # -- recovery ----------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the journal and sweep stale store claims, then open up.
+
+        Runs with ``self.recovering`` set (``/healthz`` 503, submissions
+        refused) and before any worker starts, so the restored ticket
+        table — including the resumed id counter — is complete before
+        the first new ticket is created or claimed.
+        """
+        summary = {
+            "journal": getattr(self.journal, "root", None),
+            "segments": 0, "records": 0, "corrupt_records": 0,
+            "truncated_bytes": 0, "restored": {}, "recovered_ids": [],
+            "markers_swept": 0, "compacted": False,
+        }
+        try:
+            if self.journal is not None:
+                replay = self.journal.replay(
+                    should_abort=lambda: self.draining
+                )
+                summary["segments"] = replay.segments
+                summary["records"] = replay.records
+                summary["corrupt_records"] = replay.corrupt
+                summary["truncated_bytes"] = replay.truncated_bytes
+                if not self.draining:
+                    restored = self.queue.restore(replay.ticket_states())
+                    summary["restored"] = {
+                        "done": restored["done"],
+                        "failed": restored["failed"],
+                        "requeued": restored["requeued"],
+                        "orphaned_running": restored["orphaned_running"],
+                    }
+                    summary["recovered_ids"] = restored["recovered_ids"]
+                    self.journal.compact(self.queue.snapshot_docs())
+                    summary["compacted"] = True
+                    for name in ("done", "failed", "requeued"):
+                        self.registry.counter(
+                            f"service.recovery_{name}"
+                        ).inc(summary["restored"].get(name, 0))
+            summary["markers_swept"] = self._sweep_store_claims()
+        finally:
+            self.recovery = summary
+            self.recovering = False
+
+    def _sweep_store_claims(self) -> int:
+        """Reclaim in-flight markers a dead daemon left in the store."""
+        from repro.engine.store import ArtifactStore
+
+        try:
+            return ArtifactStore(self.cache_dir).sweep_inflight()
+        except OSError:
+            return 0
+
+    def _startup(self) -> None:
+        """Recovery, then workers — the order is the correctness."""
+        self._recover()
+        if self.draining:
+            return
+        for worker in self._workers:
+            worker.start()
+        self._watchdog.start()
+
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
-        """Serve in background threads (tests and the bench harness)."""
-        for worker in self._workers:
-            worker.start()
+        """Serve in background threads (tests and the bench harness).
+
+        The HTTP listener is up when this returns; recovery and the
+        workers come up on a startup thread, with ``/healthz`` at 503
+        until replay finishes.
+        """
         self._serve_thread = threading.Thread(
             target=self._server.serve_forever,
             kwargs={"poll_interval": 0.1},
@@ -128,29 +239,45 @@ class ExperimentService:
             daemon=True,
         )
         self._serve_thread.start()
+        self._startup_thread = threading.Thread(
+            target=self._startup, name="repro-startup", daemon=True
+        )
+        self._startup_thread.start()
 
     def run_forever(self) -> int:
         """Serve on the calling thread until SIGTERM/SIGINT; then drain.
 
-        Returns the process exit code: 0 after a clean drain.
+        Returns the process exit code: 0 after a clean drain.  A second
+        signal forces ``exit(1)`` immediately.
         """
         previous = {}
         for signum in (signal.SIGTERM, signal.SIGINT):
             previous[signum] = signal.signal(
-                signum, lambda *_: self._initiate_shutdown()
+                signum, lambda *_: self._on_signal()
             )
         try:
-            for worker in self._workers:
-                worker.start()
+            self._startup_thread = threading.Thread(
+                target=self._startup, name="repro-startup", daemon=True
+            )
+            self._startup_thread.start()
             self._server.serve_forever(poll_interval=0.1)
             # serve_forever returned: a signal initiated the drain.
             self.queue.close()
             clean = self.queue.drained()
             self._server.server_close()
+            if self.journal is not None:
+                self.journal.close()
             return 0 if clean else 1
         finally:
             for signum, handler in previous.items():
                 signal.signal(signum, handler)
+
+    def _on_signal(self) -> None:
+        """First signal: drain.  Second: forced exit, journal has the rest."""
+        self._signal_count += 1
+        if self._signal_count > 1:
+            os._exit(1)
+        self._initiate_shutdown()
 
     def _initiate_shutdown(self) -> None:
         """Signal-safe: flip to draining and stop the accept loop."""
@@ -164,6 +291,8 @@ class ExperimentService:
 
     def shutdown(self, timeout: float | None = None) -> bool:
         """Programmatic drain-and-stop (for :meth:`start` callers)."""
+        if self._startup_thread is not None:
+            self._startup_thread.join(timeout=timeout)
         self.draining = True
         self.queue.close()
         drained = self.queue.drained(timeout)
@@ -171,14 +300,29 @@ class ExperimentService:
         self._server.server_close()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)
+        self._watchdog.stop()
         for worker in self._workers:
-            worker.join(timeout=5.0)
+            # Never-started workers (drain raced the startup thread)
+            # have no ident and cannot be joined.
+            if worker.ident is not None:
+                worker.join(timeout=5.0)
+        if self._watchdog.is_alive():
+            self._watchdog.join(timeout=5.0)
+        if self.journal is not None:
+            self.journal.close()
         return drained
 
     # -- request handling (called from handler threads) --------------------
 
-    def handle_submit(self, raw_body: bytes) -> tuple[int, dict, dict]:
+    def handle_submit(
+        self, raw_body: bytes, submission: str | None = None
+    ) -> tuple[int, dict, dict]:
         """Returns ``(http_status, headers, body_document)``."""
+        if self.recovering:
+            return 503, {"Retry-After": "1"}, {
+                "error": "service is recovering (journal replay); "
+                         "retry shortly",
+            }
         try:
             document = json.loads(raw_body or b"null")
         except json.JSONDecodeError as exc:
@@ -187,9 +331,18 @@ class ExperimentService:
             request = normalize_request(document)
         except RequestError as exc:
             return 400, {}, {"error": str(exc)}
+        if submission is not None and (
+            not submission or len(submission) > MAX_SUBMISSION_KEY
+        ):
+            return 400, {}, {"error": "invalid X-Repro-Submission key"}
         fingerprint = request_fingerprint(request)
         try:
-            ticket, created = self.queue.submit(request, fingerprint)
+            # Chaos point: a daemon killed here acknowledged nothing —
+            # the client's idempotent retry must create the ticket.
+            faults.maybe_fail("accept", fingerprint)
+            ticket, created = self.queue.submit(
+                request, fingerprint, submission=submission
+            )
         except QueueFull as exc:
             self._count("service.rejected")
             return 429, {"Retry-After": f"{exc.retry_after_s:.0f}"}, {
@@ -198,22 +351,43 @@ class ExperimentService:
             }
         except QueueClosed as exc:
             return 503, {}, {"error": str(exc)}
-        if not created:
+        except faults.FaultInjected as exc:
+            self._count("service.failed_accepts")
+            return 500, {}, {"error": str(exc)}
+        idempotent = (
+            not created and submission is not None
+            and ticket.submission == submission
+        )
+        if not created and not idempotent:
             self._count("service.coalesced")
+        # Chaos point: the accept is journaled but this 202 never
+        # arrives — the retry re-matches by submission key.
+        faults.maybe_fail("response-write", f"submit:{ticket.id}")
         return 202, {}, {
             "id": ticket.id,
             "state": ticket.state,
-            "coalesced": not created,
+            "coalesced": not created and not idempotent,
+            "idempotent": idempotent,
             "fingerprint": fingerprint,
         }
 
     def handle_status(self, ticket_id: str) -> tuple[int, dict, dict]:
+        if self.recovering:
+            return 503, {"Retry-After": "1"}, {
+                "error": "service is recovering (journal replay); "
+                         "retry shortly",
+            }
         ticket = self.queue.get(ticket_id)
         if ticket is None:
             return 404, {}, {"error": f"unknown job {ticket_id!r}"}
         return 200, {}, ticket.status_doc()
 
     def handle_result(self, ticket_id: str) -> tuple[int, dict, dict]:
+        if self.recovering:
+            return 503, {"Retry-After": "1"}, {
+                "error": "service is recovering (journal replay); "
+                         "retry shortly",
+            }
         ticket = self.queue.get(ticket_id)
         if ticket is None:
             return 404, {}, {"error": f"unknown job {ticket_id!r}"}
@@ -221,6 +395,9 @@ class ExperimentService:
             return 202, {}, ticket.status_doc()
         if ticket.state == "failed":
             return 500, {}, ticket.status_doc()
+        # Chaos point: result computed and journaled, response lost —
+        # after restart the journaled result answers this same poll.
+        faults.maybe_fail("response-write", f"result:{ticket_id}")
         document = dict(ticket.result or {})
         document["id"] = ticket.id
         document["state"] = ticket.state
@@ -228,14 +405,28 @@ class ExperimentService:
 
     def handle_healthz(self) -> tuple[int, dict, dict]:
         stats = self.queue.stats()
-        status = 503 if self.draining else 200
+        if self.recovering:
+            status, state = 503, "recovering"
+        elif self.draining:
+            status, state = 503, "draining"
+        else:
+            status, state = 200, "ok"
         return status, {}, {
-            "status": "draining" if self.draining else "ok",
+            "status": state,
             "uptime_s": time.time() - self.started_at,
             "workers": len(self._workers),
             "engine_jobs": self.jobs,
+            "journal": getattr(self.journal, "root", None),
             "queue": stats,
         }
+
+    def handle_recovery(self) -> tuple[int, dict, dict]:
+        if self.recovering or self.recovery is None:
+            return 503, {"Retry-After": "1"}, {
+                "error": "recovery still in progress",
+                "recovering": self.recovering,
+            }
+        return 200, {}, self.recovery
 
     def handle_metrics(self) -> tuple[int, dict, dict]:
         return 200, {}, self.registry.to_dict()
@@ -277,7 +468,8 @@ def _make_handler(service: ExperimentService):
                 self._reply(413, {}, {"error": "request body too large"})
                 return
             body = self.rfile.read(length)
-            self._reply(*service.handle_submit(body))
+            submission = self.headers.get("X-Repro-Submission")
+            self._reply(*service.handle_submit(body, submission=submission))
 
         def do_GET(self) -> None:  # noqa: N802
             if self.path == "/healthz":
@@ -287,6 +479,9 @@ def _make_handler(service: ExperimentService):
                 self._reply(*service.handle_metrics())
                 return
             parts = [part for part in self.path.split("/") if part]
+            if parts == ["v1", "recovery"]:
+                self._reply(*service.handle_recovery())
+                return
             if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
                 self._reply(*service.handle_status(parts[2]))
                 return

@@ -1,8 +1,10 @@
-"""The submission queue: bounded, coalescing, drainable.
+"""The submission queue: bounded, coalescing, journaled, drainable.
 
 Every accepted request becomes a :class:`Ticket` with a daemon-unique
-id and a lifecycle of ``queued -> running -> done | failed``.  The
-queue enforces the service's two core multi-tenancy behaviors:
+id and a lifecycle of ``queued -> running -> done | failed`` (with
+``running -> queued`` re-queues in between when an attempt crashes,
+hangs past the deadline, or the daemon restarts).  The queue enforces
+the service's core multi-tenancy behaviors:
 
 * **Coalescing** — a submission whose fingerprint matches a ticket that
   is still queued or running returns *that* ticket instead of creating
@@ -11,10 +13,31 @@ queue enforces the service's two core multi-tenancy behaviors:
   many submissions it absorbed (``coalesced``).  Finished tickets are
   never coalesced onto: a re-submission after completion gets a fresh
   ticket (which will then be served warm by the artifact store).
+* **Idempotent resubmission** — a submission carrying a *submission
+  key* (the client sends one per logical submit, reused across its
+  retries) maps to at most one ticket, whatever the ticket's state.  A
+  client that never saw its 202 — the daemon crashed writing it, the
+  network ate it — retries the POST and gets the ticket it already
+  created instead of a duplicate execution.
 * **Backpressure** — at most ``depth`` tickets may be queued-or-running
   at once; past that, :meth:`JobQueue.submit` raises
   :class:`QueueFull` carrying a ``retry_after_s`` estimate (the HTTP
   layer turns it into 429 + ``Retry-After``).
+
+When built with a :class:`~repro.service.journal.JobJournal`, every
+transition is appended (fsync'd) *before* the in-memory state changes
+are visible to callers: an ``accept`` before submit returns, a
+``start`` before the worker executes, a ``finish`` carrying the result
+before the ticket reads done.  :meth:`restore` is the other half —
+after a crash the daemon replays the journal and hands the surviving
+ticket states back to a fresh queue.
+
+Attempt fencing: :meth:`claim` stamps each execution with the ticket's
+current ``attempt``; :meth:`finish` and :meth:`requeue` ignore calls
+whose attempt is stale.  That is what makes the watchdog safe — it can
+reap a hung attempt and re-queue the ticket while the hung thread is
+still running, and whichever outcome that thread eventually reports is
+dropped on the floor instead of clobbering the retry's.
 
 Shutdown: :meth:`close` makes further submissions raise
 :class:`QueueClosed` while everything already accepted stays claimable,
@@ -32,6 +55,8 @@ import threading
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
+
+from repro.service.journal import ticket_doc
 
 __all__ = ["JobQueue", "QueueClosed", "QueueFull", "Ticket"]
 
@@ -69,6 +94,11 @@ class Ticket:
     coalesced: int = 0            # extra submissions this ticket absorbed
     result: dict | None = None    # {"output": ..., "receipt": ...}
     error: str | None = None
+    submission: str | None = None  # client idempotency key, if sent
+    attempt: int = 0              # execution epoch; bumps on requeue
+    requeues: int = 0             # how many attempts were reaped/retried
+    recovered: bool = False       # re-enqueued by journal replay
+    failure: dict | None = None   # structured cause once failed
 
     def status_doc(self) -> dict:
         """The JSON document ``GET /v1/jobs/<id>`` returns."""
@@ -80,6 +110,7 @@ class Ticket:
             "fingerprint": self.fingerprint,
             "created": self.created,
             "coalesced": self.coalesced,
+            "attempt": self.attempt,
         }
         if self.started is not None:
             doc["started"] = self.started
@@ -88,17 +119,31 @@ class Ticket:
             doc["wall_s"] = self.finished - (self.started or self.created)
         if self.error is not None:
             doc["error"] = self.error
+        if self.failure is not None:
+            doc["failure"] = self.failure
+        if self.requeues:
+            doc["requeues"] = self.requeues
+        if self.recovered:
+            doc["recovered"] = True
         return doc
 
 
 class JobQueue:
-    """Bounded FIFO of tickets with fingerprint coalescing."""
+    """Bounded FIFO of tickets with coalescing, journaling, and retries."""
 
-    def __init__(self, depth: int = 64, keep_finished: int = 512) -> None:
+    def __init__(
+        self,
+        depth: int = 64,
+        keep_finished: int = 512,
+        journal=None,
+        retries: int = 0,
+    ) -> None:
         if depth < 1:
             raise ValueError("queue depth must be >= 1")
         self.depth = depth
         self.keep_finished = keep_finished
+        self.journal = journal
+        self.retries = retries
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
@@ -106,27 +151,49 @@ class JobQueue:
         self._pending: deque[Ticket] = deque()
         self._tickets: OrderedDict[str, Ticket] = OrderedDict()
         self._inflight_by_fp: dict[str, Ticket] = {}
+        self._by_submission: dict[str, str] = {}
         self._running = 0
         self._closed = False
         # Latency of recently finished work, for Retry-After estimates.
         self._recent_wall_s: deque[float] = deque(maxlen=32)
 
+    def _journal(self, event: str, data: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(event, data)
+
     # -- submission --------------------------------------------------------
 
-    def submit(self, request: dict, fingerprint: str) -> tuple[Ticket, bool]:
-        """Accept (or coalesce) one normalized request.
+    def submit(
+        self, request: dict, fingerprint: str, submission: str | None = None
+    ) -> tuple[Ticket, bool]:
+        """Accept (or coalesce, or idempotently re-match) one request.
 
         Returns ``(ticket, created)``: ``created`` is False when the
-        submission coalesced onto an existing queued/running ticket.
-        Raises :class:`QueueFull` past ``depth`` accepted-unfinished
-        tickets and :class:`QueueClosed` once draining.
+        submission coalesced onto an existing queued/running ticket or
+        re-matched its own earlier submission by key.  Raises
+        :class:`QueueFull` past ``depth`` accepted-unfinished tickets
+        and :class:`QueueClosed` once draining.  With a journal, the
+        ``accept`` record is durable before this returns.
         """
         with self._lock:
             if self._closed:
                 raise QueueClosed("service is draining; resubmit later")
+            if submission:
+                known = self._by_submission.get(submission)
+                if known is not None and known in self._tickets:
+                    # A retried POST: same logical submission, whatever
+                    # state its ticket reached.  Never a new execution.
+                    return self._tickets[known], False
             existing = self._inflight_by_fp.get(fingerprint)
             if existing is not None:
                 existing.coalesced += 1
+                if submission:
+                    self._by_submission[submission] = existing.id
+                self._journal("coalesce", {
+                    "id": existing.id,
+                    "coalesced": existing.coalesced,
+                    "submission": submission,
+                })
                 return existing, False
             accepted = len(self._pending) + self._running
             if accepted >= self.depth:
@@ -135,9 +202,21 @@ class JobQueue:
                 id=f"job-{next(self._ids):06d}",
                 request=dict(request),
                 fingerprint=fingerprint,
+                submission=submission,
             )
+            # Write-ahead: the accept is durable before any caller can
+            # observe (or be promised) this ticket.
+            self._journal("accept", {
+                "id": ticket.id,
+                "request": ticket.request,
+                "fingerprint": fingerprint,
+                "submission": submission,
+                "created": ticket.created,
+            })
             self._tickets[ticket.id] = ticket
             self._inflight_by_fp[fingerprint] = ticket
+            if submission:
+                self._by_submission[submission] = ticket.id
             self._pending.append(ticket)
             self._trim_finished_locked()
             self._work.notify()
@@ -157,7 +236,11 @@ class JobQueue:
         ]
         for ticket_id in finished[: max(0, len(finished)
                                         - self.keep_finished)]:
-            del self._tickets[ticket_id]
+            ticket = self._tickets.pop(ticket_id)
+            if (ticket.submission
+                    and self._by_submission.get(ticket.submission)
+                    == ticket_id):
+                del self._by_submission[ticket.submission]
 
     # -- worker side -------------------------------------------------------
 
@@ -182,12 +265,33 @@ class JobQueue:
             ticket.state = "running"
             ticket.started = time.time()
             self._running += 1
+            self._journal("start", {
+                "id": ticket.id,
+                "attempt": ticket.attempt,
+                "started": ticket.started,
+            })
             return ticket
 
-    def finish(self, ticket: Ticket, result: dict | None = None,
-               error: str | None = None) -> None:
-        """Record a claimed ticket's outcome and release its fingerprint."""
+    def finish(
+        self,
+        ticket: Ticket,
+        result: dict | None = None,
+        error: str | None = None,
+        attempt: int | None = None,
+        failure: dict | None = None,
+    ) -> bool:
+        """Record a claimed ticket's outcome and release its fingerprint.
+
+        Returns ``False`` (and changes nothing) when the outcome is
+        stale: the ticket is not running anymore, or ``attempt`` no
+        longer matches — the watchdog reaped this execution and its
+        result must not clobber the retry's.
+        """
         with self._lock:
+            if ticket.state != "running":
+                return False
+            if attempt is not None and ticket.attempt != attempt:
+                return False
             ticket.finished = time.time()
             if error is None:
                 ticket.state = "done"
@@ -195,6 +299,15 @@ class JobQueue:
             else:
                 ticket.state = "failed"
                 ticket.error = error
+                ticket.failure = failure or {"cause": "error", "detail": error}
+            self._journal("finish", {
+                "id": ticket.id,
+                "state": ticket.state,
+                "finished": ticket.finished,
+                "result": ticket.result,
+                "error": ticket.error,
+                "failure": ticket.failure,
+            })
             self._running -= 1
             self._recent_wall_s.append(
                 ticket.finished - (ticket.started or ticket.created)
@@ -202,6 +315,171 @@ class JobQueue:
             if self._inflight_by_fp.get(ticket.fingerprint) is ticket:
                 del self._inflight_by_fp[ticket.fingerprint]
             self._idle.notify_all()
+            return True
+
+    def requeue(
+        self,
+        ticket: Ticket,
+        cause: str,
+        attempt: int | None = None,
+        error: str | None = None,
+    ) -> str:
+        """Give a failed/hung attempt another try, or fail it for good.
+
+        Returns ``"requeued"`` when the ticket went back on the queue
+        (attempt bumped, old executions fenced off), ``"failed"`` when
+        the retry budget is exhausted (the ticket finishes failed with
+        a structured ``failure`` document), or ``"stale"`` when the
+        ticket already moved on.
+        """
+        with self._lock:
+            if ticket.state != "running":
+                return "stale"
+            if attempt is not None and ticket.attempt != attempt:
+                return "stale"
+            if ticket.requeues >= self.retries:
+                detail = error or f"attempt {ticket.attempt} {cause}"
+                ticket.finished = time.time()
+                ticket.state = "failed"
+                ticket.error = detail
+                ticket.failure = {
+                    "cause": cause,
+                    "attempts": ticket.attempt + 1,
+                    "detail": detail,
+                }
+                self._journal("finish", {
+                    "id": ticket.id,
+                    "state": "failed",
+                    "finished": ticket.finished,
+                    "result": None,
+                    "error": ticket.error,
+                    "failure": ticket.failure,
+                })
+                self._running -= 1
+                self._recent_wall_s.append(
+                    ticket.finished - (ticket.started or ticket.created)
+                )
+                if self._inflight_by_fp.get(ticket.fingerprint) is ticket:
+                    del self._inflight_by_fp[ticket.fingerprint]
+                self._idle.notify_all()
+                return "failed"
+            ticket.requeues += 1
+            ticket.attempt += 1
+            ticket.state = "queued"
+            ticket.started = None
+            self._running -= 1
+            self._journal("requeue", {
+                "id": ticket.id,
+                "attempt": ticket.attempt,
+                "requeues": ticket.requeues,
+                "cause": cause,
+            })
+            self._pending.append(ticket)
+            self._work.notify()
+            return "requeued"
+
+    def reap_stalled(self, job_timeout: float) -> list[tuple[Ticket, str]]:
+        """Requeue-or-fail every running ticket past its deadline.
+
+        The watchdog's sweep: any ticket running longer than
+        ``job_timeout`` is treated as hung (or its worker as dead) and
+        pushed through :meth:`requeue` with cause ``"timeout"``.
+        Returns ``[(ticket, action), ...]`` for what was reaped.
+        """
+        now = time.time()
+        with self._lock:
+            stalled = [
+                ticket for ticket in self._tickets.values()
+                if ticket.state == "running"
+                and ticket.started is not None
+                and now - ticket.started > job_timeout
+            ]
+        reaped = []
+        for ticket in stalled:
+            action = self.requeue(
+                ticket, "timeout", attempt=ticket.attempt,
+                error=(f"attempt {ticket.attempt} exceeded "
+                       f"--job-timeout {job_timeout:g}s"),
+            )
+            if action != "stale":
+                reaped.append((ticket, action))
+        return reaped
+
+    # -- crash recovery ----------------------------------------------------
+
+    def restore(self, states: list[dict]) -> dict:
+        """Preload tickets recovered from a journal replay.
+
+        Done and failed tickets come back exactly as journaled (their
+        results and errors are served to pollers as if nothing
+        happened).  Queued tickets and orphaned ``running`` tickets —
+        the ones a dead daemon never finished — are re-enqueued with
+        ``recovered`` set, keeping their ids, fingerprints, and
+        submission keys, so both coalescing and idempotent retry keep
+        working across the restart.  The id counter resumes past the
+        highest restored id.  Returns a summary for ``/v1/recovery``.
+        """
+        restored = {"done": 0, "failed": 0, "requeued": 0,
+                    "orphaned_running": 0, "recovered_ids": []}
+        max_id = 0
+        with self._lock:
+            for state in states:
+                ticket = Ticket(
+                    id=state["id"],
+                    request=state["request"],
+                    fingerprint=state["fingerprint"],
+                    state=state.get("state", "queued"),
+                    created=state.get("created") or time.time(),
+                    started=state.get("started"),
+                    finished=state.get("finished"),
+                    coalesced=state.get("coalesced", 0),
+                    result=state.get("result"),
+                    error=state.get("error"),
+                    submission=state.get("submission"),
+                    attempt=state.get("attempt", 0),
+                    requeues=state.get("requeues", 0),
+                    recovered=state.get("recovered", False),
+                    failure=state.get("failure"),
+                )
+                try:
+                    max_id = max(max_id, int(ticket.id.rsplit("-", 1)[1]))
+                except (IndexError, ValueError):
+                    pass
+                if ticket.state in ("done", "failed"):
+                    restored[ticket.state] += 1
+                elif ticket.state in ("queued", "running"):
+                    if ticket.state == "running":
+                        restored["orphaned_running"] += 1
+                    ticket.state = "queued"
+                    ticket.started = None
+                    ticket.recovered = True
+                    restored["requeued"] += 1
+                    restored["recovered_ids"].append(ticket.id)
+                    self._inflight_by_fp[ticket.fingerprint] = ticket
+                    self._pending.append(ticket)
+                else:
+                    continue
+                self._tickets[ticket.id] = ticket
+                if ticket.submission:
+                    self._by_submission[ticket.submission] = ticket.id
+            if max_id:
+                self._ids = itertools.count(max_id + 1)
+            self._work.notify_all()
+        return restored
+
+    def snapshot_docs(self) -> list[dict]:
+        """Full journal documents for every live ticket (compaction)."""
+        with self._lock:
+            return [ticket_doc(t) for t in self._tickets.values()]
+
+    def maybe_compact(self) -> bool:
+        """Compact the journal once it outgrows its byte budget."""
+        if self.journal is None or not self.journal.should_compact():
+            return False
+        with self._lock:
+            docs = [ticket_doc(t) for t in self._tickets.values()]
+            self.journal.compact(docs)
+        return True
 
     # -- introspection -----------------------------------------------------
 
@@ -224,6 +502,12 @@ class JobQueue:
                 "states": states,
                 "coalesced": sum(
                     ticket.coalesced for ticket in self._tickets.values()
+                ),
+                "recovered": sum(
+                    1 for ticket in self._tickets.values() if ticket.recovered
+                ),
+                "requeues": sum(
+                    ticket.requeues for ticket in self._tickets.values()
                 ),
             }
 

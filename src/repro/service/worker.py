@@ -22,6 +22,18 @@ The receipt attached to every result is the provenance trail: the
 normalized request and its fingerprint, the engine code version, the
 artifact-store keys the request maps to, store hit/miss counts, and the
 run's telemetry counters.
+
+Failure handling is attempt-fenced and retried: an attempt that raises
+goes back through :meth:`JobQueue.requeue` — re-queued up to the
+daemon's ``--retries`` budget, then failed with a structured
+``failure`` document ``{"cause", "attempts", "detail"}`` that the HTTP
+layer returns in the 5xx body and the receipt.  The
+:class:`ServiceWatchdog` thread closes the remaining gap: attempts that
+*hang* past ``--job-timeout`` (or whose worker thread died without
+reporting) are reaped on the same requeue path, and dead worker
+threads are respawned so a wedged daemon heals instead of starving.
+The queue's attempt fencing guarantees a reaped execution's late
+outcome is dropped, never double-recorded.
 """
 
 from __future__ import annotations
@@ -30,10 +42,11 @@ import threading
 import time
 
 from repro import obs
+from repro.engine import faults
 from repro.engine.telemetry import Telemetry
 from repro.service.queue import JobQueue, Ticket
 
-__all__ = ["ServiceWorker", "execute_request"]
+__all__ = ["ServiceWatchdog", "ServiceWorker", "execute_request"]
 
 
 def _store_keys(request: dict) -> list[str]:
@@ -176,6 +189,7 @@ class ServiceWorker(threading.Thread):
 
     def _serve(self, ticket: Ticket) -> None:
         kind = ticket.request["kind"]
+        attempt = ticket.attempt
         queue_wait = (ticket.started or time.time()) - ticket.created
         self._count("service.requests")
         self._count(f"service.requests_{kind}")
@@ -193,6 +207,7 @@ class ServiceWorker(threading.Thread):
         telemetry = Telemetry()
         started = time.perf_counter()
         try:
+            faults.maybe_fail("worker-exec", ticket.id, attempt)
             with obs.use(recorder), recorder.span(
                 "request", cat="service",
                 job=ticket.id, kind=kind, fingerprint=ticket.fingerprint,
@@ -205,14 +220,21 @@ class ServiceWorker(threading.Thread):
                 )
         except Exception as exc:
             wall = time.perf_counter() - started
-            self._count("service.failed")
             self._observe("service.latency_s", wall)
             summary = getattr(exc, "summary", None)
-            self.queue.finish(
-                ticket,
-                error=summary() if callable(summary)
-                else f"{type(exc).__name__}: {exc}",
+            detail = (summary() if callable(summary)
+                      else f"{type(exc).__name__}: {exc}")
+            cause = ("crash" if isinstance(exc, faults.FaultInjected)
+                     else "error")
+            action = self.queue.requeue(
+                ticket, cause, attempt=attempt, error=detail
             )
+            if action == "requeued":
+                self._count("service.requeued")
+            elif action == "failed":
+                self._count("service.failed")
+            else:
+                self._count("service.stale_results")
             return
         finally:
             with self._metrics_lock:
@@ -220,9 +242,6 @@ class ServiceWorker(threading.Thread):
                     {"counters": telemetry.registry.counter_values()}
                 )
         wall = time.perf_counter() - started
-        self._count("service.completed")
-        self._observe("service.latency_s", wall)
-        self._observe(f"service.latency_s_{kind}", wall)
 
         totals = telemetry.totals()
         receipt = {
@@ -243,14 +262,25 @@ class ServiceWorker(threading.Thread):
             "queue_wait_s": queue_wait,
             "exec_s": wall,
             "coalesced": ticket.coalesced,
+            "attempt": attempt,
+            "recovered": ticket.recovered,
         }
         if self.trace_dir:
             receipt["trace"] = self._dump_trace(ticket, recorder)
-        self.queue.finish(
+        recorded = self.queue.finish(
             ticket,
             result={"output": body["output"], "detail": body["detail"],
                     "receipt": receipt},
+            attempt=attempt,
         )
+        if not recorded:
+            # The watchdog reaped this attempt while it ran; its retry
+            # owns the ticket now and this outcome must not clobber it.
+            self._count("service.stale_results")
+            return
+        self._count("service.completed")
+        self._observe("service.latency_s", wall)
+        self._observe(f"service.latency_s_{kind}", wall)
 
     @staticmethod
     def _code_version() -> str:
@@ -268,3 +298,72 @@ class ServiceWorker(threading.Thread):
         except OSError:
             return None
         return path
+
+
+class ServiceWatchdog(threading.Thread):
+    """Reap hung attempts and respawn dead workers.
+
+    Two failure modes the worker loop cannot see from the inside:
+
+    * an attempt that *hangs* — the executor never returns, so the
+      ticket sits ``running`` forever and its fingerprint blocks every
+      coalesced client.  The watchdog sweeps running tickets against
+      the ``--job-timeout`` deadline and pushes overdue ones through
+      :meth:`JobQueue.reap_stalled` (requeue up to ``--retries``, then
+      a structured-``failure`` 5xx).  The hung thread keeps running,
+      but attempt fencing makes its eventual outcome a no-op.
+    * a worker *thread* that died without reporting (a ``BaseException``
+      escaping the loop).  The watchdog respawns a replacement via
+      ``spawn_worker`` so throughput recovers; the ticket the dead
+      thread held falls to the deadline sweep above.
+
+    The watchdog exits once the queue is closed and drained.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        registry,
+        workers: list,
+        job_timeout: float | None = None,
+        poll_s: float = 0.25,
+        spawn_worker=None,
+        name: str = "repro-watchdog",
+    ) -> None:
+        super().__init__(name=name, daemon=True)
+        self.queue = queue
+        self.registry = registry
+        self.workers = workers
+        self.job_timeout = job_timeout
+        self.poll_s = poll_s
+        self.spawn_worker = spawn_worker
+        self._halt = threading.Event()
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.poll_s):
+            stats = self.queue.stats()
+            if stats["closed"] and not stats["accepted"]:
+                return
+            if self.job_timeout is not None:
+                for _ticket, action in self.queue.reap_stalled(
+                    self.job_timeout
+                ):
+                    self.registry.counter("service.reaped").inc()
+                    if action == "failed":
+                        self.registry.counter("service.failed").inc()
+                    else:
+                        self.registry.counter("service.requeued").inc()
+            if self.queue.maybe_compact():
+                self.registry.counter("service.journal_compactions").inc()
+            if self.spawn_worker is None:
+                continue
+            for index, worker in enumerate(self.workers):
+                if worker.is_alive() or stats["closed"]:
+                    continue
+                replacement = self.spawn_worker(index)
+                self.workers[index] = replacement
+                replacement.start()
+                self.registry.counter("service.workers_respawned").inc()

@@ -107,6 +107,70 @@ class TestGC:
         store.release(_key(1))
 
 
+# -- orphaned in-flight marker sweep (`repro cache gc --stale-after`) ------
+
+
+class TestSweepInflight:
+    def test_sweeps_dead_owner_keeps_live(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.claim(_key(1))           # our live claim
+        os.makedirs(store.inflight_dir, exist_ok=True)
+        with open(store._marker_path(_key(2)), "w") as out:
+            json.dump({"pid": 2**22 + 12345,  # dead owner, recent marker
+                       "created": time.time()}, out)
+        swept = store.sweep_inflight()
+        assert swept == 1
+        assert store.in_flight(_key(1))
+        assert not os.path.exists(store._marker_path(_key(2)))
+        store.release(_key(1))
+
+    def test_stale_after_overrides_age_horizon(self, tmp_path):
+        """A live-owner marker older than --stale-after is an orphan.
+
+        Regression: a daemon worker that claimed a key and then wedged
+        (thread hung, never released) leaves a marker whose pid is
+        alive forever; only the age horizon can reclaim it.
+        """
+        store = ArtifactStore(tmp_path)
+        os.makedirs(store.inflight_dir, exist_ok=True)
+        with open(store._marker_path(_key(3)), "w") as out:
+            json.dump({"pid": os.getpid(),    # alive: this process
+                       "created": time.time() - 30}, out)
+        assert store.sweep_inflight(stale_after=3600) == 0
+        assert store.sweep_inflight(stale_after=1) == 1
+        assert not os.path.exists(store._marker_path(_key(3)))
+
+    def test_unparsable_marker_is_swept(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        os.makedirs(store.inflight_dir, exist_ok=True)
+        with open(store._marker_path(_key(4)), "w") as out:
+            out.write("{torn")
+        assert store.sweep_inflight() == 1
+
+    def test_empty_inflight_dir_is_zero(self, tmp_path):
+        assert ArtifactStore(tmp_path).sweep_inflight() == 0
+
+    def test_cli_gc_stale_after(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = ArtifactStore(tmp_path)
+        os.makedirs(store.inflight_dir, exist_ok=True)
+        with open(store._marker_path(_key(5)), "w") as out:
+            json.dump({"pid": 2**22 + 23456,
+                       "created": time.time() - 10_000}, out)
+        assert main(["cache", "gc", "--stale-after", "60",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "swept 1 stale in-flight marker" in out
+        assert not os.path.exists(store._marker_path(_key(5)))
+
+    def test_cli_gc_requires_some_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 2
+        assert "--max-bytes and/or --stale-after" in capsys.readouterr().err
+
+
 # -- in-flight claims ------------------------------------------------------
 
 
