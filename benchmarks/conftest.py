@@ -75,6 +75,31 @@ def record_bench(name: str, **metrics) -> None:
     _BENCH_OBS["tables"].setdefault(name, {}).update(metrics)
 
 
+def record_runner(counters: dict | None = None,
+                  totals: dict | None = None) -> None:
+    """Merge runner-level counters/totals into ``BENCH_observability.json``.
+
+    The shared ``runner`` fixture feeds here at session finish, but
+    benches that drive their *own* execution engine — ``bench_service``
+    runs a whole daemon, never the fixture — must feed their counters
+    in explicitly.  Before this hook existed, a bench selection that
+    skipped the fixture (``pytest benchmarks/bench_service.py``) wrote
+    ``BENCH_observability.json`` with empty ``runner_counters``/
+    ``runner_totals``, and the trajectory graphs silently flatlined.
+    Numeric values accumulate across calls so multiple sources merge
+    instead of clobbering each other.
+    """
+    for name, value in (counters or {}).items():
+        entry = _BENCH_OBS["runner_counters"]
+        entry[name] = entry.get(name, 0) + value
+    for name, value in (totals or {}).items():
+        entry = _BENCH_OBS["runner_totals"]
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            entry[name] = entry.get(name, 0) + value
+        else:
+            entry[name] = value
+
+
 def _table_for_nodeid(nodeid: str) -> str | None:
     """``benchmarks/bench_table6_cache_size.py::test_x`` -> ``table6``-ish."""
     filename = nodeid.split("::")[0].rsplit("/", 1)[-1]
@@ -101,8 +126,12 @@ def pytest_sessionfinish(session, exitstatus):
     if not _BENCH_OBS["tables"]:
         return
     if _SHARED_RUNNER is not None and _SHARED_RUNNER.telemetry is not None:
-        _BENCH_OBS["runner_totals"] = _SHARED_RUNNER.telemetry.totals()
-        _BENCH_OBS["runner_counters"] = dict(_SHARED_RUNNER.telemetry.counters)
+        # Merge, don't overwrite: benches may have fed their own engine's
+        # numbers through record_runner already.
+        record_runner(
+            counters=dict(_SHARED_RUNNER.telemetry.counters),
+            totals=_SHARED_RUNNER.telemetry.totals(),
+        )
     if _SHARED_RECORDER is not None:
         from repro import obs
 

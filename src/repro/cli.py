@@ -311,6 +311,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "backpressure (default 64)")
     serve.add_argument("--trace-dir", default=None, metavar="PATH",
                        help="dump one observability JSONL per request")
+    serve.add_argument("--log-dir", default=None, metavar="PATH",
+                       help="write a leveled structured JSONL event log "
+                            "(size-rotated) under this directory")
     serve.add_argument("--journal-dir", default=None, metavar="PATH",
                        help="write-ahead job journal directory (default: "
                             "<cache-dir>/journal)")
@@ -361,6 +364,35 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("--recovered", action="store_true",
                         help="print the daemon's startup recovery summary "
                              "(journal replay, restored jobs, swept claims)")
+
+    trace = sub.add_parser(
+        "trace", help="reconstruct one request's cross-process timeline"
+    )
+    trace.add_argument("job_id", metavar="JOB_ID",
+                       help="the job whose trace to reconstruct")
+    trace.add_argument("--url", default=None,
+                       help="running daemon to query for the job's status "
+                            "(needs the daemon's --trace-dir too)")
+    trace.add_argument("--trace-dir", default=None, metavar="PATH",
+                       help="the daemon's --trace-dir holding "
+                            "<JOB_ID>.jsonl (required)")
+    trace.add_argument("--chrome-trace", default=None, metavar="OUT",
+                       help="also export the timeline as a Chrome "
+                            "chrome://tracing JSON file")
+
+    slo = sub.add_parser(
+        "slo", help="check a run document or metrics snapshot against SLOs"
+    )
+    slo_sub = slo.add_subparsers(dest="slo_command", required=True)
+    slo_check = slo_sub.add_parser(
+        "check", help="evaluate SLO objectives; exit 1 on any violation"
+    )
+    slo_check.add_argument("document", metavar="RUN_OR_METRICS_JSON",
+                           help="a repro run JSONL/JSON or a /metrics "
+                                "JSON snapshot")
+    slo_check.add_argument("--slo", default=None, metavar="FILE",
+                           help="SLO objectives file (repro-slo-v1; "
+                                "default: built-in service objectives)")
 
     optimize = sub.add_parser(
         "optimize", help="run the placement pipeline on one benchmark"
@@ -787,6 +819,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             queue_depth=args.queue_depth,
             trace_dir=args.trace_dir,
+            log_dir=args.log_dir,
             journal_dir=journal_dir,
             retries=args.retries,
             job_timeout=args.job_timeout,
@@ -903,6 +936,87 @@ def _cmd_status(args: argparse.Namespace) -> int:
         return 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.timeline import (
+        load_trace, render_timeline, write_timeline_chrome_trace,
+    )
+
+    if args.trace_dir is None:
+        print("repro trace: --trace-dir is required (the daemon's "
+              "--trace-dir holding <JOB_ID>.jsonl)", file=sys.stderr)
+        return 2
+    path = os.path.join(args.trace_dir, f"{args.job_id}.jsonl")
+    if not os.path.exists(path):
+        print(f"repro trace: no trace file at {path} (was the daemon "
+              f"started with --trace-dir? has the job finished?)",
+              file=sys.stderr)
+        return 1
+    try:
+        doc = load_trace(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"repro trace: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+
+    status = None
+    if args.url:
+        from repro.service.client import ServiceClient, ServiceError
+
+        try:
+            status = ServiceClient(args.url).status(args.job_id)
+        except (ServiceError, OSError) as exc:
+            # The trace file is self-sufficient; the daemon's view is a
+            # bonus (authoritative state + timestamps), not a requirement.
+            print(f"repro trace: daemon at {args.url} unavailable "
+                  f"({exc}); rendering from the trace file alone",
+                  file=sys.stderr)
+
+    print(render_timeline(doc, status=status))
+    if args.chrome_trace:
+        write_timeline_chrome_trace(doc, args.chrome_trace, status=status)
+        print(f"chrome trace written to {args.chrome_trace} "
+              f"(load via chrome://tracing)", file=sys.stderr)
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.slo import (
+        SloError, evaluate_slo, load_slo, render_results,
+    )
+
+    try:
+        slo = load_slo(args.slo) if args.slo else None
+    except (OSError, json.JSONDecodeError, SloError) as exc:
+        print(f"repro slo check: bad --slo file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.document, encoding="utf-8") as handle:
+            text = handle.read()
+        try:
+            # A /metrics snapshot (one JSON object, possibly pretty-
+            # printed) parses whole...
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            # ...a JSONL run dump does not: meta line, records, metrics.
+            from repro.obs.recorder import Recorder
+
+            document = Recorder.load_jsonl(args.document)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"repro slo check: cannot read {args.document}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        results = evaluate_slo(document, slo=slo)
+    except SloError as exc:
+        print(f"repro slo check: {exc}", file=sys.stderr)
+        return 2
+    print(render_results(results))
+    return 1 if any(r["status"] == "fail" for r in results) else 0
+
+
 def _cmd_optimize(
     workload_name: str, scale: str, cache: int, block: int, layout: str
 ) -> int:
@@ -999,6 +1113,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_submit(args)
         if args.command == "status":
             return _cmd_status(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "slo":
+            return _cmd_slo(args)
         if args.command == "optimize":
             return _cmd_optimize(
                 args.workload, args.scale, args.cache, args.block, args.layout

@@ -194,6 +194,7 @@ def execute_job(
     attempt: int = 0,
     observe: bool = False,
     attribute: bool = False,
+    trace: str | None = None,
 ) -> JobOutcome:
     """Run one job; the sequential scheduler and pool workers both use this.
 
@@ -212,6 +213,13 @@ def execute_job(
     installs a fresh :class:`repro.diagnose.Collector` and ships its
     serialized entries; in-process callers record straight into the
     collector the caller installed.
+
+    ``trace`` carries the service request's trace id across the fork:
+    the fresh recorder a pool child creates stamps every span/event
+    with it, so once the records ship back and land in the trace-dir
+    dump they still join to the request that caused them.  It never
+    touches seeding or outputs — traced and untraced runs are
+    byte-identical.
     """
     from repro.experiments.runner import ExperimentRunner
 
@@ -231,7 +239,7 @@ def execute_job(
         # one was inherited across a fork — its in-memory records can
         # never travel back to the parent, so collect into a fresh
         # recorder and ship the records through the outcome instead.
-        own_recorder = obs.Recorder()
+        own_recorder = obs.Recorder(trace=trace)
         obs.install(own_recorder)
         recorder = own_recorder
 

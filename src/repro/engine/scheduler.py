@@ -379,6 +379,9 @@ def _run_parallel(
                     execute_job, spec, cache_dir, True, None,
                     attempts.get(spec.job_id, 0), obs.current().enabled,
                     diagnose.current().enabled,
+                    # The request's trace id travels across the fork so
+                    # the child's shipped spans join this trace.
+                    getattr(obs.current(), "trace_id", None),
                 )
                 in_flight[spec.job_id] = future
                 if job_timeout is not None:

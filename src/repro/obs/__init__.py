@@ -30,12 +30,15 @@ from repro.obs.recorder import (
     install,
     use,
 )
+from repro.obs.trace import TraceContext, mint_trace_id
 
 __all__ = [
     "NULL",
     "NullRecorder",
     "Recorder",
+    "TraceContext",
     "current",
     "install",
+    "mint_trace_id",
     "use",
 ]

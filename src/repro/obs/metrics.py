@@ -1,15 +1,26 @@
 """Counters, gauges, and histograms for the observability layer.
 
 The registry is deliberately small: metrics are named, created on first
-use, and snapshot to plain JSON-able dicts.  Histograms keep exact
-count/sum/min/max plus a bounded, deterministically-decimated sample of
-raw observations for percentile estimates — no live randomness, so two
-identical runs produce identical snapshots.
+use, and snapshot to plain JSON-able dicts.  Histograms are *log-linear
+bucketed*: each positive observation lands in one of 16 linear
+sub-buckets per power of two, so memory stays bounded (one int per
+non-empty bucket), percentiles come straight from the bucket counts
+with a worst-case relative error of 1/32, and — the property the
+experiment service is built on — two histograms **merge exactly**:
+merging worker snapshots bucket-by-bucket gives byte-identical counts
+to observing the same stream in one process.  No live randomness, no
+reservoir: two identical runs produce identical snapshots.
 """
 
 from __future__ import annotations
 
+import math
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Linear subdivisions per power of two.  16 sub-buckets bound the
+#: relative quantile error at 1/(2*16) ≈ 3%.
+SUBBUCKETS = 16
 
 
 class Counter:
@@ -39,26 +50,46 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution: exact count/sum/min/max + a decimated sample.
+    """A log-linear bucketed distribution with exact merge.
 
-    Once the sample reaches ``sample_cap`` observations it is thinned to
-    every other element and the keep-stride doubles, so memory stays
-    bounded while the sample remains spread across the whole stream.
+    Exact count/sum/min/max, plus a sparse ``{bucket_index: count}``
+    map for positive observations (non-positive ones count in
+    ``zeros``).  Bucket ``i`` covers ``[2^e * (1 + s/16),
+    2^e * (1 + (s+1)/16))`` where ``e, s = divmod(i, 16)`` — the same
+    deterministic boundaries in every process, which is what makes
+    :meth:`merge_summary` exact across workers and restarts.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max",
-                 "sample_cap", "_stride", "_seen", "samples")
+    __slots__ = ("name", "count", "total", "min", "max", "zeros", "buckets")
 
-    def __init__(self, name: str, sample_cap: int = 512) -> None:
+    def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
-        self.sample_cap = sample_cap
-        self._stride = 1
-        self._seen = 0
-        self.samples: list[float] = []
+        self.zeros = 0                      # observations <= 0
+        self.buckets: dict[int, int] = {}   # bucket index -> count
+
+    # -- bucket geometry ---------------------------------------------------
+
+    @staticmethod
+    def bucket_index(value: float) -> int:
+        """The bucket a positive value falls in."""
+        mantissa, exponent = math.frexp(value)   # value = m * 2^e, m in [.5,1)
+        mantissa, exponent = mantissa * 2.0, exponent - 1
+        sub = min(SUBBUCKETS - 1, int((mantissa - 1.0) * SUBBUCKETS))
+        return exponent * SUBBUCKETS + sub
+
+    @staticmethod
+    def bucket_bounds(index: int) -> tuple[float, float]:
+        """``[low, high)`` boundaries of one bucket."""
+        exponent, sub = divmod(index, SUBBUCKETS)
+        base = math.ldexp(1.0, exponent)
+        width = base / SUBBUCKETS
+        return base + sub * width, base + (sub + 1) * width
+
+    # -- observation -------------------------------------------------------
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -68,23 +99,45 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
-        if self._seen % self._stride == 0:
-            self.samples.append(value)
-            if len(self.samples) >= self.sample_cap:
-                self.samples = self.samples[::2]
-                self._stride *= 2
-        self._seen += 1
+        if value > 0.0:
+            index = self.bucket_index(value)
+            self.buckets[index] = self.buckets.get(index, 0) + 1
+        else:
+            self.zeros += 1
 
     def percentile(self, q: float) -> float | None:
-        """Estimate the q-th percentile (0..100) from the sample."""
-        if not self.samples:
+        """The q-th percentile (0..100) read off the buckets.
+
+        Each bucket answers with its midpoint, clamped into the
+        observed [min, max] so single-observation and extreme quantiles
+        stay inside the data.
+        """
+        if self.count == 0:
             return None
-        ordered = sorted(self.samples)
-        index = min(len(ordered) - 1, int(round(q / 100 * (len(ordered) - 1))))
-        return ordered[index]
+        bucketed = self.zeros + sum(self.buckets.values())
+        if bucketed == 0:
+            return self.total / self.count
+        target = q / 100.0 * (bucketed - 1)
+        if target < self.zeros:
+            # Non-positive observations: min when it is one of them.
+            if self.min is not None and self.min <= 0.0:
+                return self.min
+            return 0.0
+        seen = self.zeros
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if target < seen:
+                low, high = self.bucket_bounds(index)
+                mid = (low + high) / 2.0
+                if self.min is not None:
+                    mid = max(mid, self.min)
+                if self.max is not None:
+                    mid = min(mid, self.max)
+                return mid
+        return self.max
 
     def summary(self) -> dict:
-        """JSON-able snapshot: exact moments + sampled percentiles."""
+        """JSON-able snapshot: exact moments + buckets + percentiles."""
         return {
             "count": self.count,
             "sum": self.total,
@@ -94,13 +147,26 @@ class Histogram:
             "p50": self.percentile(50),
             "p90": self.percentile(90),
             "p99": self.percentile(99),
+            "zeros": self.zeros,
+            "buckets": {
+                str(index): self.buckets[index]
+                for index in sorted(self.buckets)
+            },
         }
 
     def merge_summary(self, summary: dict) -> None:
         """Fold another histogram's snapshot into this one.
 
-        Exact moments (count/sum/min/max) merge exactly; the foreign
-        percentile markers join the sample as approximate observations.
+        Exact moments (count/sum/min/max) merge exactly.  A bucketed
+        snapshot (this format) merges its buckets exactly too — the
+        merged histogram is indistinguishable from single-process
+        observation.  A *legacy* snapshot (the pre-bucket reservoir
+        format: percentile markers, no ``buckets``) stays mergeable:
+        its count is apportioned deterministically across its p50/p90/
+        p99 markers (50/40/10) so old run files and old worker
+        snapshots keep folding in with exact counts and approximate
+        shape — exactly as good as the reservoir merge they were
+        written under.
         """
         count = int(summary.get("count") or 0)
         if count == 0:
@@ -115,9 +181,37 @@ class Histogram:
                     self, bound,
                     float(value) if own is None else better(own, float(value)),
                 )
-        for marker in ("p50", "p90", "p99"):
-            if summary.get(marker) is not None:
-                self.samples.append(float(summary[marker]))
+        buckets = summary.get("buckets")
+        if buckets is not None:
+            for key, n in buckets.items():
+                index = int(key)
+                self.buckets[index] = self.buckets.get(index, 0) + int(n)
+            self.zeros += int(summary.get("zeros") or 0)
+            return
+        # Legacy snapshot: spread the count over its percentile markers.
+        shares = [count * 5 // 10, count * 4 // 10]
+        shares.append(count - sum(shares))
+        placed = 0
+        for n, marker in zip(shares, ("p50", "p90", "p99")):
+            value = summary.get(marker)
+            if n <= 0 or value is None:
+                continue
+            self._add_weight(float(value), n)
+            placed += n
+        if placed < count:
+            # Markers missing (or partially): park the rest at the mean.
+            fallback = summary.get("mean")
+            if fallback is None:
+                fallback = float(summary.get("sum") or 0.0) / count
+            self._add_weight(float(fallback), count - placed)
+
+    def _add_weight(self, value: float, n: int) -> None:
+        """Register ``n`` synthetic observations without touching moments."""
+        if value > 0.0:
+            index = self.bucket_index(value)
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        else:
+            self.zeros += n
 
 
 class MetricsRegistry:
@@ -166,9 +260,11 @@ class MetricsRegistry:
     def merge(self, snapshot: dict) -> None:
         """Fold another registry's :meth:`to_dict` snapshot into this one.
 
-        Counters add, gauges last-write-win, histogram moments merge
-        exactly (percentiles approximately).  This is how worker-process
-        metrics are folded into the run-level registry.
+        Counters add, gauges last-write-win, histograms merge their
+        buckets exactly (legacy reservoir snapshots approximately).
+        This is how worker-process metrics are folded into the
+        run-level registry and how the daemon's registry aggregates
+        across worker threads and restarts.
         """
         for name, value in (snapshot.get("counters") or {}).items():
             self.counter(name).inc(int(value))

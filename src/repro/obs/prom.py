@@ -1,0 +1,251 @@
+"""Prometheus text exposition rendering for metrics snapshots.
+
+:func:`render_prometheus` turns a :meth:`MetricsRegistry.to_dict`
+snapshot into the Prometheus text exposition format (version 0.0.4):
+``# HELP``/``# TYPE`` headers, counter/gauge sample lines, and full
+``_bucket``/``_sum``/``_count`` histogram families whose cumulative
+``le`` bounds come straight from the log-linear bucket boundaries.
+
+Per-dimension metric names the service emits by convention
+(``service.latency_s_table``, ``service.requests_tune``,
+``service.http_latency_s_submit``) are folded into one labelled family
+(``repro_service_latency_s{kind="table"}``) so a scraper can aggregate
+across kinds/endpoints without regex gymnastics.
+
+:func:`validate_exposition` is a structural checker used by tests and
+the CI obs-service job: it confirms every line parses, every sample is
+preceded by its ``# TYPE``, and every histogram family is cumulative
+and capped by a ``+Inf`` bucket equal to ``_count``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import Histogram
+
+__all__ = ["render_prometheus", "validate_exposition"]
+
+#: Content type of the rendered exposition.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: name prefixes that encode a label dimension: prefix -> (family, label)
+_LABELLED = (
+    ("service.http_latency_s_", "service.http_latency_s", "endpoint"),
+    ("service.latency_s_", "service.latency_s", "kind"),
+    ("service.requests_", "service.requests", "kind"),
+)
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _family(name: str) -> tuple[str, dict]:
+    """Split a registry metric name into (family, labels)."""
+    for prefix, family, label in _LABELLED:
+        if name.startswith(prefix) and len(name) > len(prefix):
+            return family, {label: name[len(prefix):]}
+    return name, {}
+
+
+def _prom_name(family: str) -> str:
+    name = re.sub(r"[^a-zA-Z0-9_:]", "_", family)
+    if not name.startswith("repro_"):
+        name = "repro_" + name
+    return name
+
+
+def _labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        value = value.replace("\\", r"\\").replace('"', r"\"")
+        value = value.replace("\n", r"\n")
+        parts.append(f'{key}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _number(value) -> str:
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _grouped(metrics: dict) -> dict:
+    """``{family: [(labels, value_or_summary), ...]}`` in sorted order."""
+    groups: dict[str, list] = {}
+    for name in sorted(metrics):
+        family, labels = _family(name)
+        groups.setdefault(family, []).append((labels, metrics[name]))
+    return groups
+
+
+def _histogram_lines(name: str, labels: dict, summary: dict) -> list[str]:
+    """``_bucket``/``_sum``/``_count`` lines for one labelled series."""
+    lines = []
+    count = int(summary.get("count") or 0)
+    cumulative = int(summary.get("zeros") or 0)
+    buckets = summary.get("buckets")
+    if buckets:
+        for index in sorted(int(k) for k in buckets):
+            cumulative += int(buckets[str(index)])
+            upper = Histogram.bucket_bounds(index)[1]
+            lines.append(
+                f"{name}_bucket{_labels({**labels, 'le': _number(upper)})}"
+                f" {cumulative}"
+            )
+    lines.append(
+        f"{name}_bucket{_labels({**labels, 'le': '+Inf'})} {count}"
+    )
+    lines.append(f"{name}_sum{_labels(labels)} {_number(summary.get('sum'))}")
+    lines.append(f"{name}_count{_labels(labels)} {count}")
+    return lines
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot as Prometheus text exposition."""
+    lines: list[str] = []
+    for section, prom_type in (
+        ("counters", "counter"), ("gauges", "gauge"),
+    ):
+        for family, series in _grouped(snapshot.get(section) or {}).items():
+            name = _prom_name(family)
+            lines.append(f"# HELP {name} repro {section[:-1]} {family}")
+            lines.append(f"# TYPE {name} {prom_type}")
+            for labels, value in series:
+                lines.append(f"{name}{_labels(labels)} {_number(value)}")
+    for family, series in _grouped(snapshot.get("histograms") or {}).items():
+        name = _prom_name(family)
+        lines.append(f"# HELP {name} repro histogram {family}")
+        lines.append(f"# TYPE {name} histogram")
+        for labels, summary in series:
+            lines.extend(_histogram_lines(name, labels, summary))
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[^ ]+)"
+    r"( [0-9]+)?$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def _parse_value(text: str) -> float | None:
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Structural problems with a text exposition; empty means valid."""
+    problems: list[str] = []
+    typed: dict[str, str] = {}
+    # histogram family -> {"inf": value, "count": value}
+    histograms: dict[str, dict] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {lineno}: malformed comment")
+                continue
+            if parts[1] == "TYPE":
+                name = parts[2]
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in _TYPES:
+                    problems.append(
+                        f"line {lineno}: unknown type {kind!r} for {name}"
+                    )
+                if name in typed:
+                    problems.append(f"line {lineno}: duplicate TYPE {name}")
+                typed[name] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name, labels = match.group("name"), match.group("labels")
+        value = _parse_value(match.group("value"))
+        if value is None:
+            problems.append(f"line {lineno}: bad value {match.group('value')!r}")
+        if labels:
+            for pair in _split_labels(labels[1:-1]):
+                if pair and not _LABEL_RE.match(pair):
+                    problems.append(f"line {lineno}: bad label {pair!r}")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+                break
+        if family not in typed:
+            problems.append(f"line {lineno}: sample {name} before its TYPE")
+            continue
+        if typed.get(family) == "histogram" and value is not None:
+            state = histograms.setdefault(family, {})
+            if name == family + "_bucket" and labels and 'le="+Inf"' in labels:
+                key = "inf:" + _series_key(labels)
+                state[key] = value
+            elif name == family + "_count":
+                key = "count:" + _series_key(labels or "{}")
+                state[key] = value
+    for family, state in histograms.items():
+        infs = {k[4:]: v for k, v in state.items() if k.startswith("inf:")}
+        counts = {k[6:]: v for k, v in state.items() if k.startswith("count:")}
+        for series, count in counts.items():
+            if series not in infs:
+                problems.append(f"{family}: series missing +Inf bucket")
+            elif infs[series] != count:
+                problems.append(
+                    f"{family}: +Inf bucket {infs[series]} != _count {count}"
+                )
+    return problems
+
+
+def _split_labels(body: str) -> list[str]:
+    """Split a label body on commas outside quoted values."""
+    parts, current, quoted, escaped = [], [], False, False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+        elif char == "\\":
+            current.append(char)
+            escaped = True
+        elif char == '"':
+            current.append(char)
+            quoted = not quoted
+        elif char == "," and not quoted:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _series_key(labels: str) -> str:
+    """A label set minus ``le``, identifying one histogram series."""
+    pairs = [
+        p for p in _split_labels(labels.strip("{}"))
+        if p and not p.startswith("le=")
+    ]
+    return ",".join(sorted(pairs))

@@ -82,16 +82,28 @@ class NullRecorder:
 
 
 class Recorder:
-    """Collects spans, point events, and metrics for one run."""
+    """Collects spans, point events, and metrics for one run.
+
+    ``trace`` (a trace id string) stamps every span and event with a
+    ``"trace"`` key, linking this recorder's records to one end-to-end
+    service request even after they are shipped across process
+    boundaries.  When ``trace`` is None (local runs), no extra key is
+    written anywhere — record schemas stay identical to untraced runs.
+    """
 
     enabled = True
 
-    def __init__(self, meta: dict | None = None) -> None:
+    def __init__(
+        self, meta: dict | None = None, trace: str | None = None,
+    ) -> None:
         self.meta: dict = dict(meta or {})
         self.records: list[dict] = []
         self.metrics = MetricsRegistry()
-        self.tracer = Tracer(self.records)
+        self.trace_id = trace
+        self.tracer = Tracer(self.records, trace_id=trace)
         self._pid = os.getpid()
+        if trace is not None:
+            self.meta.setdefault("trace", trace)
 
     # -- recording ---------------------------------------------------------
 
@@ -101,14 +113,17 @@ class Recorder:
 
     def event(self, name: str, **fields) -> None:
         """Record a point event, stamped with the open spans' attributes."""
-        self.records.append({
+        record = {
             "type": "event",
             "name": name,
             "ts": time.time(),
             "pid": self._pid,
             "ctx": dict(self.tracer.current_attrs()),
             "fields": fields,
-        })
+        }
+        if self.trace_id is not None:
+            record["trace"] = self.trace_id
+        self.records.append(record)
 
     def count(self, name: str, amount: int = 1) -> None:
         self.metrics.counter(name).inc(amount)

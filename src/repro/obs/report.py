@@ -191,12 +191,22 @@ class RunReport:
         for flat_key, payload in sorted(
             self.meta.get("attribution", {}).items()
         ):
-            workload, layout, organization, cache_bytes, block_bytes = (
-                flat_key.split("|")
-            )
+            parts = flat_key.split("|")
+            if len(parts) == 5:
+                workload, layout, organization, cache_bytes, block_bytes = parts
+            elif len(parts) == 4:
+                # Runs recorded before the organization field joined the
+                # key — render them rather than crash on the unpack.
+                workload, layout, cache_bytes, block_bytes = parts
+                organization = "?"
+            else:
+                continue        # unrecognizable key; skip, don't crash
+            try:
+                cache_int, block_int = int(cache_bytes), int(block_bytes)
+            except ValueError:
+                cache_int = block_int = 0
             rows.append((
-                (workload, layout, organization,
-                 int(cache_bytes), int(block_bytes)),
+                (workload, layout, organization, cache_int, block_int),
                 Attribution.from_dict(payload),
             ))
         return rows
@@ -441,11 +451,32 @@ def compare(
     if only_b:
         lines.append(f"  {len(only_b)} configuration(s) only in run B")
 
+    # Totals and counters grow new keys over time (store hits, service
+    # counts...).  A run recorded before a key existed simply lacks it:
+    # treat the absence as 0 and say so, instead of refusing to compare
+    # old runs against new ones.
     totals_a, totals_b = a.totals(), b.totals()
-    for key in ("interp_instructions", "jobs", "wall_s_sum"):
-        if key in totals_a or key in totals_b:
+    counters_a, counters_b = a.counters(), b.counters()
+    for label, doc_a, doc_b in (
+        ("totals", totals_a, totals_b),
+        ("counters", counters_a, counters_b),
+    ):
+        for key in sorted(set(doc_a) | set(doc_b)):
+            value_a, value_b = doc_a.get(key), doc_b.get(key)
+            if not isinstance(value_a, (int, float)) and value_a is not None:
+                continue
+            if not isinstance(value_b, (int, float)) and value_b is not None:
+                continue
+            if value_a is None or value_b is None:
+                missing_from = "A" if value_a is None else "B"
+                lines.append(
+                    f"  warning: run {missing_from} has no {label[:-1]} "
+                    f"{key!r} (older format?); treating it as 0"
+                )
+            if label == "counters" and value_a == value_b:
+                continue        # only counter *changes* are interesting
             lines.append(
-                f"  {key}: {totals_a.get(key, 0)} -> {totals_b.get(key, 0)}"
+                f"  {key}: {value_a or 0} -> {value_b or 0}"
             )
 
     if regressions:

@@ -1,0 +1,228 @@
+"""Cross-process timeline reconstruction for one traced request.
+
+The service dumps each request's obs records to
+``<trace-dir>/<JOB_ID>.jsonl``; every span and event in that file — the
+worker's ``request`` span, the engine ``job`` spans shipped back from
+forked pool children, store hit/miss events — carries the request's
+trace id, and the meta line carries the queue timing the worker
+observed (``created``, ``started``, ``queue_wait_s``, ``attempt``).
+
+:func:`build_timeline` stitches those into a single ordered timeline:
+daemon accept → queue wait → worker attempt → engine jobs, with
+offsets relative to the accept instant.  ``repro trace JOB_ID`` renders
+it via :func:`render_timeline`; :func:`timeline_records` prepends
+synthetic accept/queue-wait spans so the existing Chrome-trace writer
+exports the same picture for Perfetto.
+"""
+
+from __future__ import annotations
+
+from repro.obs.recorder import Recorder
+from repro.obs.trace import write_chrome_trace
+
+__all__ = [
+    "build_timeline",
+    "load_trace",
+    "render_timeline",
+    "timeline_records",
+    "write_timeline_chrome_trace",
+]
+
+
+def load_trace(path: str) -> dict:
+    """Read one request's trace-dir JSONL dump."""
+    return Recorder.load_jsonl(path)
+
+
+def _context(doc: dict, status: dict | None) -> dict:
+    """Merge meta and an optional /v1/jobs status doc, meta winning."""
+    merged = dict(status or {})
+    merged.update({
+        k: v for k, v in (doc.get("meta") or {}).items() if v is not None
+    })
+    return merged
+
+
+def _trace_records(doc: dict, trace: str | None) -> list[dict]:
+    """Records belonging to this trace, oldest first."""
+    records = doc.get("records") or []
+    if trace:
+        # Belt and braces: the per-request file is single-request, but a
+        # concatenated or hand-merged file may not be.
+        stamped = [r for r in records if r.get("trace") == trace]
+        if stamped:
+            records = stamped
+    return sorted(records, key=lambda r: r.get("ts", 0.0))
+
+
+def timeline_records(doc: dict, status: dict | None = None) -> list[dict]:
+    """The trace's records plus synthetic accept/queue-wait spans."""
+    context = _context(doc, status)
+    trace = context.get("trace")
+    records = _trace_records(doc, trace)
+    created = context.get("created")
+    started = context.get("started")
+    if started is None and records:
+        started = records[0]["ts"]
+    synthetic: list[dict] = []
+    if created is not None:
+        accept = {
+            "type": "event",
+            "name": "accept",
+            "ts": created,
+            "pid": 0,
+            "ctx": {},
+            "fields": {"job": context.get("job"), "daemon": True},
+        }
+        if trace:
+            accept["trace"] = trace
+        synthetic.append(accept)
+        if started is not None and started >= created:
+            wait = {
+                "type": "span",
+                "name": "queue_wait",
+                "cat": "service",
+                "ts": created,
+                "dur": started - created,
+                "span_id": 0,
+                "parent": None,
+                "pid": 0,
+                "attrs": {"job": context.get("job")},
+            }
+            if trace:
+                wait["trace"] = trace
+            synthetic.append(wait)
+    return synthetic + records
+
+
+def build_timeline(doc: dict, status: dict | None = None) -> dict:
+    """A structured, ordered timeline for one traced request.
+
+    Returns ``{"trace", "job", "kind", "attempt", "rows", "store",
+    "events"}`` where each row is ``{"offset_s", "dur_s", "name",
+    "cat", "depth", "pid", "detail"}`` ordered by start time.
+    """
+    context = _context(doc, status)
+    trace = context.get("trace")
+    records = timeline_records(doc, status)
+    spans = [r for r in records if r.get("type") == "span"]
+    events = [r for r in records if r.get("type") == "event"]
+    origin = min((r["ts"] for r in records if "ts" in r), default=0.0)
+
+    # Depth from parent links, resolved per pid (span ids restart in
+    # each forked child).
+    by_id: dict[tuple, dict] = {
+        (s.get("pid"), s.get("span_id")): s for s in spans
+    }
+    def depth(span: dict) -> int:
+        level, seen = 0, set()
+        current = span
+        while current.get("parent") is not None:
+            key = (current.get("pid"), current.get("parent"))
+            if key in seen or key not in by_id:
+                break
+            seen.add(key)
+            current = by_id[key]
+            level += 1
+        return level
+
+    rows = []
+    for record in records:
+        if record.get("type") == "span":
+            attrs = record.get("attrs") or {}
+            detail = " ".join(
+                f"{k}={attrs[k]}" for k in sorted(attrs)
+                if attrs[k] is not None
+            )
+            rows.append({
+                "offset_s": record["ts"] - origin,
+                "dur_s": record.get("dur", 0.0),
+                "name": record["name"],
+                "cat": record.get("cat", "phase"),
+                "depth": depth(record),
+                "pid": record.get("pid", 0),
+                "detail": detail,
+            })
+        elif record.get("name") == "accept":
+            rows.append({
+                "offset_s": record["ts"] - origin,
+                "dur_s": None,
+                "name": "accept",
+                "cat": "service",
+                "depth": 0,
+                "pid": record.get("pid", 0),
+                "detail": "daemon accepted request",
+            })
+    rows.sort(key=lambda row: (row["offset_s"], row["depth"]))
+
+    event_counts: dict[str, int] = {}
+    store = {"hits": 0, "misses": 0}
+    for event in events:
+        name = event.get("name", "?")
+        if name == "accept" and event.get("fields", {}).get("daemon"):
+            continue
+        event_counts[name] = event_counts.get(name, 0) + 1
+    meta_store = context.get("store")
+    if isinstance(meta_store, dict):
+        store["hits"] = meta_store.get("hits", 0)
+        store["misses"] = meta_store.get("misses", 0)
+
+    return {
+        "trace": trace,
+        "job": context.get("job") or context.get("id"),
+        "kind": (
+            (context.get("request") or {}).get("kind")
+            or context.get("kind")
+        ),
+        "attempt": context.get("attempt"),
+        "rows": rows,
+        "store": store,
+        "events": event_counts,
+    }
+
+
+def render_timeline(doc: dict, status: dict | None = None) -> str:
+    """Human-readable timeline for ``repro trace``."""
+    timeline = build_timeline(doc, status)
+    lines = []
+    header = f"trace {timeline['trace'] or '<none>'}"
+    if timeline["job"]:
+        header += f"  job {timeline['job']}"
+    if timeline["kind"]:
+        header += f"  kind={timeline['kind']}"
+    if timeline["attempt"] is not None:
+        header += f"  attempt={timeline['attempt']}"
+    lines.append(header)
+    if not timeline["rows"]:
+        lines.append("  (no records)")
+        return "\n".join(lines)
+    for row in timeline["rows"]:
+        dur = "        -" if row["dur_s"] is None else f"{row['dur_s']:8.4f}s"
+        indent = "  " * row["depth"]
+        line = (
+            f"  +{row['offset_s']:9.4f}s {dur}  "
+            f"{indent}{row['name']} [{row['cat']}]"
+        )
+        if row["detail"]:
+            line += f"  {row['detail']}"
+        if row["pid"]:
+            line += f"  pid={row['pid']}"
+        lines.append(line)
+    store = timeline["store"]
+    lines.append(
+        f"  store: {store['hits']} hits, {store['misses']} misses"
+    )
+    if timeline["events"]:
+        shown = ", ".join(
+            f"{name}×{count}"
+            for name, count in sorted(timeline["events"].items())
+        )
+        lines.append(f"  events: {shown}")
+    return "\n".join(lines)
+
+
+def write_timeline_chrome_trace(
+    doc: dict, path: str, status: dict | None = None,
+) -> None:
+    """Export the reconstructed timeline in Chrome trace-event format."""
+    write_chrome_trace(timeline_records(doc, status), path)

@@ -18,19 +18,78 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import time
+import uuid
 from contextlib import contextmanager
+from dataclasses import dataclass
 
-__all__ = ["Tracer", "chrome_trace_events", "write_chrome_trace"]
+__all__ = [
+    "TraceContext",
+    "Tracer",
+    "chrome_trace_events",
+    "mint_trace_id",
+    "write_chrome_trace",
+]
+
+#: Wire format of a trace id: 8-64 lowercase hex chars (uuid4().hex fits).
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+
+def mint_trace_id() -> str:
+    """A fresh 32-hex-char trace id."""
+    return uuid.uuid4().hex
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity across process boundaries.
+
+    ``trace_id`` names the end-to-end request; ``parent_span`` (when
+    set) is the span id on the *caller's* side that enclosed the hand-
+    off, so a child process's root span can point back at it.  The
+    header form is ``<trace_id>`` or ``<trace_id>-<parent_span>``,
+    carried in ``X-Repro-Trace``.
+    """
+
+    trace_id: str
+    parent_span: int | None = None
+
+    def to_header(self) -> str:
+        if self.parent_span is None:
+            return self.trace_id
+        return f"{self.trace_id}-{self.parent_span}"
+
+    @classmethod
+    def from_header(cls, value: str) -> "TraceContext":
+        """Parse an ``X-Repro-Trace`` header; raises ValueError if bad."""
+        value = value.strip().lower()
+        trace_id, dash, parent = value.partition("-")
+        if not _TRACE_ID_RE.match(trace_id):
+            raise ValueError(
+                "trace id must be 8-64 lowercase hex characters"
+            )
+        if not dash:
+            return cls(trace_id)
+        if not parent.isdigit():
+            raise ValueError("parent span id must be a decimal integer")
+        return cls(trace_id, int(parent))
 
 
 class Tracer:
-    """The active span stack; closed spans append dicts to ``sink``."""
+    """The active span stack; closed spans append dicts to ``sink``.
 
-    def __init__(self, sink: list) -> None:
+    When ``trace_id`` is set, every closed span carries a ``"trace"``
+    key; when it is None (the default for local runs) no extra key is
+    written, keeping record schemas — and their serialised bytes —
+    identical to untraced runs.
+    """
+
+    def __init__(self, sink: list, trace_id: str | None = None) -> None:
         self._sink = sink
         self._next_id = 1
         self._pid = os.getpid()
+        self.trace_id = trace_id
         # Parallel stacks: open span ids, and the *merged* attributes at
         # each depth (so current_attrs() is a dict lookup, not a walk).
         self._stack: list[int] = []
@@ -58,7 +117,7 @@ class Tracer:
             duration = time.perf_counter() - t0
             self._stack.pop()
             self._attrs.pop()
-            self._sink.append({
+            record = {
                 "type": "span",
                 "name": name,
                 "cat": cat,
@@ -68,7 +127,10 @@ class Tracer:
                 "parent": parent,
                 "pid": self._pid,
                 "attrs": dict(attrs),
-            })
+            }
+            if self.trace_id is not None:
+                record["trace"] = self.trace_id
+            self._sink.append(record)
 
 
 def chrome_trace_events(records: list[dict]) -> list[dict]:

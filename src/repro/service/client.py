@@ -170,6 +170,7 @@ class ServiceClient:
         request: dict,
         retries: int | None = None,
         submission: str | None = None,
+        trace: str | None = None,
     ) -> dict:
         """POST one request; returns the 202 acceptance document.
 
@@ -180,11 +181,19 @@ class ServiceClient:
         either the first attempt's ticket is re-matched
         (``idempotent: true`` in the acceptance) or a fresh one is
         created, never both.
+
+        ``trace`` rides the ``X-Repro-Trace`` header so the client's
+        trace id stamps the whole server-side execution; without one
+        the daemon mints an id, returned in the acceptance's
+        ``trace`` field either way.
         """
         key = submission or uuid.uuid4().hex
+        headers = {"X-Repro-Submission": key}
+        if trace is not None:
+            headers["X-Repro-Trace"] = trace
         status, document = self._call_with_retries(
             "/v1/jobs", body=request,
-            headers={"X-Repro-Submission": key},
+            headers=headers,
             retries=retries,
         )
         if status == 202:
@@ -247,10 +256,13 @@ class ServiceClient:
             time.sleep(min(sleep_s, max(0.0, deadline - time.monotonic())))
             interval = min(poll_cap_s, interval * 1.6)
 
-    def run(self, request: dict, timeout: float = 300.0) -> dict:
+    def run(
+        self, request: dict, timeout: float = 300.0,
+        trace: str | None = None,
+    ) -> dict:
         """Submit and wait — the one-call path ``repro submit --wait``
         uses."""
-        accepted = self.submit(request)
+        accepted = self.submit(request, trace=trace)
         return self.wait(accepted["id"], timeout=timeout)
 
     def healthz(self) -> dict:

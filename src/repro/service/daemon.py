@@ -39,7 +39,20 @@ Endpoints
     restored with results, tickets re-enqueued, corrupt records
     skipped, stale store claims swept (``repro status --recovered``).
 ``GET /metrics``
-    The service metrics registry (:mod:`repro.obs.metrics` snapshot).
+    The service metrics registry, content-negotiated: Prometheus text
+    exposition format by default (what a scraper wants), the JSON
+    snapshot when the client sends ``Accept: application/json`` (what
+    the Python client sends).  Queue-depth and in-flight gauges are
+    refreshed at scrape time; per-endpoint and per-job-kind latency
+    histograms and journal fsync timings ride along.
+
+Tracing: ``POST /v1/jobs`` accepts an ``X-Repro-Trace`` header (a
+trace id, optionally ``-<parent span id>``); without one the daemon
+mints a trace id.  The id is journaled with the accept, carried on the
+ticket through every attempt and engine job, returned in the 202, the
+status document, and the receipt, and stamps every span/event in the
+request's trace-dir dump — ``repro trace JOB_ID --url ...``
+reconstructs the whole timeline from it.
 
 Crash safety: with a journal configured, every accepted request is
 durable before its 202 is written, every state transition is journaled,
@@ -71,12 +84,16 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.engine import faults
+from repro.obs.logs import NULL_LOG, EventLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import PROM_CONTENT_TYPE, render_prometheus
+from repro.obs.trace import mint_trace_id
 from repro.service.journal import JobJournal
 from repro.service.queue import JobQueue, QueueClosed, QueueFull
 from repro.service.schemas import (
     RequestError,
     normalize_request,
+    normalize_trace,
     request_fingerprint,
 )
 from repro.service.worker import ServiceWatchdog, ServiceWorker
@@ -107,6 +124,7 @@ class ExperimentService:
         retries: int = 1,
         job_timeout: float | None = None,
         watchdog_poll_s: float = 0.25,
+        log_dir: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -114,7 +132,11 @@ class ExperimentService:
         self.jobs = jobs
         self.trace_dir = trace_dir
         self.registry = MetricsRegistry()
-        self.journal = JobJournal(journal_dir) if journal_dir else None
+        self.log = EventLog(log_dir) if log_dir else NULL_LOG
+        self.journal = (
+            JobJournal(journal_dir, registry=self.registry)
+            if journal_dir else None
+        )
         self.queue = JobQueue(
             depth=queue_depth, journal=self.journal, retries=retries
         )
@@ -130,7 +152,7 @@ class ExperimentService:
         self._watchdog = ServiceWatchdog(
             self.queue, self.registry, self._workers,
             job_timeout=job_timeout, poll_s=watchdog_poll_s,
-            spawn_worker=self._make_worker,
+            spawn_worker=self._make_worker, log=self.log,
         )
         handler = _make_handler(self)
         self._server = ThreadingHTTPServer((host, port), handler)
@@ -144,6 +166,7 @@ class ExperimentService:
             cache_dir=self.cache_dir, jobs=self.jobs,
             trace_dir=self.trace_dir,
             executor=self._executor, name=f"repro-worker-{index}",
+            log=self.log,
         )
 
     # -- addresses ---------------------------------------------------------
@@ -204,6 +227,13 @@ class ExperimentService:
         finally:
             self.recovery = summary
             self.recovering = False
+            self.log.info(
+                "recovery_complete",
+                segments=summary["segments"], records=summary["records"],
+                corrupt_records=summary["corrupt_records"],
+                restored=summary["restored"],
+                markers_swept=summary["markers_swept"],
+            )
 
     def _sweep_store_claims(self) -> int:
         """Reclaim in-flight markers a dead daemon left in the store."""
@@ -267,6 +297,8 @@ class ExperimentService:
             self._server.server_close()
             if self.journal is not None:
                 self.journal.close()
+            self.log.info("shutdown", clean=clean)
+            self.log.close()
             return 0 if clean else 1
         finally:
             for signum, handler in previous.items():
@@ -310,12 +342,17 @@ class ExperimentService:
             self._watchdog.join(timeout=5.0)
         if self.journal is not None:
             self.journal.close()
+        self.log.info("shutdown", clean=drained)
+        self.log.close()
         return drained
 
     # -- request handling (called from handler threads) --------------------
 
     def handle_submit(
-        self, raw_body: bytes, submission: str | None = None
+        self,
+        raw_body: bytes,
+        submission: str | None = None,
+        trace_header: str | None = None,
     ) -> tuple[int, dict, dict]:
         """Returns ``(http_status, headers, body_document)``."""
         if self.recovering:
@@ -329,22 +366,31 @@ class ExperimentService:
             return 400, {}, {"error": f"invalid JSON: {exc}"}
         try:
             request = normalize_request(document)
+            trace = normalize_trace(trace_header)
         except RequestError as exc:
             return 400, {}, {"error": str(exc)}
         if submission is not None and (
             not submission or len(submission) > MAX_SUBMISSION_KEY
         ):
             return 400, {}, {"error": "invalid X-Repro-Submission key"}
+        if trace is None:
+            # No client trace: the daemon mints one, so every request
+            # is traceable whether or not the client participates.
+            trace = mint_trace_id()
         fingerprint = request_fingerprint(request)
         try:
             # Chaos point: a daemon killed here acknowledged nothing —
             # the client's idempotent retry must create the ticket.
             faults.maybe_fail("accept", fingerprint)
             ticket, created = self.queue.submit(
-                request, fingerprint, submission=submission
+                request, fingerprint, submission=submission, trace=trace
             )
         except QueueFull as exc:
             self._count("service.rejected")
+            self.log.warning(
+                "rejected", trace=trace, kind=request.get("kind"),
+                fingerprint=fingerprint, retry_after_s=exc.retry_after_s,
+            )
             return 429, {"Retry-After": f"{exc.retry_after_s:.0f}"}, {
                 "error": str(exc),
                 "retry_after_s": exc.retry_after_s,
@@ -360,6 +406,12 @@ class ExperimentService:
         )
         if not created and not idempotent:
             self._count("service.coalesced")
+        self.log.info(
+            "accept", trace=ticket.trace, job=ticket.id,
+            kind=request.get("kind"), fingerprint=fingerprint,
+            created=created, coalesced=not created and not idempotent,
+            idempotent=idempotent,
+        )
         # Chaos point: the accept is journaled but this 202 never
         # arrives — the retry re-matches by submission key.
         faults.maybe_fail("response-write", f"submit:{ticket.id}")
@@ -369,6 +421,9 @@ class ExperimentService:
             "coalesced": not created and not idempotent,
             "idempotent": idempotent,
             "fingerprint": fingerprint,
+            # A coalesced/idempotent submit reports the ticket's
+            # original trace — the one that is actually executing.
+            "trace": ticket.trace,
         }
 
     def handle_status(self, ticket_id: str) -> tuple[int, dict, dict]:
@@ -428,8 +483,29 @@ class ExperimentService:
             }
         return 200, {}, self.recovery
 
-    def handle_metrics(self) -> tuple[int, dict, dict]:
-        return 200, {}, self.registry.to_dict()
+    def handle_metrics(self, accept: str = "") -> tuple[int, dict, object]:
+        """Content-negotiated: Prometheus text by default, JSON on request.
+
+        The Python client sends ``Accept: application/json`` and keeps
+        the structured snapshot; a scraper (or curl) gets the text
+        exposition format.  Queue-shape gauges are refreshed at scrape
+        time so they are current, not last-request-stale.
+        """
+        stats = self.queue.stats()
+        self.registry.gauge("service.queue_depth").set(stats["queued"])
+        self.registry.gauge("service.inflight").set(stats["running"])
+        snapshot = self.registry.to_dict()
+        if "application/json" in (accept or ""):
+            return 200, {}, snapshot
+        return 200, {"Content-Type": PROM_CONTENT_TYPE}, render_prometheus(
+            snapshot
+        )
+
+    def observe_http(self, endpoint: str, wall_s: float) -> None:
+        """Per-endpoint HTTP latency, fed by the handler for every reply."""
+        self.registry.histogram(
+            f"service.http_latency_s_{endpoint}"
+        ).observe(wall_s)
 
     def _count(self, name: str) -> None:
         # Handler threads race workers on the registry; the counter inc
@@ -449,15 +525,31 @@ def _make_handler(service: ExperimentService):
         def log_message(self, format, *args):  # noqa: A002
             pass
 
-        def _reply(self, status: int, headers: dict, document: dict) -> None:
-            payload = json.dumps(document).encode()
+        def _reply(self, status: int, headers: dict, document) -> None:
+            # Handlers return dicts (JSON) or pre-rendered text (the
+            # Prometheus exposition) with its Content-Type in headers.
+            if isinstance(document, str):
+                payload = document.encode()
+                content_type = headers.pop(
+                    "Content-Type", "text/plain; charset=utf-8"
+                )
+            else:
+                payload = json.dumps(document).encode()
+                content_type = "application/json"
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(payload)))
             for name, value in headers.items():
                 self.send_header(name, value)
             self.end_headers()
             self.wfile.write(payload)
+
+        def _timed(self, endpoint: str, produce) -> None:
+            t0 = time.perf_counter()
+            try:
+                self._reply(*produce())
+            finally:
+                service.observe_http(endpoint, time.perf_counter() - t0)
 
         def do_POST(self) -> None:  # noqa: N802
             if self.path != "/v1/jobs":
@@ -469,25 +561,35 @@ def _make_handler(service: ExperimentService):
                 return
             body = self.rfile.read(length)
             submission = self.headers.get("X-Repro-Submission")
-            self._reply(*service.handle_submit(body, submission=submission))
+            trace_header = self.headers.get("X-Repro-Trace")
+            self._timed("submit", lambda: service.handle_submit(
+                body, submission=submission, trace_header=trace_header,
+            ))
 
         def do_GET(self) -> None:  # noqa: N802
             if self.path == "/healthz":
-                self._reply(*service.handle_healthz())
+                self._timed("healthz", service.handle_healthz)
                 return
             if self.path == "/metrics":
-                self._reply(*service.handle_metrics())
+                accept = self.headers.get("Accept") or ""
+                self._timed(
+                    "metrics", lambda: service.handle_metrics(accept)
+                )
                 return
             parts = [part for part in self.path.split("/") if part]
             if parts == ["v1", "recovery"]:
                 self._reply(*service.handle_recovery())
                 return
             if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
-                self._reply(*service.handle_status(parts[2]))
+                self._timed(
+                    "status", lambda: service.handle_status(parts[2])
+                )
                 return
             if (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
                     and parts[3] == "result"):
-                self._reply(*service.handle_result(parts[2]))
+                self._timed(
+                    "result", lambda: service.handle_result(parts[2])
+                )
                 return
             self._reply(404, {}, {"error": f"no route {self.path!r}"})
 

@@ -96,6 +96,7 @@ def ticket_doc(ticket) -> dict:
         "request": ticket.request,
         "fingerprint": ticket.fingerprint,
         "submission": ticket.submission,
+        "trace": ticket.trace,
         "state": ticket.state,
         "created": ticket.created,
         "started": ticket.started,
@@ -146,6 +147,7 @@ class JournalReplay:
                 "request": data["request"],
                 "fingerprint": data["fingerprint"],
                 "submission": data.get("submission"),
+                "trace": data.get("trace"),
                 "state": data.get("state", "queued"),
                 "created": data.get("created"),
                 "started": data.get("started"),
@@ -196,10 +198,15 @@ class JobJournal:
         root: str,
         max_bytes: int = DEFAULT_MAX_BYTES,
         sync: bool = True,
+        registry=None,
     ) -> None:
         self.root = os.path.abspath(root)
         self.max_bytes = max_bytes
         self.sync = sync
+        # Optional MetricsRegistry: append() feeds the flush+fsync wall
+        # time into service.journal_fsync_s so /metrics exposes the
+        # durability cost every 202 pays.
+        self.registry = registry
         self._seq = 0
         self._handle = None
         self._lock_handle = None
@@ -314,9 +321,14 @@ class JobJournal:
         try:
             handle = self._open_for_append()
             handle.write(line + "\n")
+            t0 = time.perf_counter()
             handle.flush()
             if self.sync:
                 os.fsync(handle.fileno())
+            if self.registry is not None:
+                self.registry.histogram("service.journal_fsync_s").observe(
+                    time.perf_counter() - t0
+                )
         except OSError as exc:
             raise JournalError(f"journal append failed: {exc}") from exc
         # After the record is durable: the distinct chaos point from

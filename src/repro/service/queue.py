@@ -95,6 +95,7 @@ class Ticket:
     result: dict | None = None    # {"output": ..., "receipt": ...}
     error: str | None = None
     submission: str | None = None  # client idempotency key, if sent
+    trace: str | None = None      # end-to-end trace id for this request
     attempt: int = 0              # execution epoch; bumps on requeue
     requeues: int = 0             # how many attempts were reaped/retried
     recovered: bool = False       # re-enqueued by journal replay
@@ -112,6 +113,8 @@ class Ticket:
             "coalesced": self.coalesced,
             "attempt": self.attempt,
         }
+        if self.trace is not None:
+            doc["trace"] = self.trace
         if self.started is not None:
             doc["started"] = self.started
         if self.finished is not None:
@@ -164,16 +167,22 @@ class JobQueue:
     # -- submission --------------------------------------------------------
 
     def submit(
-        self, request: dict, fingerprint: str, submission: str | None = None
+        self,
+        request: dict,
+        fingerprint: str,
+        submission: str | None = None,
+        trace: str | None = None,
     ) -> tuple[Ticket, bool]:
         """Accept (or coalesce, or idempotently re-match) one request.
 
         Returns ``(ticket, created)``: ``created`` is False when the
         submission coalesced onto an existing queued/running ticket or
-        re-matched its own earlier submission by key.  Raises
-        :class:`QueueFull` past ``depth`` accepted-unfinished tickets
-        and :class:`QueueClosed` once draining.  With a journal, the
-        ``accept`` record is durable before this returns.
+        re-matched its own earlier submission by key — in either case
+        the ticket keeps its original ``trace``, which is the trace
+        that will actually execute.  Raises :class:`QueueFull` past
+        ``depth`` accepted-unfinished tickets and :class:`QueueClosed`
+        once draining.  With a journal, the ``accept`` record (trace id
+        included) is durable before this returns.
         """
         with self._lock:
             if self._closed:
@@ -203,6 +212,7 @@ class JobQueue:
                 request=dict(request),
                 fingerprint=fingerprint,
                 submission=submission,
+                trace=trace,
             )
             # Write-ahead: the accept is durable before any caller can
             # observe (or be promised) this ticket.
@@ -211,6 +221,7 @@ class JobQueue:
                 "request": ticket.request,
                 "fingerprint": fingerprint,
                 "submission": submission,
+                "trace": trace,
                 "created": ticket.created,
             })
             self._tickets[ticket.id] = ticket
@@ -436,6 +447,7 @@ class JobQueue:
                     result=state.get("result"),
                     error=state.get("error"),
                     submission=state.get("submission"),
+                    trace=state.get("trace"),
                     attempt=state.get("attempt", 0),
                     requeues=state.get("requeues", 0),
                     recovered=state.get("recovered", False),

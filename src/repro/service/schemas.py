@@ -36,6 +36,7 @@ __all__ = [
     "REQUEST_KINDS",
     "RequestError",
     "normalize_request",
+    "normalize_trace",
     "request_fingerprint",
 ]
 
@@ -171,6 +172,26 @@ def _normalize_tune(doc: dict) -> dict:
         "workloads": sorted(workloads),
         "axes": [name for name in space.names if name in axes],
     }
+
+
+def normalize_trace(header: str | None) -> str | None:
+    """Validate an ``X-Repro-Trace`` header; return its trace id.
+
+    ``None`` (no header) passes through: the daemon mints a trace id of
+    its own.  The trace id is deliberately *not* part of
+    :func:`request_fingerprint` — two traced clients asking for the
+    same computation still coalesce onto one ticket; the ticket keeps
+    the first requester's trace and every response reports which trace
+    actually ran.
+    """
+    if header is None or not header.strip():
+        return None
+    from repro.obs import TraceContext
+
+    try:
+        return TraceContext.from_header(header).trace_id
+    except ValueError as exc:
+        raise RequestError(f"invalid X-Repro-Trace header: {exc}") from exc
 
 
 def request_fingerprint(normalized: dict) -> str:

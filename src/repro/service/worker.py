@@ -44,6 +44,7 @@ import time
 from repro import obs
 from repro.engine import faults
 from repro.engine.telemetry import Telemetry
+from repro.obs.logs import NULL_LOG
 from repro.service.queue import JobQueue, Ticket
 
 __all__ = ["ServiceWatchdog", "ServiceWorker", "execute_request"]
@@ -149,6 +150,7 @@ class ServiceWorker(threading.Thread):
         trace_dir: str | None = None,
         executor=None,
         name: str = "repro-worker",
+        log=NULL_LOG,
     ) -> None:
         super().__init__(name=name, daemon=True)
         self.queue = queue
@@ -158,6 +160,7 @@ class ServiceWorker(threading.Thread):
         self.trace_dir = trace_dir
         # Tests inject a stub executor; production uses execute_request.
         self.executor = executor or execute_request
+        self.log = log
         self._metrics_lock = threading.Lock()
 
     # -- metrics helpers (thread-safe against sibling workers) -------------
@@ -196,11 +199,23 @@ class ServiceWorker(threading.Thread):
         self._observe("service.queue_wait_s", queue_wait)
         self._gauge("service.queue_depth", self.queue.stats()["queued"])
 
+        # The request's trace id stamps every span and event this
+        # recorder (and the forked engine children absorbed into it)
+        # produces; the meta line carries the queue timing so a trace
+        # file reconstructs accept -> queue wait on its own.
         recorder = obs.Recorder(meta={
             "kind": "service-request", "job": ticket.id,
             "request": ticket.request,
-        })
+            "attempt": attempt,
+            "created": ticket.created,
+            "started": ticket.started,
+            "queue_wait_s": queue_wait,
+        }, trace=ticket.trace)
         recorder.metrics = self.registry
+        self.log.debug(
+            "attempt_start", trace=ticket.trace, job=ticket.id,
+            kind=kind, attempt=attempt, queue_wait_s=queue_wait,
+        )
         # Per-request telemetry gets its own registry so the receipt
         # reports this request's counters, not the daemon's cumulative
         # ones; it is merged into the service registry afterwards.
@@ -235,6 +250,12 @@ class ServiceWorker(threading.Thread):
                 self._count("service.failed")
             else:
                 self._count("service.stale_results")
+            self.log.write(
+                "error" if action == "failed" else "warning",
+                "attempt_failed", trace=ticket.trace, job=ticket.id,
+                kind=kind, attempt=attempt, action=action,
+                cause=cause, wall_s=wall,
+            )
             return
         finally:
             with self._metrics_lock:
@@ -264,8 +285,10 @@ class ServiceWorker(threading.Thread):
             "coalesced": ticket.coalesced,
             "attempt": attempt,
             "recovered": ticket.recovered,
+            "trace_id": ticket.trace,
         }
         if self.trace_dir:
+            recorder.meta["store"] = dict(receipt["store"])
             receipt["trace"] = self._dump_trace(ticket, recorder)
         recorded = self.queue.finish(
             ticket,
@@ -277,10 +300,21 @@ class ServiceWorker(threading.Thread):
             # The watchdog reaped this attempt while it ran; its retry
             # owns the ticket now and this outcome must not clobber it.
             self._count("service.stale_results")
+            self.log.warning(
+                "stale_result", trace=ticket.trace, job=ticket.id,
+                kind=kind, attempt=attempt, wall_s=wall,
+            )
             return
         self._count("service.completed")
         self._observe("service.latency_s", wall)
         self._observe(f"service.latency_s_{kind}", wall)
+        self.log.info(
+            "attempt_finish", trace=ticket.trace, job=ticket.id,
+            kind=kind, attempt=attempt, wall_s=wall,
+            queue_wait_s=queue_wait,
+            store_hits=receipt["store"]["hits"],
+            store_misses=receipt["store"]["misses"],
+        )
 
     @staticmethod
     def _code_version() -> str:
@@ -329,6 +363,7 @@ class ServiceWatchdog(threading.Thread):
         poll_s: float = 0.25,
         spawn_worker=None,
         name: str = "repro-watchdog",
+        log=NULL_LOG,
     ) -> None:
         super().__init__(name=name, daemon=True)
         self.queue = queue
@@ -337,6 +372,7 @@ class ServiceWatchdog(threading.Thread):
         self.job_timeout = job_timeout
         self.poll_s = poll_s
         self.spawn_worker = spawn_worker
+        self.log = log
         self._halt = threading.Event()
 
     def stop(self) -> None:
@@ -348,7 +384,7 @@ class ServiceWatchdog(threading.Thread):
             if stats["closed"] and not stats["accepted"]:
                 return
             if self.job_timeout is not None:
-                for _ticket, action in self.queue.reap_stalled(
+                for ticket, action in self.queue.reap_stalled(
                     self.job_timeout
                 ):
                     self.registry.counter("service.reaped").inc()
@@ -356,6 +392,11 @@ class ServiceWatchdog(threading.Thread):
                         self.registry.counter("service.failed").inc()
                     else:
                         self.registry.counter("service.requeued").inc()
+                    self.log.warning(
+                        "attempt_reaped", trace=ticket.trace,
+                        job=ticket.id, action=action,
+                        job_timeout_s=self.job_timeout,
+                    )
             if self.queue.maybe_compact():
                 self.registry.counter("service.journal_compactions").inc()
             if self.spawn_worker is None:
@@ -367,3 +408,4 @@ class ServiceWatchdog(threading.Thread):
                 self.workers[index] = replacement
                 replacement.start()
                 self.registry.counter("service.workers_respawned").inc()
+                self.log.warning("worker_respawned", worker=worker.name)

@@ -48,6 +48,23 @@ class TestNullRecorder:
             assert obs.current() is rec
         assert obs.current() is obs.NULL
 
+    def test_untraced_records_carry_no_trace_key(self):
+        # Zero overhead when no trace is attached: record schemas are
+        # byte-identical to pre-tracing runs — no "trace" key anywhere.
+        rec = Recorder()
+        with rec.span("request", cat="service"):
+            rec.event("store", result="hit")
+        assert rec.trace_id is None
+        assert "trace" not in rec.meta
+        assert all("trace" not in record for record in rec.records)
+
+    def test_traced_recorder_stamps_every_record(self):
+        rec = Recorder(trace="ab" * 8)
+        with rec.span("request", cat="service"):
+            rec.event("store", result="hit")
+        assert rec.meta["trace"] == "ab" * 8
+        assert all(record["trace"] == "ab" * 8 for record in rec.records)
+
 
 class TestTracer:
     def test_nesting_and_parents(self):
@@ -109,16 +126,60 @@ class TestMetrics:
         assert hist["mean"] == pytest.approx(49.5)
         assert 40 <= hist["p50"] <= 60
 
-    def test_histogram_sample_stays_bounded_and_deterministic(self):
-        a = Histogram("h", sample_cap=64)
-        b = Histogram("h", sample_cap=64)
+    def test_histogram_buckets_stay_bounded_and_deterministic(self):
+        a = Histogram("h")
+        b = Histogram("h")
         for value in range(10_000):
             a.observe(value)
             b.observe(value)
-        assert len(a.samples) < 64
-        assert a.samples == b.samples          # no live randomness
+        # Log-linear bucketing: 16 sub-buckets per power of two, so
+        # 10k distinct values collapse into a bounded sparse map.
+        assert len(a.buckets) <= 16 * 15
+        assert a.buckets == b.buckets          # no live randomness
         assert a.count == 10_000
-        assert a.percentile(50) == pytest.approx(5000, rel=0.2)
+        assert a.percentile(50) == pytest.approx(5000, rel=1 / 16)
+        assert a.percentile(99) == pytest.approx(9900, rel=1 / 16)
+
+    def test_histogram_bucket_merge_equals_single_process(self):
+        # The property the service registry is built on: merging worker
+        # snapshots is indistinguishable from one process observing the
+        # whole stream.
+        values = [0.0003 * (i % 97 + 1) * (1.7 ** (i % 11)) for i in range(500)]
+        single = Histogram("h")
+        for value in values:
+            single.observe(value)
+        workers = [Histogram("h") for _ in range(4)]
+        for i, value in enumerate(values):
+            workers[i % 4].observe(value)
+        merged = Histogram("h")
+        for worker in workers:
+            merged.merge_summary(worker.summary())
+        # Bucket counts, count, extrema, and hence every percentile are
+        # byte-exact; only the float sum depends on addition order.
+        ours, theirs = merged.summary(), single.summary()
+        assert ours["buckets"] == theirs["buckets"]
+        assert ours["zeros"] == theirs["zeros"]
+        assert ours["count"] == theirs["count"]
+        assert ours["min"] == theirs["min"] and ours["max"] == theirs["max"]
+        for stat in ("p50", "p90", "p99"):
+            assert ours[stat] == theirs[stat]
+        assert ours["sum"] == pytest.approx(theirs["sum"])
+
+    def test_histogram_merge_accepts_legacy_snapshot(self):
+        # Pre-bucket snapshots (reservoir format: markers, no buckets)
+        # still merge with exact moments and approximate shape.
+        legacy = {
+            "count": 100, "sum": 5000.0, "min": 1.0, "max": 99.0,
+            "mean": 50.0, "p50": 50.0, "p90": 90.0, "p99": 99.0,
+        }
+        hist = Histogram("h")
+        hist.observe(10.0)
+        hist.merge_summary(legacy)
+        assert hist.count == 101
+        assert hist.total == pytest.approx(5010.0)
+        assert hist.min == 1.0 and hist.max == 99.0
+        assert sum(hist.buckets.values()) + hist.zeros == 101
+        assert hist.percentile(50) == pytest.approx(50.0, rel=0.1)
 
     def test_merge_snapshot(self):
         main, worker = MetricsRegistry(), MetricsRegistry()
@@ -249,6 +310,37 @@ class TestRunReport:
         )
         assert regressions == []
 
+    def test_compare_treats_missing_new_keys_as_zero_with_warning(self):
+        # An old run file predates keys a newer format added: comparing
+        # it must warn and count the absence as 0, never crash.
+        old = self._run_doc()
+        for key in ("store_hits", "store_misses"):
+            del old.meta["telemetry_totals"][key]
+        text, regressions = compare(old, self._run_doc(), threshold=0.10)
+        assert regressions == []
+        assert "treating it as 0" in text
+        assert "store_hits" in text
+        # Same tolerance the other way around (new run vs. old baseline).
+        text, regressions = compare(self._run_doc(), old, threshold=0.10)
+        assert regressions == []
+        assert "treating it as 0" in text
+
+    def test_attributions_tolerate_old_key_formats(self):
+        report = self._run_doc()
+        payload = {"misses": 10, "compulsory": 2, "capacity": 3,
+                   "conflict": 5}
+        report.meta["attribution"] = {
+            "wc|optimized|direct|2048|64": payload,
+            "wc|optimized|2048|64": payload,     # pre-organization key
+            "unparseable": payload,              # skipped, not fatal
+        }
+        rows = report.attributions()
+        assert len(rows) == 2
+        keys = [key for key, _ in rows]
+        assert ("wc", "optimized", "direct", 2048, 64) in keys
+        assert ("wc", "optimized", "?", 2048, 64) in keys
+        assert "miss attribution" in report.render()
+
 
 class TestInstrumentation:
     def test_simulators_emit_cache_sim_events(self):
@@ -326,3 +418,106 @@ class TestInstrumentation:
         outcome = execute_job(spec, cache_dir=str(tmp_path / "cache"))
         assert outcome.obs_records == []
         assert outcome.obs_metrics == {}
+
+
+class TestEventLog:
+    def test_levels_envelope_and_filtering(self, tmp_path):
+        from repro.obs.logs import EventLog
+
+        log = EventLog(str(tmp_path), min_level="info")
+        log.debug("too_quiet", trace="aa" * 8)
+        log.info("accept", trace="aa" * 8, job="job-1", kind="table")
+        log.error("attempt_failed", job="job-1", cause="boom")
+        log.close()
+        lines = [json.loads(line) for line in
+                 open(log.path).read().splitlines()]
+        assert [record["event"] for record in lines] == [
+            "accept", "attempt_failed",
+        ]
+        first = lines[0]
+        assert list(first)[:3] == ["ts", "level", "event"]
+        assert first["trace"] == "aa" * 8 and first["job"] == "job-1"
+        assert lines[1]["level"] == "error"
+
+    def test_size_rotation_keeps_bounded_generations(self, tmp_path):
+        import os
+
+        from repro.obs.logs import EventLog
+
+        log = EventLog(str(tmp_path), max_bytes=512, keep=2)
+        for index in range(200):
+            log.info("tick", job=f"job-{index:04d}", payload="x" * 40)
+        log.close()
+        produced = sorted(
+            name for name in os.listdir(tmp_path)
+            if name.startswith("events.jsonl")
+        )
+        # Active file plus at most `keep` rotated generations.
+        assert produced == ["events.jsonl", "events.jsonl.1",
+                            "events.jsonl.2"]
+        assert os.path.getsize(log.path) <= 512 + 200
+        # Every surviving line is intact JSON (rotation never tears).
+        for name in produced:
+            for line in open(tmp_path / name).read().splitlines():
+                json.loads(line)
+
+    def test_null_log_is_disabled_and_writes_nothing(self, tmp_path):
+        from repro.obs.logs import NULL_LOG
+
+        assert not NULL_LOG.enabled
+        NULL_LOG.info("anything", job="j")
+        NULL_LOG.close()
+
+
+class TestPrometheusExposition:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("service.requests").inc(3)
+        registry.counter("service.requests_table").inc(2)
+        registry.gauge("service.queue_depth").set(1)
+        for value in (0.001, 0.004, 0.02, 0.02, 1.5):
+            registry.histogram("service.latency_s").observe(value)
+            registry.histogram("service.latency_s_table").observe(value)
+        registry.histogram("service.http_latency_s_submit").observe(0.002)
+        return registry.to_dict()
+
+    def test_render_is_valid_and_labelled(self):
+        from repro.obs.prom import render_prometheus, validate_exposition
+
+        text = render_prometheus(self._snapshot())
+        assert validate_exposition(text) == []
+        assert "# TYPE repro_service_requests counter" in text
+        assert 'repro_service_requests{kind="table"} 2' in text
+        assert "# TYPE repro_service_latency_s histogram" in text
+        assert 'repro_service_latency_s_bucket{kind="table",le=' in text
+        assert 'repro_service_http_latency_s_bucket{endpoint="submit",le='\
+            in text
+        assert "repro_service_queue_depth 1" in text
+        # One TYPE line per family even with labelled + plain series.
+        assert text.count("# TYPE repro_service_latency_s histogram") == 1
+
+    def test_histogram_buckets_are_cumulative_and_capped(self):
+        from repro.obs.prom import render_prometheus
+
+        text = render_prometheus(self._snapshot())
+        buckets = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_service_latency_s_bucket{le=")
+        ]
+        assert buckets == sorted(buckets)
+        inf = [line for line in text.splitlines()
+               if line.startswith('repro_service_latency_s_bucket{le="+Inf"')]
+        assert inf and inf[0].endswith(" 5")
+
+    def test_validator_catches_structural_problems(self):
+        from repro.obs.prom import validate_exposition
+
+        assert validate_exposition("repro_orphan 1\n")
+        assert validate_exposition(
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 4\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 5\n"
+        )
+        assert validate_exposition("# BOGUS comment here\n")
