@@ -29,6 +29,11 @@ Commands
     every miss (compulsory/capacity/conflict against a fully-associative
     LRU shadow) and attributes it to the function whose placement caused
     it; the result is embedded in the run file for ``repro report``.
+    ``--opt PASSES`` runs the optimizing middle-end (``repro.opt``:
+    dce, lvn, simplify, licm, superblock — or ``all``) ahead of
+    placement, so the tables measure the optimized programs; the
+    default (no passes) is byte-identical to builds without the
+    middle-end.
 ``tune [run]``
     Search the placement/cache design space: ``--strategy
     {grid,random,halving}`` picks candidates (grid order, seeded random
@@ -62,6 +67,9 @@ Commands
     the inter-function conflict map (victim <- evictor), and a per-set
     heat map, for the optimized layout and a ``--baseline`` layout side
     by side.  Store-backed: warm runs replay without interpreting.
+    ``--opt PASSES`` appends a middle-end diff: the same workload
+    rebuilt through those passes, with code bytes, miss ratio, and the
+    3C mix compared against the pass-free build.
 ``cache {ls,stats,verify,clear,gc}``
     Inspect, integrity-check, or empty the artifact cache.  ``verify``
     checks every entry's SHA-256 manifest and quarantines corrupt ones
@@ -176,6 +184,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="classify every miss (3C + symbol attribution) "
                             "and embed the result in the --trace-out run "
                             "file (requires --trace-out)")
+    table.add_argument("--opt", default=None, metavar="PASSES",
+                       help="run middle-end passes ahead of placement: a "
+                            "comma-separated pass list, 'all', or 'none' "
+                            "(default: none, the paper's unoptimized IR)")
     _add_cache_arguments(table)
 
     tune = sub.add_parser(
@@ -268,6 +280,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="workload input scale (default small)")
     explain.add_argument("--top", type=int, default=10, metavar="N",
                          help="rows per ranking (default 10)")
+    explain.add_argument("--opt", default=None, metavar="PASSES",
+                         help="also diff the 3C mix against a build run "
+                              "through these middle-end passes (a comma-"
+                              "separated pass list or 'all')")
     explain.add_argument("--no-cache", action="store_true",
                          help="do not persist artifacts to the cache")
     _add_cache_arguments(explain)
@@ -452,6 +468,18 @@ def _cmd_list() -> int:
 EXIT_PARTIAL_FAILURE = 3
 
 
+def _check_opt(spec: str | None, command: str) -> bool:
+    """Validate an ``--opt`` pass spec; print a usage error if bad."""
+    from repro.opt import OptOptions
+
+    try:
+        OptOptions.parse(spec)
+    except ValueError as exc:
+        print(f"repro {command}: {exc}", file=sys.stderr)
+        return False
+    return True
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro import diagnose, obs
     from repro.engine.jobs import ALL_TABLE_NAMES, table_plan
@@ -472,6 +500,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
         return 2
 
     tables = list(ALL_TABLE_NAMES) if name == "all" else [name]
+    if not _check_opt(args.opt, "table"):
+        return 2
     observing = bool(args.trace_out or args.chrome_trace)
     if args.attribution and not args.trace_out:
         print(
@@ -502,7 +532,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
     try:
         with obs.use(recorder), diagnose.use(collector):
             values = run_jobs(
-                table_plan(tables, args.scale),
+                table_plan(tables, args.scale, opt=args.opt),
                 jobs=args.jobs,
                 cache_dir=cache_dir,
                 use_cache=use_cache,
@@ -567,13 +597,12 @@ def _cmd_tune_run(args: argparse.Namespace) -> int:
         workloads = [
             name.strip() for name in args.workloads.split(",") if name.strip()
         ]
-        unknown = [
-            name for name in workloads if name not in workload_names()
-        ]
+        known = workload_names() + workload_names("extended")
+        unknown = [name for name in workloads if name not in known]
         if unknown:
             print(
                 f"repro tune: unknown workloads {unknown!r}; "
-                f"known: {', '.join(workload_names())}",
+                f"known: {', '.join(known)}",
                 file=sys.stderr,
             )
             return 2
@@ -691,6 +720,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if not _check_opt(args.opt, "explain"):
+        return 2
     print(explain(
         args.workload,
         cache_bytes=args.cache_bytes,
@@ -702,6 +733,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         top=args.top,
+        opt=args.opt,
     ))
     return 0
 

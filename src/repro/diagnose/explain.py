@@ -66,6 +66,7 @@ def explain(
     cache_dir: str | None = None,
     use_cache: bool = True,
     top: int = 10,
+    opt: str | None = None,
 ) -> str:
     """The full ``repro explain`` text for one workload."""
     from repro.engine.store import ArtifactStore
@@ -82,6 +83,7 @@ def explain(
         layout=layout,
         baseline=baseline,
         top=top,
+        opt=opt,
     )
 
 
@@ -94,6 +96,7 @@ def explain_with_runner(
     layout: str = "optimized",
     baseline: str = "natural",
     top: int = 10,
+    opt: str | None = None,
 ) -> str:
     """``explain`` against an existing runner (the engine's job path).
 
@@ -101,6 +104,13 @@ def explain_with_runner(
     shared runner, whose artifact dependencies have already been
     satisfied from the store — so a service-submitted explain replays
     only the requested geometry, byte-identical to the CLI's output.
+
+    ``opt`` (a middle-end pass spec) appends an optimized-vs-unoptimized
+    section: the same trace semantics re-placed after running those
+    passes, simulated at the same geometry, and diffed against the
+    pass-free pipeline on code bytes, miss ratio, and the 3C mix.  When
+    it is ``None``/``"none"`` the output is byte-identical to a build
+    without the middle-end.
     """
     collector = diagnose.Collector()
     with diagnose.use(collector):
@@ -126,7 +136,81 @@ def explain_with_runner(
         lines.extend(render_attribution(entry, top=top))
     lines.append("")
     lines.extend(render_comparison(primary, base, layout, baseline, top=top))
+
+    from repro.opt import OptOptions
+
+    opt_options = OptOptions.parse(opt)
+    if opt_options.passes:
+        lines.append("")
+        lines.extend(
+            _render_opt_section(
+                runner, workload, opt_options,
+                cache_bytes, block_bytes, assoc, primary,
+            )
+        )
     return "\n".join(lines)
+
+
+def _render_opt_section(
+    runner,
+    workload: str,
+    opt_options,
+    cache_bytes: int,
+    block_bytes: int,
+    assoc: int,
+    unoptimized: Attribution,
+) -> list[str]:
+    """The opt-vs-no-opt diff: code bytes, miss ratio, 3C mix shifts."""
+    from dataclasses import replace as dc_replace
+
+    from repro.experiments.runner import ExperimentRunner
+
+    opt_runner = ExperimentRunner(
+        scale=runner.scale,
+        options=dc_replace(runner.options, opt=opt_options),
+        store=runner.store,
+    )
+    collector = diagnose.Collector()
+    with diagnose.use(collector):
+        addresses = opt_runner.addresses(workload, "optimized")
+        with collector.scope(workload=workload, layout="opt"):
+            _simulate(addresses, cache_bytes, block_bytes, assoc)
+    (optimized,) = collector.entries.values()
+
+    art = runner.artifacts(workload)
+    opt_art = opt_runner.artifacts(workload)
+    report = opt_art.placement.opt_report
+    before_bytes = opt_art.placement.original_profile.program.size_bytes
+    spec = ",".join(opt_options.passes)
+
+    lines = [f"[middle-end: {spec}]"]
+    lines.append(
+        f"IR code bytes: {before_bytes} -> "
+        f"{opt_art.placement.pre_inline_profile.program.size_bytes} "
+        f"({report.instructions_removed:+d} instructions removed); "
+        f"placed image bytes: {art.image.total_bytes} -> "
+        f"{opt_art.image.total_bytes}"
+    )
+    for pass_report in report.passes:
+        lines.append(
+            f"  {pass_report.name:<12} {pass_report.before_instructions:>6} "
+            f"-> {pass_report.after_instructions:<6} instrs "
+            f"({pass_report.instructions_removed:+d}) "
+            f"in {pass_report.wall_s * 1e3:.1f} ms"
+        )
+    ratio = 100 * optimized.misses / max(optimized.accesses, 1)
+    base_ratio = 100 * unoptimized.misses / max(unoptimized.accesses, 1)
+    lines.append(
+        f"miss ratio: {base_ratio:.2f}% (no passes) -> {ratio:.2f}% "
+        f"({spec})"
+    )
+    lines.append(
+        "3C shift: "
+        f"compulsory {unoptimized.compulsory} -> {optimized.compulsory}, "
+        f"capacity {unoptimized.capacity} -> {optimized.capacity}, "
+        f"conflict {unoptimized.conflict} -> {optimized.conflict}"
+    )
+    return lines
 
 
 def _top_pairs(entry: Attribution, top: int) -> list[tuple]:

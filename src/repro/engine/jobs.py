@@ -104,11 +104,23 @@ def workloads_for_table(table: str) -> tuple[str, ...]:
     return tuple(workload_names())
 
 
-def table_plan(tables: list[str], scale: str = "default") -> list[JobSpec]:
-    """The DAG regenerating ``tables``: artifact fan-out, then table jobs."""
+def table_plan(
+    tables: list[str], scale: str = "default", opt: str | None = None
+) -> list[JobSpec]:
+    """The DAG regenerating ``tables``: artifact fan-out, then table jobs.
+
+    ``opt`` (a middle-end pass spec like ``"all"``) makes every job in
+    the plan run under tuned placement options with those passes enabled
+    — artifact builds and table regenerations alike, so the tables
+    measure the optimized programs and the artifacts land under distinct
+    store keys.  ``None``/``"none"`` is the byte-identical default path.
+    """
     unknown = [t for t in tables if t not in ALL_TABLE_NAMES]
     if unknown:
         raise ValueError(f"unknown tables {unknown!r}")
+    extra: dict = {}
+    if opt is not None and opt != "none":
+        extra["placement"] = {"opt": opt}
     needed: list[str] = []
     for table in tables:
         for workload in workloads_for_table(table):
@@ -118,7 +130,7 @@ def table_plan(tables: list[str], scale: str = "default") -> list[JobSpec]:
         JobSpec(
             job_id=f"artifacts:{name}",
             kind="artifacts",
-            params={"workload": name, "scale": scale},
+            params={"workload": name, "scale": scale, **extra},
         )
         for name in needed
     ]
@@ -126,7 +138,7 @@ def table_plan(tables: list[str], scale: str = "default") -> list[JobSpec]:
         JobSpec(
             job_id=f"table:{table}",
             kind="table",
-            params={"table": table, "scale": scale},
+            params={"table": table, "scale": scale, **extra},
             deps=tuple(
                 f"artifacts:{name}" for name in workloads_for_table(table)
             ),
@@ -139,6 +151,7 @@ def table_plan(tables: list[str], scale: str = "default") -> list[JobSpec]:
 #: Request fields an ``explain`` job forwards to the diagnose layer.
 _EXPLAIN_FIELDS = (
     "cache_bytes", "block_bytes", "assoc", "layout", "baseline", "top",
+    "opt",
 )
 
 
@@ -154,7 +167,7 @@ def request_plan(request: dict) -> list[JobSpec]:
     kind = request.get("kind")
     scale = request.get("scale", "default")
     if kind == "table":
-        return table_plan([request["table"]], scale)
+        return table_plan([request["table"]], scale, opt=request.get("opt"))
     if kind == "explain":
         workload = request["workload"]
         artifacts = JobSpec(

@@ -95,7 +95,7 @@ DEFAULT_MAX_BYTES = 4 * 1024**3
 DEFAULT_INFLIGHT_STALE_S = 900.0
 
 #: Source packages whose content defines the artifact code version.
-_VERSIONED_PACKAGES = ("ir", "interp", "placement", "workloads")
+_VERSIONED_PACKAGES = ("ir", "interp", "opt", "placement", "workloads")
 
 #: Payload files covered by the per-entry checksum manifest.
 _PAYLOAD_FILES = ("profiles.json", "arrays.npz")

@@ -197,9 +197,12 @@ class ExperimentRunner:
             )
         pre = placement.pre_inline_profile
         post = placement.profile
+        orig = placement.original_profile
         interp_steps = (
             pre.dynamic_instructions
             + (post.dynamic_instructions if post is not pre else 0)
+            + (orig.dynamic_instructions if orig is not pre else 0)
+            + sum(p.dynamic_instructions for p in placement.opt_profiles)
             + result.instructions
             + original_result.instructions
         )
@@ -224,11 +227,20 @@ class ExperimentRunner:
         them bit-identically from the stored profiles.
         """
         placement = art.placement
+        profiles = {
+            "pre": profile_to_dict(placement.pre_inline_profile),
+            "post": profile_to_dict(placement.profile),
+        }
+        # Middle-end extras: the profiles its passes consumed (replayed in
+        # request order on rehydration) and the unoptimized-program profile
+        # the baseline layouts need.  Absent entirely when the middle-end
+        # is off, keeping no-opt payloads byte-identical to older ones.
+        for index, profile in enumerate(placement.opt_profiles):
+            profiles[f"opt{index}"] = profile_to_dict(profile)
+        if placement.original_profile is not placement.pre_inline_profile:
+            profiles["orig"] = profile_to_dict(placement.original_profile)
         return ArtifactPayload(
-            profiles={
-                "pre": profile_to_dict(placement.pre_inline_profile),
-                "post": profile_to_dict(placement.profile),
-            },
+            profiles=profiles,
             arrays={
                 "trace_block_ids": art.trace.block_ids,
                 "trace_via": art.trace.via,
@@ -247,8 +259,31 @@ class ExperimentRunner:
     ) -> WorkloadArtifacts | None:
         """Reconstruct artifacts without any interpreter execution."""
         try:
-            program = workload.build()
+            source = workload.build()
+            program = source
+            opt_report = None
+            opt_profiles: list = []
+            original_profile = None
+            if self.options.opt.passes:
+                # Replay the middle-end deterministically: each pass that
+                # asked for a profile gets the persisted one, in order.
+                import itertools
+
+                from repro.opt import run_opt
+
+                counter = itertools.count()
+                program, opt_report, opt_profiles = run_opt(
+                    source,
+                    self.options.opt,
+                    profile_source=lambda p: profile_from_dict(
+                        payload.profiles[f"opt{next(counter)}"], p
+                    ),
+                )
             pre_profile = profile_from_dict(payload.profiles["pre"], program)
+            if program is not source:
+                original_profile = profile_from_dict(
+                    payload.profiles["orig"], source
+                )
             placement = optimize_from_profiles(
                 program,
                 pre_profile,
@@ -256,11 +291,15 @@ class ExperimentRunner:
                     payload.profiles["post"], inlined
                 ),
                 self.options,
+                original_program=source,
+                opt_report=opt_report,
+                opt_profiles=opt_profiles,
+                original_profile=original_profile,
             )
             arrays = payload.arrays
             return WorkloadArtifacts(
                 workload=workload,
-                original_program=program,
+                original_program=source,
                 placement=placement,
                 trace=BlockTrace(
                     block_ids=arrays["trace_block_ids"],
@@ -310,10 +349,12 @@ class ExperimentRunner:
         elif layout == "pettis_hansen":
             # PH is applied to the original program with the same profile
             # information the IMPACT-I pipeline consumed, isolating the
-            # layout policy itself.
+            # layout policy itself.  ``original_profile`` binds to the
+            # pre-middle-end program (it is the pre-inline profile when
+            # the middle-end is off).
             program = art.original_program
             order = pettis_hansen_order(
-                program, art.placement.pre_inline_profile
+                program, art.placement.original_profile
             )
         else:
             raise ValueError(f"unknown layout {layout!r}")
@@ -328,19 +369,27 @@ class ExperimentRunner:
         the unscaled optimized and natural layouts, which every cache table
         replays)."""
         key = (name, layout, scaling, seed)
-        if key in self._addresses:
+        collector = diagnose.current()
+        # A cached trace can only short-circuit when no attribution is
+        # running: each Collector needs the symbol table registered into
+        # *it*, so a cache hit still rebuilds the (cheap) image below.
+        if key in self._addresses and not (
+            collector.enabled and scaling == 1.0
+        ):
             return self._addresses[key]
         art = self.artifacts(name)
         recorder = obs.current()
         with recorder.span("addresses", cat="pipeline",
                            workload=name, layout=layout):
             image = self.image_for(name, layout, scaling, seed)
-            trace = (
-                art.trace if layout in ("optimized", "conflict_aware")
-                else art.original_trace
-            )
-            addresses = trace.addresses(image)
-        collector = diagnose.current()
+            if key in self._addresses:
+                addresses = self._addresses[key]
+            else:
+                trace = (
+                    art.trace if layout in ("optimized", "conflict_aware")
+                    else art.original_trace
+                )
+                addresses = trace.addresses(image)
         if collector.enabled and scaling == 1.0:
             # The address->symbol map every attribution under this
             # (workload, layout) resolves misses through.  Trace labels

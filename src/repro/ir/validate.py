@@ -14,7 +14,12 @@ from repro.ir.function import Function
 from repro.ir.instructions import Opcode
 from repro.ir.program import Program
 
-__all__ = ["ValidationError", "validate_program", "validate_function"]
+__all__ = [
+    "ValidationError",
+    "validate_optimized",
+    "validate_program",
+    "validate_function",
+]
 
 
 class ValidationError(Exception):
@@ -27,6 +32,33 @@ def validate_program(program: Program) -> None:
         validate_function(function, program)
     if program.entry not in program:
         raise ValidationError(f"missing entry function {program.entry!r}")
+
+
+def validate_optimized(program: Program) -> None:
+    """Post-pass invariants: structural validity plus no orphan blocks.
+
+    The middle-end runs this after every pass.  On top of
+    :func:`validate_program` (exactly one terminator per block, no
+    dangling successor labels, consistent successor fields) it requires
+    every block to be reachable from its function's entry — passes that
+    disconnect blocks must also delete them, otherwise dead code would
+    silently inflate every downstream size measurement.
+    """
+    validate_program(program)
+    for function in program:
+        reachable = {function.entry.name}
+        stack = [function.entry]
+        while stack:
+            for label in stack.pop().successors():
+                if label not in reachable:
+                    reachable.add(label)
+                    stack.append(function.block(label))
+        for block in function.blocks:
+            if block.name not in reachable:
+                raise ValidationError(
+                    f"{function.name}/{block.name}: orphan block "
+                    "(unreachable from function entry)"
+                )
 
 
 def validate_function(function: Function, program: Program | None = None) -> None:

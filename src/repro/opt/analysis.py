@@ -1,0 +1,231 @@
+"""Shared CFG analyses for the middle-end passes.
+
+Everything here works on one function's blocks by *label* (successor
+fields are labels until ``Program.finalize`` resolves them), so passes
+can analyse and rewrite functions without touching global bids.  The
+module also owns the two structural clean-ups several passes share:
+unreachable-block removal and straight-line block merging.
+
+Register def/use modelling is deliberately conservative around the
+global register file: there are no frames, so a callee may read or
+write any register and a caller may read anything after a return.
+:data:`ALL_REGISTERS` is the live-everything set passes use at
+``CALL``/``RET``/``HALT`` boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import NUM_REGISTERS, Instruction, Opcode
+from repro.ir.program import Program
+
+__all__ = [
+    "ALL_REGISTERS",
+    "Loop",
+    "defs_uses",
+    "dominators",
+    "is_pure",
+    "merge_straight_line",
+    "natural_loops",
+    "predecessors",
+    "reachable_labels",
+    "rebuild_program",
+    "remove_unreachable",
+]
+
+#: The live-everything register set (conservative call/return boundary).
+ALL_REGISTERS = frozenset(range(NUM_REGISTERS))
+
+#: Opcodes with no side effect beyond writing ``rd`` (LD cannot trap:
+#: a missing address reads 0, and DIV/REM by zero yield 0).
+_PURE_OPCODES = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR,
+    Opcode.SLT, Opcode.LI, Opcode.MOV, Opcode.LD,
+})
+
+
+def is_pure(instruction: Instruction) -> bool:
+    """Whether removing/moving the instruction only affects ``rd``."""
+    return instruction.op in _PURE_OPCODES
+
+
+def defs_uses(instruction: Instruction) -> tuple[int | None, tuple[int, ...]]:
+    """``(defined register, used registers)`` of one instruction.
+
+    ``IN`` defines its destination but is never removable (it consumes
+    the input stream); callers special-case side effects separately.
+    """
+    op = instruction.op
+    if op is Opcode.ST:
+        return None, (instruction.rs1, instruction.rs2)
+    if op is Opcode.OUT:
+        return None, (instruction.rs1,)
+    if op in (Opcode.NOP, Opcode.JMP, Opcode.CALL, Opcode.RET, Opcode.HALT):
+        return None, ()
+    if op is Opcode.LI or op is Opcode.IN:
+        return instruction.rd, ()
+    if instruction.is_branch:
+        uses = (instruction.rs1,)
+        if instruction.rs2 is not None:
+            uses = (instruction.rs1, instruction.rs2)
+        return None, uses
+    # ALU / MOV / LD: rd <- f(rs1 [, rs2]).
+    uses = (instruction.rs1,)
+    if instruction.rs2 is not None:
+        uses = (instruction.rs1, instruction.rs2)
+    return instruction.rd, uses
+
+
+def predecessors(blocks: list[BasicBlock]) -> dict[str, list[str]]:
+    """Label -> predecessor labels, in block declaration order."""
+    preds: dict[str, list[str]] = {block.name: [] for block in blocks}
+    for block in blocks:
+        for successor in block.successors():
+            preds[successor].append(block.name)
+    return preds
+
+
+def reachable_labels(blocks: list[BasicBlock]) -> set[str]:
+    """Labels reachable from the entry block (``blocks[0]``)."""
+    if not blocks:
+        return set()
+    by_name = {block.name: block for block in blocks}
+    seen = {blocks[0].name}
+    stack = [blocks[0].name]
+    while stack:
+        for successor in by_name[stack.pop()].successors():
+            if successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+    return seen
+
+
+def remove_unreachable(blocks: list[BasicBlock]) -> list[BasicBlock]:
+    """Drop blocks unreachable from the entry, keeping declaration order."""
+    reachable = reachable_labels(blocks)
+    return [block for block in blocks if block.name in reachable]
+
+
+def merge_straight_line(blocks: list[BasicBlock]) -> list[BasicBlock]:
+    """Splice single-predecessor ``JMP`` targets into their predecessor.
+
+    ``A: ...; jmp B`` with ``B``'s only predecessor being ``A`` (and
+    ``B`` neither the entry nor ``A`` itself) becomes one block — the
+    ``jmp`` disappears, shrinking the function by one instruction per
+    merge.  Runs to a fixpoint; mutates the given blocks in place and
+    returns the surviving list (callers pass freshly cloned blocks).
+    """
+    changed = True
+    while changed:
+        changed = False
+        preds = predecessors(blocks)
+        by_name = {block.name: block for block in blocks}
+        entry = blocks[0].name
+        for block in blocks:
+            target = block.taken
+            if block.kind is not Opcode.JMP or target == block.name:
+                continue
+            if target == entry or len(preds[target]) != 1:
+                continue
+            tail = by_name[target]
+            block.instructions = block.instructions[:-1] + tail.instructions
+            block.taken = tail.taken
+            block.fall = tail.fall
+            block.callee = tail.callee
+            blocks = [b for b in blocks if b.name != target]
+            changed = True
+            break
+    return blocks
+
+
+def dominators(blocks: list[BasicBlock]) -> dict[str, set[str]]:
+    """Label -> set of dominating labels (iterative dataflow).
+
+    Unreachable blocks are assigned the full label set (vacuously
+    dominated); passes remove them before relying on dominance.
+    """
+    if not blocks:
+        return {}
+    labels = [block.name for block in blocks]
+    every = set(labels)
+    entry = labels[0]
+    preds = predecessors(blocks)
+    dom: dict[str, set[str]] = {
+        label: {entry} if label == entry else set(every) for label in labels
+    }
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            if label == entry:
+                continue
+            incoming = [dom[p] for p in preds[label]]
+            new = set.intersection(*incoming) if incoming else set(every)
+            new = new | {label}
+            if new != dom[label]:
+                dom[label] = new
+                changed = True
+    return dom
+
+
+@dataclass
+class Loop:
+    """One natural loop: its header and member labels."""
+
+    header: str
+    blocks: set[str] = field(default_factory=set)
+
+
+def natural_loops(
+    blocks: list[BasicBlock], dom: dict[str, set[str]] | None = None
+) -> list[Loop]:
+    """Natural loops of back edges ``t -> h`` where ``h`` dominates ``t``.
+
+    Loops sharing a header are unioned into one :class:`Loop`.  Returned
+    in deterministic (header declaration order) order.
+    """
+    if dom is None:
+        dom = dominators(blocks)
+    preds = predecessors(blocks)
+    loops: dict[str, Loop] = {}
+    for block in blocks:
+        for successor in block.successors():
+            if successor not in dom[block.name] and successor != block.name:
+                continue
+            header, tail = successor, block.name
+            loop = loops.setdefault(header, Loop(header=header))
+            loop.blocks.add(header)
+            stack = [tail]
+            while stack:
+                label = stack.pop()
+                if label in loop.blocks:
+                    continue
+                loop.blocks.add(label)
+                stack.extend(preds[label])
+    order = {block.name: index for index, block in enumerate(blocks)}
+    return sorted(loops.values(), key=lambda loop: order[loop.header])
+
+
+def rebuild_program(
+    program: Program, new_blocks: dict[str, list[BasicBlock]]
+) -> Program:
+    """A fresh :class:`Program` with some functions' blocks replaced.
+
+    ``new_blocks`` maps function name -> replacement block list;
+    functions not named are cloned as-is.  Blocks are never shared with
+    the input program (``Program.finalize`` assigns bids in place, so
+    sharing would corrupt the original's tables).
+    """
+    functions = []
+    for function in program:
+        blocks = new_blocks.get(function.name)
+        if blocks is None:
+            blocks = [block.clone({}) for block in function.blocks]
+        functions.append(
+            Function(function.name, blocks, is_syscall=function.is_syscall)
+        )
+    return Program(functions, entry=program.entry)

@@ -1,0 +1,112 @@
+"""Dead code elimination over global register liveness.
+
+Per function, a backward block-level liveness dataflow feeds a backward
+sweep over each block: a pure instruction whose destination is dead at
+that point is deleted.  The analysis is conservative about the global
+register file — there are no frames, so a callee may read anything and
+a caller may read anything after a return.  Blocks ending in ``CALL``,
+``RET``, or ``HALT`` therefore have *every* register live-out (``HALT``
+included: the machine state an execution returns is observable).
+
+Side effects are sacred: ``IN`` consumes the input stream even when its
+destination is dead, and ``ST``/``OUT`` never define a register — all
+three always survive.  ``NOP`` is dead by definition.
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.ir.program import Program
+from repro.opt.analysis import (
+    ALL_REGISTERS,
+    defs_uses,
+    is_pure,
+    rebuild_program,
+    remove_unreachable,
+)
+
+__all__ = ["block_liveness", "run_dce"]
+
+#: Terminators past which every register must be treated as live.
+_BARRIER_KINDS = (Opcode.CALL, Opcode.RET, Opcode.HALT)
+
+
+def _block_gen_kill(block: BasicBlock) -> tuple[frozenset, frozenset]:
+    """``(upward-exposed uses, defined registers)`` of one block."""
+    gen: set[int] = set()
+    kill: set[int] = set()
+    for instruction in block.instructions:
+        defined, uses = defs_uses(instruction)
+        for register in uses:
+            if register not in kill:
+                gen.add(register)
+        if defined is not None:
+            kill.add(defined)
+    return frozenset(gen), frozenset(kill)
+
+
+def block_liveness(function: Function) -> dict[str, frozenset]:
+    """Label -> live-out register set, to a fixpoint."""
+    gen_kill = {
+        block.name: _block_gen_kill(block) for block in function.blocks
+    }
+    live_in: dict[str, frozenset] = {
+        block.name: frozenset() for block in function.blocks
+    }
+    live_out: dict[str, frozenset] = dict(live_in)
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(function.blocks):
+            if block.kind in _BARRIER_KINDS:
+                out = ALL_REGISTERS
+            else:
+                out = frozenset().union(
+                    *(live_in[s] for s in block.successors())
+                )
+            gen, kill = gen_kill[block.name]
+            new_in = gen | (out - kill)
+            if out != live_out[block.name] or new_in != live_in[block.name]:
+                live_out[block.name] = out
+                live_in[block.name] = new_in
+                changed = True
+    return live_out
+
+
+def _sweep_block(block: BasicBlock, live_out: frozenset) -> BasicBlock:
+    """One block with its dead pure instructions removed."""
+    live = set(live_out)
+    kept: list = []
+    for instruction in reversed(block.instructions):
+        defined, uses = defs_uses(instruction)
+        if instruction.op is Opcode.NOP:
+            continue
+        removable = (
+            is_pure(instruction)
+            and defined is not None
+            and defined not in live
+        )
+        if removable:
+            continue
+        kept.append(instruction)
+        if defined is not None:
+            live.discard(defined)
+        live.update(uses)
+    kept.reverse()
+    clone = block.clone({})
+    clone.instructions = kept
+    return clone
+
+
+def run_dce(program: Program, ctx) -> Program:
+    """Remove dead pure instructions from every function."""
+    replacements: dict[str, list[BasicBlock]] = {}
+    for function in program:
+        live_out = block_liveness(function)
+        replacements[function.name] = remove_unreachable([
+            _sweep_block(block, live_out[block.name])
+            for block in function.blocks
+        ])
+    return rebuild_program(program, replacements)

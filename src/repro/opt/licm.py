@@ -1,0 +1,204 @@
+"""Loop-invariant code motion over natural loops.
+
+Classical textbook LICM on the shared dominator/natural-loop analyses:
+a pure instruction whose operands are loop-invariant is hoisted to a
+loop preheader when the motion is provably safe for a global register
+file —
+
+* its destination has exactly one definition inside the loop,
+* that definition dominates every use of the register inside the loop
+  (same-block uses must come after it),
+* the defining block dominates every loop exit, so the definition would
+  have executed on any complete trip anyway and hoisting introduces no
+  new definition along paths that leave the loop,
+* ``LD`` hoists only out of loops containing no ``ST``, and loops
+  containing a ``CALL`` are skipped entirely (a callee may read or
+  write any register).
+
+Invariance is iterated to a fixpoint so chains (``li`` feeding an
+``add`` feeding a ``mul``) hoist together, in order.  The preheader is
+an existing sole outside predecessor that ends ``jmp header`` when one
+exists (no code growth); otherwise a fresh block costing one ``JMP`` is
+inserted and outside edges are retargeted onto it.
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.program import Program
+from repro.opt.analysis import (
+    Loop,
+    defs_uses,
+    dominators,
+    is_pure,
+    natural_loops,
+    predecessors,
+    rebuild_program,
+    remove_unreachable,
+)
+
+__all__ = ["run_licm"]
+
+
+def _register_defs(
+    blocks_in_loop: list[BasicBlock],
+) -> dict[int, list[tuple[str, int]]]:
+    """Register -> list of ``(label, position)`` definitions in the loop."""
+    defs: dict[int, list[tuple[str, int]]] = {}
+    for block in blocks_in_loop:
+        for position, instruction in enumerate(block.instructions):
+            defined, _ = defs_uses(instruction)
+            if defined is not None:
+                defs.setdefault(defined, []).append((block.name, position))
+    return defs
+
+
+def _dominates_uses(
+    blocks_in_loop: list[BasicBlock],
+    dom: dict[str, set[str]],
+    register: int,
+    def_label: str,
+    def_position: int,
+) -> bool:
+    for block in blocks_in_loop:
+        for position, instruction in enumerate(block.instructions):
+            _, uses = defs_uses(instruction)
+            if register not in uses:
+                continue
+            if block.name == def_label:
+                if position <= def_position:
+                    return False
+            elif def_label not in dom[block.name]:
+                return False
+    return True
+
+
+def _hoist_loop(
+    blocks: list[BasicBlock],
+    loop: Loop,
+    dom: dict[str, set[str]],
+) -> list[BasicBlock] | None:
+    """Hoist what's safe out of ``loop``; None when nothing moved."""
+    by_name = {block.name: block for block in blocks}
+    members = [block for block in blocks if block.name in loop.blocks]
+    if any(block.kind is Opcode.CALL for block in members):
+        return None
+    has_store = any(
+        instruction.op is Opcode.ST
+        for block in members
+        for instruction in block.instructions
+    )
+    exits = [
+        block.name
+        for block in members
+        if any(s not in loop.blocks for s in block.successors())
+    ]
+    defs = _register_defs(members)
+
+    hoisted: list[tuple[str, int]] = []    # (label, position), hoist order
+    hoisted_set: set[tuple[str, int]] = set()
+    changed = True
+    while changed:
+        changed = False
+        for block in members:
+            for position, instruction in enumerate(block.instructions[:-1]):
+                site = (block.name, position)
+                if site in hoisted_set or not is_pure(instruction):
+                    continue
+                if instruction.op is Opcode.LD and has_store:
+                    continue
+                defined, uses = defs_uses(instruction)
+                if defined is None or len(defs.get(defined, ())) != 1:
+                    continue
+                invariant = all(
+                    not defs.get(register)
+                    or (
+                        len(defs[register]) == 1
+                        and defs[register][0] in hoisted_set
+                    )
+                    for register in uses
+                )
+                if not invariant:
+                    continue
+                if not all(exit in dom and block.name in dom[exit]
+                           for exit in exits):
+                    continue
+                if not _dominates_uses(
+                    members, dom, defined, block.name, position
+                ):
+                    continue
+                hoisted.append(site)
+                hoisted_set.add(site)
+                changed = True
+    if not hoisted:
+        return None
+
+    moved = [by_name[label].instructions[position]
+             for label, position in hoisted]
+    doomed: dict[str, set[int]] = {}
+    for label, position in hoisted:
+        doomed.setdefault(label, set()).add(position)
+    for label, positions in doomed.items():
+        block = by_name[label]
+        block.instructions = [
+            instruction
+            for position, instruction in enumerate(block.instructions)
+            if position not in positions
+        ]
+
+    header = loop.header
+    preds = predecessors(blocks)
+    outside = [p for p in preds[header] if p not in loop.blocks]
+    if (
+        len(outside) == 1
+        and by_name[outside[0]].kind is Opcode.JMP
+        and blocks[0].name != header
+    ):
+        target = by_name[outside[0]]
+        target.instructions = target.instructions[:-1] + moved + [
+            target.instructions[-1]
+        ]
+        return blocks
+    preheader = BasicBlock(
+        name=f"{header}__pre",
+        instructions=moved + [Instruction(Opcode.JMP)],
+        taken=header,
+    )
+    for label in outside:
+        pred = by_name[label]
+        if pred.taken == header:
+            pred.taken = preheader.name
+        if pred.fall == header:
+            pred.fall = preheader.name
+    index = next(i for i, block in enumerate(blocks) if block.name == header)
+    if blocks[0].name == header:
+        return [preheader] + blocks
+    return blocks[:index] + [preheader] + blocks[index:]
+
+
+def _licm_blocks(blocks: list[BasicBlock]) -> list[BasicBlock]:
+    blocks = remove_unreachable([block.clone({}) for block in blocks])
+    attempted: set[str] = set()
+    progressing = True
+    while progressing:
+        progressing = False
+        dom = dominators(blocks)
+        for loop in natural_loops(blocks, dom):
+            if loop.header in attempted:
+                continue
+            attempted.add(loop.header)
+            result = _hoist_loop(blocks, loop, dom)
+            if result is not None:
+                blocks = result
+                progressing = True
+                break
+    return blocks
+
+
+def run_licm(program: Program, ctx) -> Program:
+    """Hoist loop-invariant pure instructions in every function."""
+    replacements = {
+        function.name: _licm_blocks(function.blocks) for function in program
+    }
+    return rebuild_program(program, replacements)

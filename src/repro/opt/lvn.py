@@ -1,0 +1,228 @@
+"""Local value numbering with constant folding.
+
+Per basic block, every register is mapped to a *value number*; ALU
+results over known constants fold to ``LI``, recomputations of an
+available expression become ``MOV`` from a register still holding it,
+and register operands with known constant values are rewritten to
+immediate form.  Folding replicates the interpreter's exact semantics
+(unbounded Python integers, ``DIV``/``REM`` by zero yielding 0); an
+operation Python itself would refuse (e.g. a negative shift count) is
+left unfolded rather than guessed at.
+
+A conditional branch whose outcome is decidable — both operands constant,
+or both sides the same value number — is rewritten into an unconditional
+``JMP`` to the decided successor, which is what hands the simplify pass
+its unreachable blocks.
+
+``LD`` and ``IN`` produce fresh opaque values (memory and the input
+stream are not value-numbered); ``ST``/``OUT``/``CALL`` need no
+invalidation because numbering never spans a block boundary.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.program import Program
+from repro.opt.analysis import rebuild_program, remove_unreachable
+
+__all__ = ["run_lvn"]
+
+#: rd <- rs1 (op) rs2/imm opcodes, with the interpreter's semantics.
+_FOLDABLE = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: lambda a, b: a // b if b else 0,
+    Opcode.REM: lambda a, b: a % b if b else 0,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << b,
+    Opcode.SHR: lambda a, b: a >> b,
+    Opcode.SLT: lambda a, b: 1 if a < b else 0,
+}
+
+_COMMUTATIVE = frozenset({
+    Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR,
+})
+
+_BRANCH_TESTS = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: a < b,
+    Opcode.BGE: lambda a, b: a >= b,
+    Opcode.BLE: lambda a, b: a <= b,
+    Opcode.BGT: lambda a, b: a > b,
+}
+
+#: Branch outcome when both operands share one value number (a == a).
+_SAME_VALUE_OUTCOME = {
+    Opcode.BEQ: True, Opcode.BGE: True, Opcode.BLE: True,
+    Opcode.BNE: False, Opcode.BLT: False, Opcode.BGT: False,
+}
+
+
+class _Numbering:
+    """Value-number state for one basic block."""
+
+    def __init__(self) -> None:
+        self._fresh = itertools.count()
+        self.value_of: dict[int, object] = {0: ("const", 0)}  # r0 == 0
+        self.const_of: dict[object, int] = {("const", 0): 0}
+        self.expr_to_value: dict[tuple, object] = {}
+        self.holders: dict[object, list[int]] = {}
+
+    def fresh(self) -> object:
+        return ("opaque", next(self._fresh))
+
+    def number(self, register: int) -> object:
+        value = self.value_of.get(register)
+        if value is None:
+            value = ("livein", register)
+            self.value_of[register] = value
+            self.holders.setdefault(value, []).append(register)
+        return value
+
+    def constant(self, value: object) -> int | None:
+        return self.const_of.get(value)
+
+    def holder(self, value: object) -> int | None:
+        """A register (other than r0) still holding ``value``, if any."""
+        for register in self.holders.get(value, ()):
+            if register != 0 and self.value_of.get(register) == value:
+                return register
+        return None
+
+    def assign(self, register: int, value: object) -> None:
+        old = self.value_of.get(register)
+        if old is not None and register in self.holders.get(old, ()):
+            self.holders[old].remove(register)
+        self.value_of[register] = value
+        self.holders.setdefault(value, []).append(register)
+
+
+def _operand(
+    numbering: _Numbering, instruction: Instruction
+) -> tuple[object | None, int | None]:
+    """Second operand as ``(value number or None, constant or None)``."""
+    if instruction.rs2 is not None:
+        value = numbering.number(instruction.rs2)
+        return value, numbering.constant(value)
+    return None, instruction.imm
+
+
+def _rewrite_alu(
+    numbering: _Numbering, instruction: Instruction
+) -> Instruction:
+    """Fold/CSE one ALU instruction; returns its replacement."""
+    op, rd = instruction.op, instruction.rd
+    left = numbering.number(instruction.rs1)
+    left_const = numbering.constant(left)
+    right, right_const = _operand(numbering, instruction)
+
+    if left_const is not None and right_const is not None:
+        try:
+            folded = _FOLDABLE[op](left_const, right_const)
+        except (ValueError, OverflowError, MemoryError):
+            folded = None
+        if folded is not None:
+            value = ("const", folded)
+            numbering.const_of[value] = folded
+            numbering.assign(rd, value)
+            return Instruction(Opcode.LI, rd=rd, imm=folded)
+
+    key_right = right if right is not None else ("imm", right_const)
+    if op in _COMMUTATIVE and repr(left) > repr(key_right):
+        key = (op, key_right, left)
+    else:
+        key = (op, left, key_right)
+    available = numbering.expr_to_value.get(key)
+    if available is not None:
+        source = numbering.holder(available)
+        if source is not None:
+            numbering.assign(rd, available)
+            return Instruction(Opcode.MOV, rd=rd, rs1=source)
+
+    # Constant operands rewrite to immediate form (commutative ops may
+    # swap a constant left operand into position first).
+    rs1, rs2, imm = instruction.rs1, instruction.rs2, instruction.imm
+    if (
+        left_const is not None and right_const is None
+        and op in _COMMUTATIVE and rs2 is not None
+    ):
+        rs1, left = rs2, right
+        rs2, imm = None, left_const
+    elif rs2 is not None and right_const is not None:
+        rs2, imm = None, right_const
+
+    value = numbering.fresh()
+    numbering.expr_to_value[key] = value
+    numbering.assign(rd, value)
+    return Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+
+
+def _rewrite_block(block: BasicBlock) -> BasicBlock:
+    numbering = _Numbering()
+    rewritten: list[Instruction] = []
+    for instruction in block.instructions[:-1]:
+        op = instruction.op
+        if op is Opcode.LI:
+            value = ("const", instruction.imm)
+            numbering.const_of[value] = instruction.imm
+            numbering.assign(instruction.rd, value)
+            rewritten.append(instruction)
+        elif op is Opcode.MOV:
+            value = numbering.number(instruction.rs1)
+            constant = numbering.constant(value)
+            numbering.assign(instruction.rd, value)
+            if constant is not None:
+                rewritten.append(
+                    Instruction(Opcode.LI, rd=instruction.rd, imm=constant)
+                )
+            else:
+                rewritten.append(instruction)
+        elif op in _FOLDABLE:
+            rewritten.append(_rewrite_alu(numbering, instruction))
+        elif op in (Opcode.LD, Opcode.IN):
+            numbering.assign(instruction.rd, numbering.fresh())
+            rewritten.append(instruction)
+        else:                      # ST / OUT / NOP: no register defined
+            rewritten.append(instruction)
+
+    clone = block.clone({})
+    terminator = block.terminator
+    if terminator.is_branch:
+        left = numbering.number(terminator.rs1)
+        left_const = numbering.constant(left)
+        right, right_const = _operand(numbering, terminator)
+        outcome = None
+        if left_const is not None and right_const is not None:
+            outcome = _BRANCH_TESTS[terminator.op](left_const, right_const)
+        elif right is not None and left == right:
+            outcome = _SAME_VALUE_OUTCOME[terminator.op]
+        elif block.taken == block.fall:
+            outcome = True
+        if outcome is not None:
+            rewritten.append(Instruction(Opcode.JMP))
+            clone.taken = block.taken if outcome else block.fall
+            clone.fall = None
+        else:
+            rewritten.append(terminator)
+    else:
+        rewritten.append(terminator)
+    clone.instructions = rewritten
+    return clone
+
+
+def run_lvn(program: Program, ctx) -> Program:
+    """Value-number every block of every function."""
+    replacements = {
+        function.name: remove_unreachable(
+            [_rewrite_block(block) for block in function.blocks]
+        )
+        for function in program
+    }
+    return rebuild_program(program, replacements)

@@ -1,0 +1,199 @@
+"""Control-flow simplification: fold, thread, dedup, prune, merge.
+
+Five structural clean-ups run per function to a fixpoint:
+
+1. *Branch folding* — a conditional branch whose outcome is fixed by its
+   shape (both successors equal, both operands the same register, or
+   ``r0`` against an immediate) becomes a ``JMP``.
+2. *Jump threading* — successor edges are retargeted through trampoline
+   blocks (a lone ``JMP``), so the trampolines go unreachable.
+3. *Terminator duplication* — a ``JMP`` whose target is a
+   single-instruction block ending in a branch, ``RET``, or ``HALT``
+   replaces the jump with a copy of that terminator.  Each copy is
+   count-neutral (one instruction for one instruction) and strictly
+   removes a dynamic jump; when every jump predecessor converts, the
+   target block dies and the function shrinks.  This is what turns the
+   canonical ``while`` shape (test-at-top header, ``jmp``-back latch)
+   into the test-at-bottom form, reclaiming one instruction per loop.
+   *Branch orientation* then inverts any conditional whose fall edge
+   points backward in declaration order (the shape duplication mints),
+   so the layout can keep the fall-through implicit instead of
+   materializing a ``JMP`` in the placed image.
+4. *Identical-block dedup* — blocks with equal instructions, successors,
+   and callee collapse onto the first such block in declaration order
+   (functions commonly end in several identical ``ret`` blocks).
+5. *Unreachable-block removal* (entry-reachability DFS).
+6. *Straight-line merging* — a ``JMP`` to a single-predecessor block is
+   spliced away, deleting the jump itself.
+
+Each of 2-6 feeds the others, which is why the loop iterates: threading
+and duplication strand blocks for 5, dedup creates single-predecessor
+chains for 6, and the ``JMP``\\ s minted by 1 (or by LVN upstream) seed
+all of it.  Termination: folding only fires on statically-decidable
+branch shapes and duplication only copies branches folding rejected, so
+copies can never re-fold; every other step strictly shrinks the block
+list, the instruction count, or the number of ``JMP`` instructions.
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.program import Program
+from repro.opt.analysis import merge_straight_line, remove_unreachable, rebuild_program
+from repro.opt.lvn import _BRANCH_TESTS, _SAME_VALUE_OUTCOME
+
+__all__ = ["run_simplify"]
+
+
+def _fold_branches(blocks: list[BasicBlock]) -> bool:
+    changed = False
+    for block in blocks:
+        terminator = block.terminator
+        if not terminator.is_branch:
+            continue
+        outcome = None
+        if block.taken == block.fall:
+            outcome = True
+        elif terminator.rs2 is not None and terminator.rs1 == terminator.rs2:
+            outcome = _SAME_VALUE_OUTCOME[terminator.op]
+        elif terminator.rs1 == 0 and terminator.rs2 is None:
+            outcome = _BRANCH_TESTS[terminator.op](0, terminator.imm)
+        if outcome is None:
+            continue
+        block.instructions = block.instructions[:-1] + [Instruction(Opcode.JMP)]
+        block.taken = block.taken if outcome else block.fall
+        block.fall = None
+        changed = True
+    return changed
+
+
+def _thread_jumps(blocks: list[BasicBlock]) -> bool:
+    by_name = {block.name: block for block in blocks}
+
+    def resolve(label: str) -> str:
+        seen = set()
+        while label not in seen:
+            seen.add(label)
+            block = by_name[label]
+            if (
+                block.num_instructions == 1
+                and block.kind is Opcode.JMP
+                and block.taken != block.name
+            ):
+                label = block.taken
+            else:
+                break
+        return label
+
+    changed = False
+    for block in blocks:
+        for attr in ("taken", "fall"):
+            label = getattr(block, attr)
+            if label is None:
+                continue
+            target = resolve(label)
+            if target != label:
+                setattr(block, attr, target)
+                changed = True
+    return changed
+
+
+def _duplicate_terminators(blocks: list[BasicBlock]) -> bool:
+    by_name = {block.name: block for block in blocks}
+    changed = False
+    for block in blocks:
+        if block.kind is not Opcode.JMP or block.taken == block.name:
+            continue
+        target = by_name[block.taken]
+        if target.num_instructions != 1:
+            continue
+        terminator = target.terminator
+        if not (terminator.is_branch or terminator.op in (Opcode.RET, Opcode.HALT)):
+            continue
+        block.instructions = block.instructions[:-1] + [terminator]
+        block.taken = target.taken
+        block.fall = target.fall
+        changed = True
+    return changed
+
+
+#: Exact condition negations (signed compares), for branch re-orientation.
+_INVERTED = {
+    Opcode.BEQ: Opcode.BNE, Opcode.BNE: Opcode.BEQ,
+    Opcode.BLT: Opcode.BGE, Opcode.BGE: Opcode.BLT,
+    Opcode.BLE: Opcode.BGT, Opcode.BGT: Opcode.BLE,
+}
+
+
+def _orient_branches(blocks: list[BasicBlock]) -> bool:
+    """Point conditional fall-through edges forward in declaration order.
+
+    The linker elides a fall-through only when the fall successor is
+    placed next; a branch whose *fall* points backward (the shape
+    terminator duplication mints when it copies a loop header's test
+    into the latch) always costs a materialized ``JMP`` in the image.
+    Inverting the condition and swapping the successors is free at the
+    IR level and lets the layout keep the forward edge implicit.
+    """
+    index = {block.name: position for position, block in enumerate(blocks)}
+    changed = False
+    for position, block in enumerate(blocks):
+        terminator = block.terminator
+        if not terminator.is_branch or block.fall is None:
+            continue
+        if (index[block.fall] <= position < index[block.taken]):
+            block.instructions = block.instructions[:-1] + [Instruction(
+                _INVERTED[terminator.op], rs1=terminator.rs1,
+                rs2=terminator.rs2, imm=terminator.imm,
+            )]
+            block.taken, block.fall = block.fall, block.taken
+            changed = True
+    return changed
+
+
+def _dedup_blocks(blocks: list[BasicBlock]) -> tuple[list[BasicBlock], bool]:
+    representative: dict[tuple, str] = {}
+    alias: dict[str, str] = {}
+    for block in blocks:                       # entry first, so it always wins
+        key = (
+            tuple(block.instructions), block.taken, block.fall, block.callee,
+        )
+        kept = representative.setdefault(key, block.name)
+        if kept != block.name:
+            alias[block.name] = kept
+    if not alias:
+        return blocks, False
+    survivors = [block for block in blocks if block.name not in alias]
+    for block in survivors:
+        if block.taken in alias:
+            block.taken = alias[block.taken]
+        if block.fall in alias:
+            block.fall = alias[block.fall]
+    return survivors, True
+
+
+def _simplify_blocks(blocks: list[BasicBlock]) -> list[BasicBlock]:
+    blocks = [block.clone({}) for block in blocks]
+    changed = True
+    while changed:
+        changed = _fold_branches(blocks)
+        changed = _thread_jumps(blocks) or changed
+        changed = _duplicate_terminators(blocks) or changed
+        changed = _orient_branches(blocks) or changed
+        blocks, deduped = _dedup_blocks(blocks)
+        changed = changed or deduped
+        before = sum(block.num_instructions for block in blocks)
+        blocks = merge_straight_line(remove_unreachable(blocks))
+        after = sum(block.num_instructions for block in blocks)
+        changed = changed or after != before
+    return blocks
+
+
+def run_simplify(program: Program, ctx) -> Program:
+    """Simplify every function's control flow to a fixpoint."""
+    replacements = {
+        function.name: _simplify_blocks(function.blocks)
+        for function in program
+    }
+    return rebuild_program(program, replacements)

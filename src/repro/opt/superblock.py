@@ -1,0 +1,181 @@
+"""Profile-driven superblock formation via trace growth + tail duplication.
+
+The paper's trace *selection* (Section 3 Step 2) groups blocks for
+layout without changing the code; superblock formation takes the same
+profile signal one step further and restructures the code itself, the
+way IMPACT's successors did: grow a trace along likely branch
+directions, then *tail-duplicate* every trace block that has a side
+entrance so the hot path becomes a single-entry region.
+
+Semantics of the resulting region:
+
+* **guards** — the in-trace conditional branches; while they keep going
+  the likely way, execution stays inside the duplicated straight line,
+* **aborts** — each guard's off-trace edge still targets the *original*
+  blocks, so an unlikely outcome falls back to unduplicated code with
+  identical behaviour (the clones are exact copies, so no compensation
+  code is needed — every register/memory effect before the abort point
+  is the same on both copies),
+* **commit** — the last trace block's successors leave the region
+  normally.
+
+Growth is bounded: tail duplication may grow a function by at most
+``superblock_max_growth - 1`` of its original size, and traces only
+follow branch directions with probability >= ``superblock_min_prob``.
+A final unreachable-prune + straight-line merge turns each duplicated
+tail into one long block, which is where the layout stage's fall-through
+elision then deletes the intra-trace jumps.
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import Opcode
+from repro.ir.function import Function
+from repro.ir.program import Program
+from repro.opt.analysis import (
+    merge_straight_line,
+    predecessors,
+    rebuild_program,
+    remove_unreachable,
+)
+from repro.placement.profile_data import ProfileData
+
+__all__ = ["run_superblock"]
+
+
+def _grow_trace(
+    start: str,
+    by_name: dict[str, BasicBlock],
+    taken_of: dict[str, int],
+    fall_of: dict[str, int],
+    min_prob: float,
+    used: set[str],
+) -> list[str]:
+    trace = [start]
+    in_trace = {start}
+    label = start
+    while True:
+        block = by_name[label]
+        kind = block.kind
+        if kind is Opcode.JMP:
+            nxt = block.taken
+        elif kind is Opcode.CALL:
+            nxt = block.fall
+        elif block.terminator.is_branch:
+            taken, fall = taken_of[label], fall_of[label]
+            total = taken + fall
+            if total == 0:
+                break
+            if taken / total >= min_prob:
+                nxt = block.taken
+            elif fall / total >= min_prob:
+                nxt = block.fall
+            else:
+                break
+        else:                                  # RET / HALT
+            break
+        if nxt is None or nxt in in_trace or nxt in used:
+            break
+        trace.append(nxt)
+        in_trace.add(nxt)
+        label = nxt
+    return trace
+
+
+def _duplication_point(
+    trace: list[str],
+    preds: dict[str, list[str]],
+    entry: str,
+) -> int | None:
+    """First trace index needing a clone (side entrance), if any."""
+    for index in range(1, len(trace)):
+        label = trace[index]
+        if label == entry:                     # implicit function entry
+            return index
+        if any(pred != trace[index - 1] for pred in preds[label]):
+            return index
+    return None
+
+
+def _form_superblocks(
+    function: Function, profile: ProfileData, min_prob: float, max_growth: float
+) -> list[BasicBlock]:
+    weight_of = {
+        block.name: int(profile.block_weights[block.bid])
+        for block in function.blocks
+    }
+    taken_of = {
+        block.name: int(profile.taken_weights[block.bid])
+        for block in function.blocks
+    }
+    fall_of = {
+        block.name: int(profile.fall_weights[block.bid])
+        for block in function.blocks
+    }
+
+    blocks = [block.clone({}) for block in function.blocks]
+    budget = int((max_growth - 1.0) * function.num_instructions)
+    used: set[str] = set()
+    counter = 0
+
+    seeds = sorted(
+        range(len(blocks)), key=lambda i: (-weight_of[blocks[i].name], i)
+    )
+    for seed_index in seeds:
+        seed = blocks[seed_index].name
+        if seed in used or weight_of[seed] == 0:
+            continue
+        by_name = {block.name: block for block in blocks}
+        trace = _grow_trace(seed, by_name, taken_of, fall_of, min_prob, used)
+        used.update(trace)
+        if len(trace) < 2:
+            continue
+        preds = predecessors(blocks)
+        point = _duplication_point(trace, preds, blocks[0].name)
+        if point is None:
+            continue                            # already single-entry
+        cost = sum(
+            by_name[label].num_instructions for label in trace[point:]
+        )
+        if cost > budget:
+            continue
+        budget -= cost
+        clone_names = {
+            label: f"__sb{counter + offset}__{label}"
+            for offset, label in enumerate(trace[point:])
+        }
+        counter += len(clone_names)
+        clones = []
+        for index in range(point, len(trace)):
+            label = trace[index]
+            rename = {label: clone_names[label]}
+            if index + 1 < len(trace):
+                follower = trace[index + 1]
+                rename[follower] = clone_names[follower]
+            clones.append(by_name[label].clone(rename))
+        head = by_name[trace[point - 1]]
+        if head.taken == trace[point]:
+            head.taken = clone_names[trace[point]]
+        if head.fall == trace[point]:
+            head.fall = clone_names[trace[point]]
+        blocks = blocks + clones
+        used.update(clone_names.values())
+
+    return merge_straight_line(remove_unreachable(blocks))
+
+
+def run_superblock(program: Program, ctx) -> Program:
+    """Form superblocks along hot traces, guided by a fresh profile."""
+    profile = ctx.profile(program)
+    options = ctx.options
+    replacements = {
+        function.name: _form_superblocks(
+            function,
+            profile,
+            options.superblock_min_prob,
+            options.superblock_max_growth,
+        )
+        for function in program
+    }
+    return rebuild_program(program, replacements)

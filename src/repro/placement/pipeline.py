@@ -1,5 +1,6 @@
 """The five-step IMPACT-I instruction placement pipeline (paper Section 3).
 
+    0. (optional) middle-end passes   -> repro.opt
     1. execution profiling            -> repro.interp.profiler
     2. function inline expansion      -> repro.placement.inline
     3. trace selection                -> repro.placement.trace_selection
@@ -23,6 +24,7 @@ from collections.abc import Callable, Iterable, Sequence
 
 from repro import obs
 from repro.ir.program import Program
+from repro.opt import OptOptions, PipelineReport, run_opt
 from repro.placement.function_layout import FunctionLayout, layout_function
 from repro.placement.global_layout import (
     GlobalLayout,
@@ -59,6 +61,10 @@ class PlacementOptions:
     * ``split_regions=False`` keeps zero-weight traces in place instead of
       moving them behind the effective region;
     * ``global_dfs=False`` keeps functions in declaration order.
+
+    ``opt`` configures the optimizing middle-end (Step 0); its default —
+    no passes — leaves the program untouched, keeping every downstream
+    artifact byte-identical to a pipeline without the middle-end.
     """
 
     min_prob: float = MIN_PROB
@@ -68,6 +74,7 @@ class PlacementOptions:
     global_dfs: bool = True
     base_address: int = 0
     function_align: int = 4
+    opt: OptOptions = field(default_factory=OptOptions)
 
     @classmethod
     def paper(cls) -> PlacementOptions:
@@ -82,15 +89,18 @@ class PlacementOptions:
         min_prob: float | None = None,
         inline_min_call_count: int | None = None,
         inline_max_code_growth: float | None = None,
+        opt_passes: str | None = None,
     ) -> PlacementOptions:
         """Paper options with specific hyperparameters overridden.
 
         This is the autotuner's entry point into the pipeline: each
         argument replaces one published constant (``MIN_PROB``, the
-        inliner's dynamic-call floor, its code-growth ceiling); ``None``
-        keeps the paper's value, so ``tuned()`` == ``paper()`` ==
-        ``PlacementOptions()`` — equal as dataclasses and identical
-        under the artifact store's options fingerprint.
+        inliner's dynamic-call floor, its code-growth ceiling) or, for
+        ``opt_passes``, one pipeline stage the paper's compiler had but
+        the default reproduction disables; ``None`` keeps the paper's
+        value, so ``tuned()`` == ``paper()`` == ``PlacementOptions()``
+        — equal as dataclasses and identical under the artifact store's
+        options fingerprint.
         """
         inline = InlinePolicy()
         if inline_min_call_count is not None:
@@ -102,6 +112,7 @@ class PlacementOptions:
         return cls(
             min_prob=MIN_PROB if min_prob is None else float(min_prob),
             inline=inline,
+            opt=OptOptions.parse(opt_passes),
         )
 
 
@@ -109,9 +120,9 @@ class PlacementOptions:
 class PlacementResult:
     """Everything the pipeline produced, for inspection and experiments."""
 
-    original_program: Program
+    original_program: Program             # pre-opt, as the workload built it
     program: Program                      # post-inline
-    pre_inline_profile: ProfileData
+    pre_inline_profile: ProfileData       # binds to the post-opt program
     profile: ProfileData                  # post-inline
     inline_report: InlineReport
     selections: dict[str, TraceSelection]
@@ -119,6 +130,15 @@ class PlacementResult:
     global_layout: GlobalLayout
     order: list[int]
     image: MemoryImage
+    #: Per-pass middle-end stats (empty when the middle-end is off).
+    opt_report: PipelineReport = field(default_factory=PipelineReport)
+    #: Profiles middle-end passes requested, in order (for cache replay).
+    opt_profiles: list[ProfileData] = field(default_factory=list)
+    #: A profile bound to ``original_program``.  With the middle-end off
+    #: this *is* ``pre_inline_profile``; with it on, it is the extra
+    #: profiling run baselines (Pettis-Hansen) need against the
+    #: unoptimized program.
+    original_profile: ProfileData | None = None
 
 
 def optimize_program(
@@ -126,22 +146,44 @@ def optimize_program(
     profiling_inputs: Sequence[Iterable[int]],
     options: PlacementOptions = PlacementOptions(),
 ) -> PlacementResult:
-    """Run profiling plus the full placement pipeline on ``program``."""
+    """Run Step 0 (if configured), profiling, and the placement pipeline."""
     # Imported here to avoid a circular import: repro.interp.profiler
     # depends on repro.placement.profile_data.
     from repro.interp.profiler import profile_program
 
     recorder = obs.current()
+    source = program
+    opt_report = PipelineReport()
+    opt_profiles: list[ProfileData] = []
+    if options.opt.passes:
+        program, opt_report, opt_profiles = run_opt(
+            source,
+            options.opt,
+            profile_source=lambda p: profile_program(p, profiling_inputs),
+        )
+
     with recorder.span("profiling", cat="pipeline",
                        runs=len(profiling_inputs)):
         pre_profile = profile_program(program, profiling_inputs)
+
+    original_profile = pre_profile
+    if program is not source:
+        with recorder.span("profiling_original", cat="pipeline",
+                           runs=len(profiling_inputs)):
+            original_profile = profile_program(source, profiling_inputs)
 
     def reprofile(inlined: Program) -> ProfileData:
         with recorder.span("reprofile", cat="pipeline",
                            runs=len(profiling_inputs)):
             return profile_program(inlined, profiling_inputs)
 
-    return optimize_from_profiles(program, pre_profile, reprofile, options)
+    return optimize_from_profiles(
+        program, pre_profile, reprofile, options,
+        original_program=source,
+        opt_report=opt_report,
+        opt_profiles=opt_profiles,
+        original_profile=original_profile,
+    )
 
 
 def optimize_from_profiles(
@@ -149,14 +191,21 @@ def optimize_from_profiles(
     pre_profile: ProfileData,
     reprofile: Callable[[Program], ProfileData],
     options: PlacementOptions = PlacementOptions(),
+    original_program: Program | None = None,
+    opt_report: PipelineReport | None = None,
+    opt_profiles: list[ProfileData] | None = None,
+    original_profile: ProfileData | None = None,
 ) -> PlacementResult:
     """Steps 2-5 given a pre-inline profile and a post-inline profile source.
 
-    ``reprofile`` maps the inlined program to its profile.  In the normal
-    path that is a fresh set of profiling runs; the artifact store instead
-    rebinds a persisted profile document, which is how a warm-cache run
-    reproduces the identical :class:`PlacementResult` with zero interpreter
-    steps.
+    ``program`` and ``pre_profile`` are *post-middle-end* here; when the
+    middle-end ran, callers pass the pre-opt ``original_program`` (plus
+    its ``original_profile`` and the middle-end's report/profiles) so the
+    result can still serve unoptimized baselines.  ``reprofile`` maps the
+    inlined program to its profile.  In the normal path that is a fresh
+    set of profiling runs; the artifact store instead rebinds a persisted
+    profile document, which is how a warm-cache run reproduces the
+    identical :class:`PlacementResult` with zero interpreter steps.
     """
     recorder = obs.current()
     if options.inline is not None:
@@ -177,7 +226,9 @@ def optimize_from_profiles(
 
     result = place(inlined, profile, options)
     return PlacementResult(
-        original_program=program,
+        original_program=(
+            program if original_program is None else original_program
+        ),
         program=inlined,
         pre_inline_profile=pre_profile,
         profile=profile,
@@ -187,6 +238,11 @@ def optimize_from_profiles(
         global_layout=result.global_layout,
         order=result.order,
         image=result.image,
+        opt_report=opt_report if opt_report is not None else PipelineReport(),
+        opt_profiles=opt_profiles if opt_profiles is not None else [],
+        original_profile=(
+            pre_profile if original_profile is None else original_profile
+        ),
     )
 
 

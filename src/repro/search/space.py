@@ -43,13 +43,25 @@ __all__ = [
     "placement_options",
     "placement_params",
     "real",
+    "OPT_CHOICES",
     "PLACEMENT_AXES",
     "LAYOUT_CHOICES",
 ]
 
 #: Axes that feed :class:`PlacementOptions` (and therefore the artifact
 #: store key); the remaining axes only affect the cheap simulation stage.
-PLACEMENT_AXES = ("min_prob", "inline_min_count", "inline_budget")
+PLACEMENT_AXES = ("min_prob", "inline_min_count", "inline_budget", "opt")
+
+#: Middle-end pass configurations the ``opt`` axis can select: nothing
+#: (the paper default), pure clean-up, progressively larger scalar pass
+#: stacks, and the full stack including superblock speculation.
+OPT_CHOICES = (
+    "none",
+    "dce",
+    "lvn,simplify,dce",
+    "lvn,simplify,dce,licm",
+    "all",
+)
 
 #: Layout algorithms the evaluator can replay a trace under:
 #: the paper's five-step pipeline, the Pettis-Hansen follow-on, the
@@ -204,7 +216,9 @@ def default_space() -> SearchSpace:
     * ``inline_min_count`` — dynamic-call floor for inlining a site
       (paper: 500);
     * ``inline_budget`` — static code-growth ceiling as a multiple of
-      the original size (paper: 1.3, i.e. +30%).
+      the original size (paper: 1.3, i.e. +30%);
+    * ``opt`` — which middle-end pass stack runs ahead of the pipeline
+      (paper default here: none, matching the unoptimized seed IR).
 
     Evaluation axes (cheap to vary — artifacts are reused):
 
@@ -218,6 +232,7 @@ def default_space() -> SearchSpace:
                 _PAPER_INLINE.min_call_count),
         real("inline_budget", (1.0, 1.15, 1.3, 1.5, 2.0),
              _PAPER_INLINE.max_code_growth),
+        categorical("opt", OPT_CHOICES, "none"),
         categorical("layout", LAYOUT_CHOICES, "optimized"),
         integer("cache_bytes", (512, 1024, 2048, 4096, 8192), 2048),
         integer("block_bytes", (16, 32, 64, 128), 64),
@@ -240,10 +255,12 @@ def placement_options(candidate: Mapping) -> PlacementOptions:
     a dataclass and byte-identical under
     :func:`repro.engine.store.options_fingerprint`.
     """
+    opt = candidate.get("opt")
     return PlacementOptions.tuned(
         min_prob=candidate.get("min_prob"),
         inline_min_call_count=candidate.get("inline_min_count"),
         inline_max_code_growth=candidate.get("inline_budget"),
+        opt_passes=None if opt in (None, "none") else opt,
     )
 
 

@@ -18,10 +18,11 @@ no matter how they spelled the request.
 Supported kinds
 ---------------
 
-``table``   ``{"kind": "table", "table": "table6", "scale": "small"}``
+``table``   ``{"kind": "table", "table": "table6", "scale": "small",
+            "opt": "none"}``
 ``explain`` ``{"kind": "explain", "workload": "wc", "cache_bytes": …,
             "block_bytes": …, "assoc": …, "layout": …, "baseline": …,
-            "top": …, "scale": …}``
+            "top": …, "scale": …, "opt": …}``
 ``tune``    ``{"kind": "tune", "strategy": "random", "budget": 6,
             "seed": 0, "scale": "small", "workloads": [...],
             "axes": [...]}``
@@ -101,12 +102,28 @@ def normalize_request(doc: object) -> dict:
     return _normalize_tune(doc)
 
 
+def _normalize_opt(doc: dict) -> str:
+    """Canonicalize a middle-end pass spec field (default: ``"none"``)."""
+    from repro.opt import OptOptions
+
+    value = doc.get("opt", "none")
+    if not isinstance(value, str):
+        raise RequestError(f"opt must be a pass spec string, got {value!r}")
+    try:
+        return OptOptions.parse(value).spec
+    except ValueError as exc:
+        raise RequestError(str(exc)) from exc
+
+
 def _normalize_table(doc: dict) -> dict:
     from repro.engine.jobs import ALL_TABLE_NAMES
 
     table = _require_choice(doc, "table", ALL_TABLE_NAMES, None)
     scale = _require_choice(doc, "scale", _SCALES, "default")
-    return {"kind": "table", "table": table, "scale": scale}
+    return {
+        "kind": "table", "table": table, "scale": scale,
+        "opt": _normalize_opt(doc),
+    }
 
 
 def _normalize_explain(doc: dict) -> dict:
@@ -126,6 +143,7 @@ def _normalize_explain(doc: dict) -> dict:
         "layout": layout,
         "baseline": baseline,
         "top": _require_int(doc, "top", 10, 1, 100),
+        "opt": _normalize_opt(doc),
     }
 
 

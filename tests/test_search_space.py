@@ -143,7 +143,7 @@ class TestPlacementLowering:
         candidate = default_space().default_candidate()
         params = placement_params(candidate)
         assert set(params) == {
-            "min_prob", "inline_min_count", "inline_budget",
+            "min_prob", "inline_min_count", "inline_budget", "opt",
         }
 
     def test_placement_fingerprint_ignores_evaluation_axes(self):

@@ -33,7 +33,7 @@ class TestNormalizeRequest:
     def test_table_fills_defaults(self):
         doc = normalize_request({"kind": "table", "table": "table6"})
         assert doc == {"kind": "table", "table": "table6",
-                       "scale": "default"}
+                       "scale": "default", "opt": "none"}
 
     def test_explain_fills_cli_defaults(self):
         doc = normalize_request({"kind": "explain", "workload": "wc"})
