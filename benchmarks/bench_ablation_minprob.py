@@ -1,6 +1,6 @@
 """Benchmark / regeneration of the MIN_PROB sensitivity ablation."""
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.experiments import ablation
 
 
@@ -9,7 +9,7 @@ def test_ablation_min_prob(benchmark, runner):
         ablation.compute_min_prob, args=(runner,), rounds=1, iterations=1
     )
     text = ablation.render_min_prob(rows)
-    emit("ablation_minprob", text)
+    emit_bench("ablation_minprob", text)
     for row in rows:
         # The paper's 0.7 sits in a flat region: varying MIN_PROB should
         # not change the miss ratio by more than a small factor.

@@ -1,6 +1,6 @@
 """Benchmark / regeneration of the pipeline-step ablation."""
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.experiments import ablation
 
 
@@ -9,7 +9,7 @@ def test_ablation_steps(benchmark, runner):
         ablation.compute_steps, args=(runner,), rounds=1, iterations=1
     )
     text = ablation.render_steps(rows)
-    emit("ablation_steps", text)
+    emit_bench("ablation_steps", text)
     for row in rows:
         # The full pipeline is never meaningfully worse than the random
         # baseline, and usually much better.

@@ -1,7 +1,7 @@
 """Benchmark / regeneration of the associativity study (the Przybylski
 argument: placement already harvests associativity's benefit)."""
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.experiments import associativity
 
 
@@ -10,7 +10,7 @@ def test_associativity_ladder(benchmark, runner):
         associativity.compute, args=(runner,), rounds=1, iterations=1
     )
     text = associativity.render(rows)
-    emit("associativity", text)
+    emit_bench("associativity", text)
     for row in rows:
         # Optimized direct-mapped sits within a small factor of optimized
         # fully associative...

@@ -1,6 +1,6 @@
 """Benchmark / regeneration of the Section 4.2.4 headline comparison."""
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.experiments import comparison
 
 
@@ -9,7 +9,7 @@ def test_comparison_vs_fully_associative(benchmark, runner):
         comparison.compute, args=(runner,), rounds=1, iterations=1
     )
     text = comparison.render(points)
-    emit("comparison", text)
+    emit_bench("comparison", text)
     for point in points:
         # The paper: optimized direct-mapped beats the fully associative
         # design target — even the worst program, and the average by a

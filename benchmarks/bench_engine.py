@@ -17,7 +17,7 @@ import os
 import tempfile
 import time
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.engine.jobs import table_plan
 from repro.engine.scheduler import run_jobs
 from repro.engine.telemetry import Telemetry
@@ -78,7 +78,7 @@ def test_engine_cold_warm_parallel(benchmark):
             "--jobs N fans the per-workload pipeline over N processes."
         ),
     )
-    emit("engine", text)
+    emit_bench("engine", text)
 
     # The engine is only a speedup: every configuration renders the
     # identical table.

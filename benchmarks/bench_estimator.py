@@ -1,7 +1,7 @@
 """Benchmark / regeneration of the weighted-graph estimator evaluation
 (paper Section 5 future work: approximate the trace-driven simulation)."""
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.experiments import estimator
 
 
@@ -10,7 +10,7 @@ def test_estimator_vs_simulation(benchmark, runner):
         estimator.compute, args=(runner,), rounds=1, iterations=1
     )
     text = estimator.render(rows)
-    emit("estimator", text)
+    emit_bench("estimator", text)
     # The paper's hope: "with few mapping conflicts, performance
     # measurements based on weighted call graphs could closely
     # approximate the trace driven simulation".  Check it at the flagship

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.conftest import record_bench
+from benchmarks.conftest import emit_bench
 from repro import diagnose
 from repro.experiments import table6
 
@@ -48,7 +48,7 @@ def test_attribution_overhead_and_3c(benchmark, runner):
             "anomaly": entry.anomaly,
         }
 
-    record_bench(
+    emit_bench(
         "explain_attribution",
         plain_s=plain_s,
         attributed_s=attributed_s,

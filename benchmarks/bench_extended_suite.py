@@ -9,7 +9,7 @@ step is the cause; with hot sets larger than the cache, 1989-era greedy
 function ordering is luck-dependent.  See EXPERIMENTS.md.
 """
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.experiments import extended
 
 
@@ -18,7 +18,7 @@ def test_extended_suite(benchmark, runner):
         extended.compute, args=(runner,), rounds=1, iterations=1
     )
     text = extended.render(rows)
-    emit("extended", text)
+    emit_bench("extended", text)
     assert {row.name for row in rows} == {"sort", "diff", "awk", "espresso"}
     regressions = 0
     for row in rows:

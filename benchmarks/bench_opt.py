@@ -11,11 +11,10 @@ repo root, which the benchmark trajectory graphs across commits.
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 
-from benchmarks.conftest import emit, record_bench
+from benchmarks.conftest import emit_bench
 from repro.cache import simulate_direct_vectorized
 from repro.engine.store import ArtifactStore
 from repro.experiments.report import render_table
@@ -28,8 +27,6 @@ SPEC = "lvn,simplify,dce,licm"
 WORKLOADS = ["cccp", "awk", "tar"]
 BLOCK_BYTES = 64
 CACHE_SIZES = (512, 2048)
-
-_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def _build_all(runner: ExperimentRunner) -> None:
@@ -117,14 +114,10 @@ def test_opt_pipeline(benchmark):
             "can move either way while misses stay flat or drop"
         ),
     )
-    emit("opt", text)
-
-    with open(os.path.join(_REPO_ROOT, "BENCH_opt.json"), "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-
-    record_bench(
+    emit_bench(
         "opt",
+        text=text,
+        snapshot=document,
         spec=SPEC,
         instructions_removed=total_removed,
         miss_2048x64={

@@ -1,7 +1,7 @@
 """Benchmark / regeneration of the instruction paging study
 (paper Section 5 future work: working set size, page size, sectoring)."""
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.experiments import paging
 
 
@@ -10,7 +10,7 @@ def test_paging_study(benchmark, runner):
         paging.compute, args=(runner,), rounds=1, iterations=1
     )
     text = paging.render(rows)
-    emit("paging", text)
+    emit_bench("paging", text)
     for row in rows:
         # The region split packs effective code: the optimized layout
         # never needs more pages than the natural one.

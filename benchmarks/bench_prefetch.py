@@ -1,6 +1,6 @@
 """Benchmark / regeneration of the prefetch-vs-placement study."""
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.experiments import prefetch_study
 
 
@@ -9,7 +9,7 @@ def test_prefetch_vs_placement(benchmark, runner):
         prefetch_study.compute, args=(runner,), rounds=1, iterations=1
     )
     text = prefetch_study.render(rows)
-    emit("prefetch", text)
+    emit_bench("prefetch", text)
     for row in rows:
         # Prefetch helps on top of placement (sequential streams)...
         assert row.optimized_prefetch <= row.optimized_plain + 1e-9

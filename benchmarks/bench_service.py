@@ -15,12 +15,11 @@ trajectory graphs across commits.
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 import time
 
-from benchmarks.conftest import _BENCH_OBS, emit, record_runner
+from benchmarks.conftest import _BENCH_OBS, emit_bench, record_runner
 from repro.experiments.report import render_table
 from repro.service import ExperimentService
 from repro.service.client import ServiceClient, load_test
@@ -98,8 +97,6 @@ def test_service_cold_warm_concurrency(benchmark):
             "coalesce onto one in-flight execution."
         ),
     )
-    emit("service", text)
-
     document = {
         "scale": SCALE,
         "requests": len(REQUESTS),
@@ -110,7 +107,7 @@ def test_service_cold_warm_concurrency(benchmark):
         "coalescing_hit_rate": metrics.coalescing_hit_rate,
         "daemon_counters": metrics.counters,
     }
-    _update_bench(document)
+    emit_bench("service", text=text, snapshot=document)
 
     # The daemon IS this bench's execution engine — feed its counters
     # into BENCH_observability.json so a service-only bench selection
@@ -176,8 +173,16 @@ def _accept_phase(root: str, journal: bool) -> dict:
             client.run({"kind": "explain", "workload": "wc",
                         "scale": SCALE, "top": top}, timeout=120.0)
         latencies = sorted(_accept_latencies(service.url))
+        counters = service.registry.counter_values()
     finally:
         assert service.shutdown(timeout=60.0)
+
+    # The daemon is this bench's engine too: feed its counters so a
+    # journal-only selection still emits real runner numbers.
+    record_runner(
+        counters=counters,
+        totals={"jobs": counters.get("service.completed", 0)},
+    )
 
     def pct(q: float) -> float:
         return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
@@ -222,15 +227,15 @@ def test_journal_accept_overhead():
             f"{JOURNAL_OVERHEAD_EPSILON_S * 1000:.0f}ms fsync slack."
         ),
     )
-    emit("service_journal", text)
-    _update_bench({
-        "journal_overhead": {
-            "journal_off": off,
-            "journal_on": on,
-            "p50_overhead_frac": overhead,
-            "epsilon_s": JOURNAL_OVERHEAD_EPSILON_S,
-        },
-    })
+    emit_bench("service_journal", text=text, snapshot_name="service",
+               snapshot={
+                   "journal_overhead": {
+                       "journal_off": off,
+                       "journal_on": on,
+                       "p50_overhead_frac": overhead,
+                       "epsilon_s": JOURNAL_OVERHEAD_EPSILON_S,
+                   },
+               })
 
     # Acceptance: the durability tax on the warm accept path stays
     # under 10%, modulo the absolute fsync slack.
@@ -340,22 +345,29 @@ def test_tracing_overhead_and_slo():
             f"{TRACING_OVERHEAD_EPSILON_S * 1000:.0f}ms disk slack."
         ),
     )
-    emit("service_tracing", text)
-
     slo = load_slo(os.path.join(_REPO_ROOT, "SLO_service.json"))
     results = evaluate_slo(snapshot, slo=slo)
     print("\n" + render_results(results))
-    _update_bench({
-        "tracing_overhead": {
-            "observability_off": off,
-            "observability_on": on,
-            "p50_overhead_frac": overhead,
-            "epsilon_s": TRACING_OVERHEAD_EPSILON_S,
-        },
-        "slo": {
-            "file": "SLO_service.json",
-            "results": results,
-        },
+    emit_bench("service_tracing", text=text, snapshot_name="service",
+               snapshot={
+                   "tracing_overhead": {
+                       "observability_off": off,
+                       "observability_on": on,
+                       "p50_overhead_frac": overhead,
+                       "epsilon_s": TRACING_OVERHEAD_EPSILON_S,
+                   },
+                   "slo": {
+                       "file": "SLO_service.json",
+                       "results": results,
+                   },
+               })
+
+    # Feed the observed daemon's counters into the runner sections so
+    # this selection never writes them out empty.
+    record_runner(counters={
+        name: value
+        for name, value in (snapshot.get("counters") or {}).items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
     })
 
     # Acceptance: the observability tax on the warm accept path stays
@@ -369,21 +381,6 @@ def test_tracing_overhead_and_slo():
     # ...and the observed run meets every service-level objective.
     violated = [r for r in results if r["status"] == "fail"]
     assert not violated, "SLO violations:\n" + render_results(results)
-
-
-def _update_bench(fields: dict) -> None:
-    """Merge ``fields`` into BENCH_service.json (both tests write it)."""
-    path = os.path.join(_REPO_ROOT, "BENCH_service.json")
-    document = {}
-    if os.path.exists(path):
-        try:
-            with open(path) as handle:
-                document = json.load(handle)
-        except (json.JSONDecodeError, OSError):
-            document = {}
-    document.update(fields)
-    with open(path, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
 
 
 class ExperimentServiceMetrics:

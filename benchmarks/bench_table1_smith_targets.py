@@ -1,12 +1,12 @@
 """Benchmark / regeneration of Table 1 (Smith's design-target grid)."""
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.experiments import table1
 
 
 def test_table1_smith_targets(benchmark):
     rows = benchmark(table1.compute)
     text = table1.render(rows)
-    emit("table1", text)
+    emit_bench("table1", text)
     assert len(rows) == 4
     assert "6.8%" in text  # 2048B / 64B, quoted in the paper's text

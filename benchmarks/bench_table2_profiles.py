@@ -1,6 +1,6 @@
 """Benchmark / regeneration of Table 2 (benchmark characteristics)."""
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.experiments import table2
 
 
@@ -9,7 +9,7 @@ def test_table2_profiles(benchmark, runner):
         table2.compute, args=(runner,), rounds=1, iterations=1
     )
     text = table2.render(rows)
-    emit("table2", text)
+    emit_bench("table2", text)
     assert len(rows) == 10
     for row in rows:
         assert row.instructions > 0 and row.runs >= 4

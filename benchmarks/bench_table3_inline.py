@@ -1,6 +1,6 @@
 """Benchmark / regeneration of Table 3 (inline expansion results)."""
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.experiments import table3
 
 
@@ -9,7 +9,7 @@ def test_table3_inline(benchmark, runner):
         table3.compute, args=(runner,), rounds=1, iterations=1
     )
     text = table3.render(rows)
-    emit("table3", text)
+    emit_bench("table3", text)
     by_name = {row.name: row for row in rows}
     # The paper's signature cases: tee and wc inline nothing.
     assert by_name["tee"].code_increase_pct == 0.0

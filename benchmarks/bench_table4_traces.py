@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.experiments import table4
 
 
@@ -11,7 +11,7 @@ def test_table4_traces(benchmark, runner):
         table4.compute, args=(runner,), rounds=1, iterations=1
     )
     text = table4.render(rows)
-    emit("table4", text)
+    emit_bench("table4", text)
     for row in rows:
         assert row.neutral_pct + row.undesirable_pct + row.desirable_pct == (
             pytest.approx(100.0)

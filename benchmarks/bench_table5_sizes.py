@@ -1,6 +1,6 @@
 """Benchmark / regeneration of Table 5 (static and dynamic code sizes)."""
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.experiments import table5
 
 
@@ -9,7 +9,7 @@ def test_table5_sizes(benchmark, runner):
         table5.compute, args=(runner,), rounds=1, iterations=1
     )
     text = table5.render(rows)
-    emit("table5", text)
+    emit_bench("table5", text)
     by_name = {row.name: row for row in rows}
     for row in rows:
         assert 0 < row.effective_static_bytes <= row.total_static_bytes

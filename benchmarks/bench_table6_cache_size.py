@@ -1,6 +1,6 @@
 """Benchmark / regeneration of Table 6 (cache-size sweep, 64B blocks)."""
 
-from benchmarks.conftest import emit, record_bench
+from benchmarks.conftest import emit_bench
 from repro.experiments import table6
 
 
@@ -9,9 +9,9 @@ def test_table6_cache_size(benchmark, runner):
         table6.compute, args=(runner,), rounds=1, iterations=1
     )
     text = table6.render(rows)
-    emit("table6", text)
+    emit_bench("table6", text)
     by_name = {row.name: row for row in rows}
-    record_bench(
+    emit_bench(
         "table6_cache_size",
         miss_ratios={
             row.name: {

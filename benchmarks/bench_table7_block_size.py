@@ -1,6 +1,6 @@
 """Benchmark / regeneration of Table 7 (block-size sweep, 2K cache)."""
 
-from benchmarks.conftest import emit, record_bench
+from benchmarks.conftest import emit_bench
 from repro.experiments import table7
 
 
@@ -9,8 +9,8 @@ def test_table7_block_size(benchmark, runner):
         table7.compute, args=(runner,), rounds=1, iterations=1
     )
     text = table7.render(rows)
-    emit("table7", text)
-    record_bench(
+    emit_bench("table7", text)
+    emit_bench(
         "table7_block_size",
         miss_ratios={
             row.name: {

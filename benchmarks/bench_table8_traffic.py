@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.experiments import table8
 
 
@@ -11,7 +11,7 @@ def test_table8_traffic(benchmark, runner):
         table8.compute, args=(runner,), rounds=1, iterations=1
     )
     text = table8.render(rows)
-    emit("table8", text)
+    emit_bench("table8", text)
     for row in rows:
         # Sector traffic = 2 words per miss.
         assert row.sector_traffic == pytest.approx(2 * row.sector_miss)

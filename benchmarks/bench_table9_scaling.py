@@ -1,6 +1,6 @@
 """Benchmark / regeneration of Table 9 (code scaling stability)."""
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.experiments import table9
 
 
@@ -9,7 +9,7 @@ def test_table9_scaling(benchmark, runner):
         table9.compute, args=(runner,), rounds=1, iterations=1
     )
     text = table9.render(rows)
-    emit("table9", text)
+    emit_bench("table9", text)
     # The paper's claim: cache performance is stable across encodings.
     # No benchmark should change category — ones that fit keep fitting,
     # and the stressed ones stay within a small factor.

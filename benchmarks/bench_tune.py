@@ -11,12 +11,11 @@ graphs across commits.
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 import time
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit_bench
 from repro.engine.telemetry import Telemetry
 from repro.experiments.report import render_table
 from repro.search import default_space, make_strategy, run_search
@@ -26,8 +25,6 @@ WORKLOADS = ["cmp", "wc"]
 BUDGET = 6
 SEED = 7
 JOBS = 2
-
-_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def _search(cache_dir: str):
@@ -81,8 +78,6 @@ def test_tune_cold_warm(benchmark):
             "content-addressed store and executes zero interpreter steps."
         ),
     )
-    emit("tune", text)
-
     document = {
         "strategy": "random",
         "budget": BUDGET,
@@ -103,8 +98,7 @@ def test_tune_cold_warm(benchmark):
             "objectives": best["objectives"],
         },
     }
-    with open(os.path.join(_REPO_ROOT, "BENCH_search.json"), "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
+    emit_bench("tune", text=text, snapshot=document, snapshot_name="search")
 
     # The search is only useful if it produced a non-empty front, and the
     # rerun must be entirely store-served.

@@ -12,7 +12,7 @@ interpretation and re-measures only the table computations themselves.
 
 Observability: every session also writes ``BENCH_observability.json`` at
 the repo root — per-table wall time (the ``call`` phase of each bench
-test), whatever metrics the bench registered via :func:`record_bench`
+test), whatever metrics the bench registered via :func:`emit_bench`
 (miss ratios, mostly), and the shared runner's telemetry totals
 (interpreter instruction counts, store hits/misses).  The benchmark
 trajectory graphs these numbers across commits.
@@ -57,22 +57,93 @@ def runner():
     return shared
 
 
-def emit(name: str, text: str) -> None:
-    """Print a rendered table and persist it under results/."""
-    from repro.experiments.report import save_result
+def emit_bench(
+    name: str,
+    text: str | None = None,
+    snapshot: dict | None = None,
+    snapshot_name: str | None = None,
+    **metrics,
+) -> None:
+    """The one way a bench publishes results.
 
-    save_result(name, text)
-    print("\n" + text)
-
-
-def record_bench(name: str, **metrics) -> None:
-    """Register per-table observability metrics (e.g. miss ratios).
-
-    Benches call this with whatever scalar metrics matter for their
-    table; the values land under ``tables.<name>`` in
-    ``BENCH_observability.json`` alongside the measured wall time.
+    ``text`` (a rendered table) is printed and persisted under
+    ``results/<name>.txt``.  Scalar keyword ``metrics`` land under
+    ``tables.<name>`` in ``BENCH_observability.json`` alongside the
+    measured wall time.  ``snapshot`` is merged into
+    ``BENCH_<snapshot_name or name>.json`` at the repo root via a
+    staged-tmp/fsync write — and, when ``REPRO_PERF_LEDGER`` names a
+    ledger file, the merged document is flattened and appended there
+    too, so one bench run leaves both the point-in-time snapshot and a
+    durable history record.  Benches used to hand-roll the JSON writes
+    (four different open/json.dump idioms, one of which clobbered
+    populated sections with empty ones); this helper is the single
+    shared path.
     """
-    _BENCH_OBS["tables"].setdefault(name, {}).update(metrics)
+    if text is not None:
+        from repro.experiments.report import save_result
+
+        save_result(name, text)
+        print("\n" + text)
+    if metrics:
+        _BENCH_OBS["tables"].setdefault(name, {}).update(metrics)
+    if snapshot is not None:
+        _write_snapshot(snapshot_name or name, snapshot)
+
+
+def _write_snapshot(stem: str, fields: dict) -> None:
+    """Merge ``fields`` into ``BENCH_<stem>.json`` (staged tmp, fsync).
+
+    Dict-valued fields merge key-by-key with what is on disk instead of
+    replacing it, so a partial bench selection updates its own entries
+    without clobbering sections another selection populated — the bug
+    that left ``BENCH_observability.json`` with empty runner sections.
+    The write is staged-tmp → fsync → ``os.replace`` (the journal
+    discipline): readers never see a torn snapshot.
+    """
+    path = os.path.join(_REPO_ROOT, f"BENCH_{stem}.json")
+    document: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            document = {}
+    for key, value in fields.items():
+        if isinstance(value, dict) and isinstance(document.get(key), dict):
+            merged = dict(document[key])
+            merged.update(value)
+            document[key] = merged
+        else:
+            document[key] = value
+    stage = f"{path}.tmp-{os.getpid()}"
+    with open(stage, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(stage, path)
+    _ledger_append(stem, document)
+
+
+def _ledger_append(stem: str, document: dict) -> None:
+    """Append the flattened snapshot to ``$REPRO_PERF_LEDGER`` if set."""
+    ledger_path = os.environ.get("REPRO_PERF_LEDGER")
+    if not ledger_path:
+        return
+    from repro.perf.ledger import LedgerError, PerfLedger, flatten_snapshot
+
+    metrics = flatten_snapshot(stem, document)
+    if not metrics:
+        return
+    try:
+        PerfLedger(ledger_path).append(
+            sha=os.environ.get("REPRO_PERF_SHA", "unknown"),
+            label=os.environ.get("REPRO_PERF_LABEL", "bench"),
+            metrics=metrics,
+            meta={"source": f"BENCH_{stem}.json"},
+        )
+    except LedgerError:
+        # A broken ledger must never fail the bench that feeds it.
+        pass
 
 
 def record_runner(counters: dict | None = None,
@@ -137,6 +208,11 @@ def pytest_sessionfinish(session, exitstatus):
 
         _BENCH_OBS["obs_metrics"] = _SHARED_RECORDER.metrics.to_dict()
         obs.install(obs.NULL)
-    path = os.path.join(_REPO_ROOT, "BENCH_observability.json")
-    with open(path, "w") as handle:
-        json.dump(_BENCH_OBS, handle, indent=2, sort_keys=True)
+    # Through the shared merge path: a bench selection that populated
+    # only some sections updates those without emptying the rest, and
+    # the document is ledgered when REPRO_PERF_LEDGER is set.
+    fields = {
+        key: value for key, value in _BENCH_OBS.items()
+        if not (isinstance(value, dict) and not value)
+    }
+    _write_snapshot("observability", fields)

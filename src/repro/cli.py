@@ -188,6 +188,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run middle-end passes ahead of placement: a "
                             "comma-separated pass list, 'all', or 'none' "
                             "(default: none, the paper's unoptimized IR)")
+    table.add_argument("--profile-out", default=None, metavar="PREFIX",
+                       help="cProfile every engine job and write collapsed "
+                            "stacks to PREFIX.collapsed plus a self-"
+                            "contained flamegraph to PREFIX.html "
+                            "(zero overhead when absent)")
     _add_cache_arguments(table)
 
     tune = sub.add_parser(
@@ -231,6 +236,10 @@ def build_parser() -> argparse.ArgumentParser:
     tune_run.add_argument("--trace-out", default=None, metavar="PATH",
                           help="record spans/events/metrics for the run "
                                "as an observability JSONL file")
+    tune_run.add_argument("--profile-out", default=None, metavar="PREFIX",
+                          help="cProfile every engine job and write "
+                               "collapsed stacks to PREFIX.collapsed plus "
+                               "a self-contained flamegraph to PREFIX.html")
     _add_cache_arguments(tune_run)
     tune_report = tune_sub.add_parser(
         "report", help="re-render a trial log's Pareto report"
@@ -256,6 +265,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--top", type=int, default=10, metavar="N",
                         help="rows per ranking in report output "
                              "(default 10)")
+    report.add_argument("--ledger", default=None, metavar="PATH",
+                        help="with --html: append per-metric history "
+                             "sparklines from this perf ledger")
 
     explain = sub.add_parser(
         "explain",
@@ -342,6 +354,9 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="watchdog deadline: running attempts past this "
                             "are reaped and retried (default: off)")
+    serve.add_argument("--ledger", default=None, metavar="PATH",
+                       help="perf ledger whose trends the /dashboard page "
+                            "renders (default: no trend section)")
     _add_cache_arguments(serve)
 
     submit = sub.add_parser(
@@ -409,6 +424,84 @@ def build_parser() -> argparse.ArgumentParser:
     slo_check.add_argument("--slo", default=None, metavar="FILE",
                            help="SLO objectives file (repro-slo-v1; "
                                 "default: built-in service objectives)")
+    slo_check.add_argument("--ledger", default=None, metavar="PATH",
+                           help="perf ledger backing the file's 'ledger' "
+                                "objectives (absent: those are skipped)")
+
+    perf = sub.add_parser(
+        "perf",
+        help="the performance observatory: ledger, history, regressions",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_record = perf_sub.add_parser(
+        "record", help="append one run record to the perf ledger"
+    )
+    perf_record.add_argument("--ledger", default="perf_ledger.jsonl",
+                             metavar="PATH",
+                             help="ledger file (default perf_ledger.jsonl)")
+    perf_record.add_argument("--sha", default=None, metavar="SHA",
+                             help="commit to stamp the record with "
+                                  "(default: git rev-parse --short HEAD)")
+    perf_record.add_argument("--label", default="local", metavar="LABEL",
+                             help="run label, e.g. ci / local (default "
+                                  "local)")
+    perf_record.add_argument("--bench-dir", default=".", metavar="DIR",
+                             help="directory whose BENCH_*.json files to "
+                                  "harvest (default .)")
+    perf_record.add_argument("--run", action="append", default=[],
+                             metavar="RUN.jsonl",
+                             help="also harvest an observability run "
+                                  "file's metric snapshot (repeatable)")
+    perf_record.add_argument("--metric", action="append", default=[],
+                             metavar="KEY=VALUE",
+                             help="extra metric (repeatable)")
+    perf_history = perf_sub.add_parser(
+        "history", help="render one or more metrics' ledger history"
+    )
+    perf_history.add_argument("--ledger", default="perf_ledger.jsonl",
+                              metavar="PATH")
+    perf_history.add_argument("--metric", action="append", default=[],
+                              metavar="SUBSTRING",
+                              help="only metrics whose name contains this "
+                                   "(repeatable; default: all)")
+    perf_history.add_argument("--last", type=int, default=12, metavar="N",
+                              help="runs to show per metric (default 12)")
+    perf_compare = perf_sub.add_parser(
+        "compare", help="diff two ledger records metric-by-metric"
+    )
+    perf_compare.add_argument("--ledger", default="perf_ledger.jsonl",
+                              metavar="PATH")
+    perf_compare.add_argument("baseline", nargs="?", default=None,
+                              metavar="SHA_OR_SEQ",
+                              help="baseline record (default: second-"
+                                   "newest)")
+    perf_compare.add_argument("candidate", nargs="?", default=None,
+                              metavar="SHA_OR_SEQ",
+                              help="candidate record (default: newest)")
+    perf_compare.add_argument("--top", type=int, default=20, metavar="N",
+                              help="largest relative deltas shown "
+                                   "(default 20)")
+    perf_check = perf_sub.add_parser(
+        "check",
+        help="regression sentinel: newest record vs the rolling window "
+             "(exit 1 on regression, 2 when uncheckable)",
+    )
+    perf_check.add_argument("--ledger", default="perf_ledger.jsonl",
+                            metavar="PATH")
+    perf_check.add_argument("--window", type=int, default=8, metavar="N",
+                            help="rolling window size (default 8)")
+    perf_check.add_argument("--k", type=float, default=3.0, metavar="K",
+                            help="MAD multiplier (default 3.0)")
+    perf_check.add_argument("--min-rel", type=float, default=0.10,
+                            metavar="FRACTION",
+                            help="relative tolerance floor so a flat "
+                                 "window does not flag jitter "
+                                 "(default 0.10)")
+    perf_check.add_argument("--metric", action="append", default=[],
+                            metavar="NAME",
+                            help="only check these metrics (repeatable; "
+                                 "default: every metric in the newest "
+                                 "record)")
 
     optimize = sub.add_parser(
         "optimize", help="run the placement pipeline on one benchmark"
@@ -480,11 +573,32 @@ def _check_opt(spec: str | None, command: str) -> bool:
     return True
 
 
+def _write_profile(prefix: str, stacks: dict, title: str) -> None:
+    """``--profile-out`` outputs: PREFIX.collapsed + PREFIX.html.
+
+    Announced on stderr — stdout carries the table text, which must
+    stay byte-identical with and without profiling.
+    """
+    from repro.perf.flame import render_flamegraph, write_collapsed
+
+    collapsed_path = f"{prefix}.collapsed"
+    html_path = f"{prefix}.html"
+    write_collapsed(stacks, collapsed_path)
+    with open(html_path, "w", encoding="utf-8") as handle:
+        handle.write(render_flamegraph(stacks, title=title))
+    print(
+        f"profile: {len(stacks)} collapsed stack(s) -> {collapsed_path}, "
+        f"flamegraph -> {html_path}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro import diagnose, obs
     from repro.engine.jobs import ALL_TABLE_NAMES, table_plan
     from repro.engine.scheduler import ExperimentFailure, run_jobs
     from repro.engine.telemetry import Telemetry
+    from repro.perf import profiler as perf_profiler
 
     name = args.name
     if name not in TABLE_CHOICES:
@@ -513,6 +627,10 @@ def _cmd_table(args: argparse.Namespace) -> int:
         return 2
     recorder = obs.Recorder() if observing else obs.NULL
     collector = diagnose.Collector() if args.attribution else diagnose.NULL
+    profiler = (
+        perf_profiler.ProfileCollector() if args.profile_out
+        else perf_profiler.NULL
+    )
     # One metric namespace: the run's robustness counters and the
     # observability counters land in the same registry.
     telemetry = Telemetry(
@@ -530,7 +648,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
         cache_dir, use_cache = temp_cache.name, True
     failure = None
     try:
-        with obs.use(recorder), diagnose.use(collector):
+        with obs.use(recorder), diagnose.use(collector), \
+                perf_profiler.use(profiler):
             values = run_jobs(
                 table_plan(tables, args.scale, opt=args.opt),
                 jobs=args.jobs,
@@ -570,6 +689,11 @@ def _cmd_table(args: argparse.Namespace) -> int:
         telemetry.meta["tables"] = tables
         telemetry.meta["scale"] = args.scale
         telemetry.dump(args.telemetry)
+    if args.profile_out:
+        _write_profile(
+            args.profile_out, profiler.stacks,
+            title=f"repro table {' '.join(tables)} hot paths",
+        )
     if failure is not None:
         print(f"repro table: {failure.summary()}", file=sys.stderr)
         return EXIT_PARTIAL_FAILURE
@@ -580,6 +704,7 @@ def _cmd_tune_run(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.engine.scheduler import ExperimentFailure
     from repro.engine.telemetry import Telemetry
+    from repro.perf import profiler as perf_profiler
     from repro.search import default_space, make_strategy, run_search
     from repro.search.evaluate import write_trials
     from repro.search.report import render_result
@@ -611,6 +736,10 @@ def _cmd_tune_run(args: argparse.Namespace) -> int:
 
     observing = bool(args.trace_out)
     recorder = obs.Recorder() if observing else obs.NULL
+    profiler = (
+        perf_profiler.ProfileCollector() if args.profile_out
+        else perf_profiler.NULL
+    )
     telemetry = Telemetry(registry=recorder.metrics if observing else None)
     use_cache = not args.no_cache
     cache_dir = args.cache_dir
@@ -623,7 +752,7 @@ def _cmd_tune_run(args: argparse.Namespace) -> int:
         temp_cache = tempfile.TemporaryDirectory(prefix="repro-cache-")
         cache_dir, use_cache = temp_cache.name, True
     try:
-        with obs.use(recorder):
+        with obs.use(recorder), perf_profiler.use(profiler):
             result = run_search(
                 space,
                 make_strategy(args.strategy, args.seed),
@@ -658,6 +787,11 @@ def _cmd_tune_run(args: argparse.Namespace) -> int:
             )
             recorder.dump_jsonl(args.trace_out)
     write_trials(result, args.out)
+    if args.profile_out:
+        _write_profile(
+            args.profile_out, profiler.stacks,
+            title="repro tune hot paths",
+        )
     print(render_result(result))
     print(f"trial log: {args.out} "
           f"({len(result.records)} records, {result.pruned} pruned)")
@@ -698,11 +832,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
               "is required", file=sys.stderr)
         return 2
     report = RunReport.load(args.run)
+    ledger_records = None
+    if args.ledger:
+        from repro.perf.ledger import LedgerError, PerfLedger
+
+        try:
+            view = PerfLedger(args.ledger).read()
+        except LedgerError as exc:
+            print(f"repro report: {exc}", file=sys.stderr)
+            return 2
+        ledger_records = view.records
+        if view.corrupt:
+            print(f"repro report: skipped {view.corrupt} corrupt ledger "
+                  f"record(s)", file=sys.stderr)
     if args.html:
         from repro.diagnose.html import render_html
 
         with open(args.html, "w", encoding="utf-8") as handle:
-            handle.write(render_html(report, top=args.top))
+            handle.write(render_html(
+                report, top=args.top, ledger_records=ledger_records,
+            ))
         print(f"wrote {args.html}")
         return 0
     print(report.render(top=args.top))
@@ -855,6 +1004,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             journal_dir=journal_dir,
             retries=args.retries,
             job_timeout=args.job_timeout,
+            ledger=args.ledger,
         )
     except JournalLocked as exc:
         print(f"repro serve: {exc}", file=sys.stderr)
@@ -1040,13 +1190,209 @@ def _cmd_slo(args: argparse.Namespace) -> int:
         print(f"repro slo check: cannot read {args.document}: {exc}",
               file=sys.stderr)
         return 2
+    ledger_records = None
+    if args.ledger:
+        from repro.perf.ledger import LedgerError, PerfLedger
+
+        try:
+            ledger_records = PerfLedger(args.ledger).read().records
+        except LedgerError as exc:
+            print(f"repro slo check: {exc}", file=sys.stderr)
+            return 2
     try:
-        results = evaluate_slo(document, slo=slo)
+        results = evaluate_slo(
+            document, slo=slo, ledger_records=ledger_records,
+        )
     except SloError as exc:
         print(f"repro slo check: {exc}", file=sys.stderr)
         return 2
     print(render_results(results))
     return 1 if any(r["status"] == "fail" for r in results) else 0
+
+
+def _git_sha() -> str:
+    """The short HEAD sha, or ``unknown`` outside a git checkout."""
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def _harvest_run_file(path: str) -> dict:
+    """Flatten one observability run file's metric snapshot for the ledger."""
+    from repro.obs.recorder import Recorder
+
+    document = Recorder.load_jsonl(path)
+    metrics: dict = {}
+    snapshot = document.get("metrics", {})
+    for name, value in (snapshot.get("counters") or {}).items():
+        metrics[f"run.counters.{name}"] = value
+    for name, value in (snapshot.get("gauges") or {}).items():
+        metrics[f"run.gauges.{name}"] = value
+    for name, summary in (snapshot.get("histograms") or {}).items():
+        for stat in ("count", "sum", "mean", "p50", "p90", "p99"):
+            value = (summary or {}).get(stat)
+            if isinstance(value, (int, float)):
+                metrics[f"run.{name}.{stat}"] = value
+    totals = (document.get("meta") or {}).get("telemetry_totals") or {}
+    for name, value in totals.items():
+        if isinstance(value, (int, float)):
+            metrics[f"run.totals.{name}"] = value
+    return metrics
+
+
+def _resolve_ledger_record(records: list[dict], selector: str | None,
+                           default_index: int) -> dict | None:
+    """A record by seq number or sha prefix; ``None`` when absent."""
+    if selector is None:
+        return (
+            records[default_index]
+            if -len(records) <= default_index < len(records) else None
+        )
+    if selector.isdigit():
+        for record in records:
+            if record.get("seq") == int(selector):
+                return record
+    matches = [
+        record for record in records
+        if str(record.get("sha", "")).startswith(selector)
+    ]
+    return matches[-1] if matches else None
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf.ledger import LedgerError, PerfLedger, harvest_metrics
+
+    ledger = PerfLedger(args.ledger)
+
+    if args.perf_command == "record":
+        metrics = harvest_metrics(args.bench_dir)
+        for path in args.run:
+            try:
+                metrics.update(_harvest_run_file(path))
+            except OSError as exc:
+                print(f"repro perf record: cannot read {path}: {exc}",
+                      file=sys.stderr)
+                return 2
+        for raw in args.metric:
+            key, sep, value = raw.partition("=")
+            try:
+                if not sep or not key:
+                    raise ValueError
+                metrics[key] = float(value)
+            except ValueError:
+                print(f"repro perf record: --metric needs KEY=NUMBER, "
+                      f"got {raw!r}", file=sys.stderr)
+                return 2
+        if not metrics:
+            print(f"repro perf record: nothing to record — no BENCH_*.json "
+                  f"under {args.bench_dir!r} and no --run/--metric values",
+                  file=sys.stderr)
+            return 2
+        sha = args.sha or _git_sha()
+        try:
+            record = ledger.append(
+                sha, args.label, metrics,
+                meta={"bench_dir": os.path.abspath(args.bench_dir)},
+            )
+        except LedgerError as exc:
+            print(f"repro perf record: {exc}", file=sys.stderr)
+            return 2
+        print(f"recorded seq {record['seq']} ({sha}, {args.label}): "
+              f"{len(record['metrics'])} metric(s) -> {args.ledger}")
+        return 0
+
+    try:
+        view = ledger.read()
+    except LedgerError as exc:
+        print(f"repro perf: {exc}", file=sys.stderr)
+        return 2
+    if view.corrupt:
+        print(f"repro perf: skipped {view.corrupt} corrupt ledger "
+              f"record(s)", file=sys.stderr)
+    if not view.records:
+        print(f"repro perf: ledger {args.ledger} has no intact records",
+              file=sys.stderr)
+        return 2
+
+    if args.perf_command == "history":
+        names = view.metric_names()
+        if args.metric:
+            wanted = [part.lower() for part in args.metric]
+            names = [
+                name for name in names
+                if any(part in name.lower() for part in wanted)
+            ]
+        if not names:
+            print("repro perf history: no matching metrics",
+                  file=sys.stderr)
+            return 1
+        for name in names:
+            rows = view.history(name)[-args.last:]
+            if not rows:
+                continue
+            print(name)
+            for record, value in rows:
+                print(f"  {str(record.get('sha', '?')):<14} "
+                      f"{str(record.get('label', '?')):<10} {value:.6g}")
+        print(f"{len(view.records)} run(s) in {args.ledger}, "
+              f"{len(names)} metric(s) shown")
+        return 0
+
+    if args.perf_command == "compare":
+        baseline = _resolve_ledger_record(view.records, args.baseline, -2)
+        candidate = _resolve_ledger_record(view.records, args.candidate, -1)
+        if baseline is None or candidate is None:
+            which = "baseline" if baseline is None else "candidate"
+            print(f"repro perf compare: cannot resolve the {which} record "
+                  f"(need two records, or a seq/sha that exists)",
+                  file=sys.stderr)
+            return 2
+        a, b = baseline.get("metrics", {}), candidate.get("metrics", {})
+        print(f"comparing {baseline.get('sha')} ({baseline.get('label')}) "
+              f"-> {candidate.get('sha')} ({candidate.get('label')})")
+        rows = []
+        for name in sorted(set(a) | set(b)):
+            old, new = a.get(name), b.get(name)
+            if old is None or new is None:
+                rows.append((0.0, name, old, new, "only one side"))
+                continue
+            rel = (new - old) / old if old else (0.0 if new == old else
+                                                float("inf"))
+            rows.append((abs(rel), name, old, new, f"{100 * rel:+.1f}%"))
+        rows.sort(key=lambda row: (-row[0], row[1]))
+        for _, name, old, new, delta in rows[:args.top]:
+            shown_old = "–" if old is None else f"{old:.6g}"
+            shown_new = "–" if new is None else f"{new:.6g}"
+            print(f"  {name:<52} {shown_old:>12} -> {shown_new:>12}  "
+                  f"{delta}")
+        if len(rows) > args.top:
+            print(f"  ... {len(rows) - args.top} more metric(s)")
+        return 0
+
+    # perf check: the regression sentinel.
+    from repro.perf.sentinel import check_window
+
+    try:
+        report = check_window(
+            view.records,
+            window=args.window,
+            k=args.k,
+            min_rel=args.min_rel,
+            metrics=args.metric or None,
+        )
+    except ValueError as exc:
+        print(f"repro perf check: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_optimize(
@@ -1149,6 +1495,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "slo":
             return _cmd_slo(args)
+        if args.command == "perf":
+            return _cmd_perf(args)
         if args.command == "optimize":
             return _cmd_optimize(
                 args.workload, args.scale, args.cache, args.block, args.layout

@@ -162,8 +162,14 @@ def _attribution_sections(attribution: dict, top: int) -> list[str]:
     return out
 
 
-def render_html(report, top: int = 10) -> str:
-    """The full dashboard for one :class:`repro.obs.report.RunReport`."""
+def render_html(report, top: int = 10, ledger_records=None) -> str:
+    """The full dashboard for one :class:`repro.obs.report.RunReport`.
+
+    ``ledger_records`` (from :meth:`repro.perf.ledger.PerfLedger.read`)
+    appends the perf observatory's trend section — per-metric history
+    sparklines — after the run's own sections.  Pure rendering: a fixed
+    ledger yields byte-identical output.
+    """
     meta = report.meta
     title = "repro run dashboard"
     if meta.get("tables"):
@@ -222,5 +228,12 @@ def render_html(report, top: int = 10) -> str:
     parts.extend(
         _attribution_sections(meta.get("attribution", {}), top)
     )
+    if ledger_records:
+        from repro.perf.dashboard import trend_section_html
+
+        parts.append(trend_section_html(
+            ledger_records,
+            heading="Performance trends (perf ledger)",
+        ))
     parts.append("</body></html>")
     return "\n".join(part for part in parts if part)

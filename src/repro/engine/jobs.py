@@ -39,6 +39,7 @@ import numpy as np
 
 from repro import diagnose, obs
 from repro.engine import faults
+from repro.perf import profiler as perf_profiler
 from repro.engine.store import ArtifactStore
 from repro.engine.telemetry import JobRecord, Telemetry
 
@@ -82,6 +83,9 @@ class JobOutcome:
     ``attribution`` likewise carries the worker's serialized 3C miss
     attribution (:meth:`repro.diagnose.Collector.to_dict`) when the run
     was started with attribution on, and is empty otherwise.
+    ``profile`` carries the worker's collapsed hot-path stacks
+    (``{"a;b;c": seconds}``, :mod:`repro.perf.profiler`) when the run
+    was started with ``--profile-out``, and is empty otherwise.
     """
 
     job_id: str
@@ -91,6 +95,7 @@ class JobOutcome:
     obs_records: list = field(default_factory=list)
     obs_metrics: dict = field(default_factory=dict)
     attribution: dict = field(default_factory=dict)
+    profile: dict = field(default_factory=dict)
 
 
 def workloads_for_table(table: str) -> tuple[str, ...]:
@@ -208,6 +213,7 @@ def execute_job(
     observe: bool = False,
     attribute: bool = False,
     trace: str | None = None,
+    profile: bool = False,
 ) -> JobOutcome:
     """Run one job; the sequential scheduler and pool workers both use this.
 
@@ -226,6 +232,13 @@ def execute_job(
     installs a fresh :class:`repro.diagnose.Collector` and ships its
     serialized entries; in-process callers record straight into the
     collector the caller installed.
+
+    ``profile=True`` wraps the job's execution in cProfile the same
+    way: a worker (or forked child) collects into a fresh
+    :class:`repro.perf.profiler.ProfileCollector` and ships its
+    collapsed stacks; in-process callers capture straight into the
+    collector the caller installed.  Profiling never touches seeding
+    or outputs — profiled and unprofiled runs are byte-identical.
 
     ``trace`` carries the service request's trace id across the fork:
     the fresh recorder a pool child creates stamps every span/event
@@ -267,6 +280,20 @@ def execute_job(
         # fresh one and ship the entries through the outcome.
         own_collector = diagnose.Collector()
         diagnose.install(own_collector)
+
+    profiler = perf_profiler.NULL
+    own_profiler = None
+    if profile:
+        profiler = perf_profiler.current()
+        if (
+            not profiler.enabled
+            or getattr(profiler, "_pid", None) != os.getpid()
+        ):
+            # Same reasoning again: a worker's collapsed stacks travel
+            # home through the outcome, not through shared memory.
+            own_profiler = perf_profiler.ProfileCollector()
+            perf_profiler.install(own_profiler)
+            profiler = own_profiler
 
     telemetry = Telemetry()
     try:
@@ -315,7 +342,8 @@ def execute_job(
         }
         started = time.perf_counter()
         with recorder.span("job", cat="engine", job_id=spec.job_id,
-                           kind=spec.kind, **span_attrs):
+                           kind=spec.kind, **span_attrs), \
+                profiler.capture():
             if spec.kind == "artifacts":
                 runner.artifacts(spec.params["workload"])
                 value = None
@@ -356,12 +384,15 @@ def execute_job(
             obs.install(obs.NULL)
         if own_collector is not None:
             diagnose.install(diagnose.NULL)
+        if own_profiler is not None:
+            perf_profiler.install(perf_profiler.NULL)
     return JobOutcome(
         job_id=spec.job_id, value=value, records=telemetry.records,
         counters=counters,
         obs_records=own_recorder.records if own_recorder else [],
         obs_metrics=own_recorder.metrics.to_dict() if own_recorder else {},
         attribution=own_collector.to_dict() if own_collector else {},
+        profile=dict(own_profiler.stacks) if own_profiler else {},
     )
 
 

@@ -36,6 +36,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro import diagnose, obs
 from repro.engine.jobs import JobOutcome, JobSpec, execute_job
+from repro.perf import profiler as perf_profiler
 from repro.engine.store import ArtifactStore
 from repro.engine.telemetry import Telemetry
 
@@ -243,6 +244,10 @@ def _consume(
         # Entry replacement (not summation) keeps --jobs N identical to
         # --jobs 1 even when two tables replay the same configuration.
         collector.merge_dict(outcome.attribution)
+    profiler = perf_profiler.current()
+    if profiler.enabled and outcome.profile:
+        # Worker-side collapsed stacks fold into the run profile.
+        profiler.record(outcome.profile)
 
 
 def _blocked_by(
@@ -290,7 +295,10 @@ def _run_sequential(
         attempt = 0
         while True:
             try:
-                outcome = execute_job(spec, runner=runner, attempt=attempt)
+                outcome = execute_job(
+                    spec, runner=runner, attempt=attempt,
+                    profile=perf_profiler.current().enabled,
+                )
             except Exception as exc:
                 attempt += 1
                 if attempt > retries:
@@ -382,6 +390,7 @@ def _run_parallel(
                     # The request's trace id travels across the fork so
                     # the child's shipped spans join this trace.
                     getattr(obs.current(), "trace_id", None),
+                    perf_profiler.current().enabled,
                 )
                 in_flight[spec.job_id] = future
                 if job_timeout is not None:

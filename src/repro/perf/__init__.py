@@ -1,0 +1,31 @@
+"""The performance observatory: durable perf history and hot-path views.
+
+Four legs, each a module:
+
+- :mod:`repro.perf.ledger` — the append-only, checksummed
+  ``repro-perf-v1`` JSONL ledger: one record per bench/CI run (git sha,
+  label, metric key→value pairs), written with the same fsync
+  discipline as the service journal and read back torn-tail-tolerantly.
+- :mod:`repro.perf.sentinel` — the regression sentinel behind
+  ``repro perf check``: the newest record against a rolling window,
+  median ± k·MAD per metric, direction-aware.
+- :mod:`repro.perf.profiler` — the ambient profile collector behind
+  ``--profile-out``: cProfile per engine worker, collapsed stacks
+  shipped home through :class:`~repro.engine.jobs.JobOutcome`, with a
+  zero-overhead null path when off (the obs/diagnose contract).
+- :mod:`repro.perf.flame` — collapsed stacks rendered as a
+  self-contained HTML flamegraph (inline CSS/JS, no external assets).
+- :mod:`repro.perf.dashboard` — the live service dashboard behind
+  ``GET /dashboard`` and the ledger trend fragment that
+  ``repro report --html --ledger`` embeds.
+"""
+
+from repro.perf.ledger import LedgerError, PerfLedger, harvest_metrics
+from repro.perf.sentinel import check_window
+
+__all__ = [
+    "LedgerError",
+    "PerfLedger",
+    "check_window",
+    "harvest_metrics",
+]

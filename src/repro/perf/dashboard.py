@@ -1,0 +1,279 @@
+"""The live service dashboard and the ledger trend fragment.
+
+:func:`render_dashboard` turns one point-in-time snapshot of the
+daemon (queue stats, metrics registry dump, recent tickets, optional
+ledger records) into a single self-contained auto-refreshing HTML page:
+inline CSS, zero scripts, no external assets — refresh comes from a
+``<meta http-equiv="refresh">`` tag, bars and sparklines are plain CSS
+widths/heights.  CI greps the page for ``http://`` and ``<script
+src=`` and fails on either.
+
+:func:`trend_section_html` is the shared fragment: ledger records →
+per-metric sparkline columns, oldest left.  The daemon embeds it when
+``repro serve --ledger`` was given, and ``repro report --html
+--ledger`` appends it to the diagnose dashboard — same markup, so the
+two views of a metric's history are literally the same pixels.
+Rendering is pure (no clocks, no randomness): a fixed ledger renders
+byte-identically every time.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+
+__all__ = ["render_dashboard", "trend_section_html"]
+
+_CSS = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 1.4em;
+       background: #fafafa; color: #222; }
+h1 { font-size: 1.3em; margin: 0 0 .1em; }
+h2 { font-size: 1.05em; margin: 1.4em 0 .4em; border-bottom: 1px solid #ddd;
+     padding-bottom: .2em; }
+.meta { color: #666; margin: 0 0 1em; }
+.cards { display: flex; flex-wrap: wrap; gap: .8em; }
+.card { background: #fff; border: 1px solid #ddd; border-radius: 6px;
+        padding: .6em .9em; min-width: 8.5em; }
+.card .v { font-size: 1.6em; font-weight: 600; }
+.card .k { color: #666; font-size: .85em; }
+table { border-collapse: collapse; background: #fff; }
+th, td { border: 1px solid #ddd; padding: .25em .6em; text-align: left;
+         font-size: .9em; }
+th { background: #f0f0f0; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.hrow { display: flex; align-items: center; gap: .5em; margin: .15em 0; }
+.hname { width: 20em; overflow: hidden; text-overflow: ellipsis;
+         white-space: nowrap; font-size: .85em; }
+.htrack { background: #eee; height: 12px; width: 22em; border-radius: 3px; }
+.hbar { background: #4a84c4; height: 12px; border-radius: 3px; }
+.hbar.p90 { background: #d99a3d; }
+.hbar.p99 { background: #c4524a; }
+.hval { font-size: .8em; color: #555; width: 9em; }
+.state-done { color: #2a7a2a; }
+.state-failed { color: #c4524a; }
+.state-running { color: #d99a3d; }
+code { background: #f0f0f0; padding: 0 .25em; border-radius: 3px; }
+"""
+
+_esc = html.escape
+
+#: Styles the trend fragment needs; carried inside the fragment so it
+#: renders identically embedded in the service dashboard or appended
+#: to the diagnose report (``repro report --html --ledger``).
+_TREND_CSS = """
+.spark { display: flex; align-items: flex-end; gap: 1px; height: 42px;
+         background: #fff; border: 1px solid #ddd; padding: 2px;
+         width: fit-content; }
+.spark .pt { width: 7px; background: #4a84c4; min-height: 1px; }
+.spark .pt.last { background: #c4524a; }
+.trend { margin: .5em 0 1em; }
+.tname { font-size: .85em; color: #444; margin-bottom: .1em; }
+.trange { font-size: .75em; color: #777; margin-left: .6em; }
+"""
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "–"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _card(label: str, value) -> str:
+    return (
+        f'<div class="card"><div class="v">{_esc(_fmt(value))}</div>'
+        f'<div class="k">{_esc(label)}</div></div>'
+    )
+
+
+def _histogram_rows(histograms: dict) -> str:
+    """p50/p90/p99 per histogram as horizontal bars on a shared scale."""
+    rows: list[str] = []
+    for name in sorted(histograms):
+        summary = histograms[name] or {}
+        if not summary.get("count"):
+            continue
+        top = summary.get("p99") or summary.get("max") or 0.0
+        scale = top if top > 0 else 1.0
+        bars = []
+        for marker, cls in (("p50", ""), ("p90", "p90"), ("p99", "p99")):
+            value = summary.get(marker)
+            if value is None:
+                continue
+            pct = max(1.0, min(100.0, 100.0 * value / scale))
+            bars.append(
+                f'<div class="hrow"><span class="hname">'
+                f'{_esc(name)} {marker}</span>'
+                f'<span class="htrack"><span class="hbar {cls}" '
+                f'style="width:{pct:.1f}%"></span></span>'
+                f'<span class="hval">{_fmt(value)} '
+                f'(n={summary.get("count", 0)})</span></div>'
+            )
+        rows.extend(bars)
+    return "".join(rows)
+
+
+# -- ledger trends ---------------------------------------------------------
+
+
+def _series(records: list[dict], metric: str) -> list[tuple[str, float]]:
+    rows = []
+    for record in records:
+        value = record.get("metrics", {}).get(metric)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            rows.append((str(record.get("sha", "?"))[:12], float(value)))
+    return rows
+
+
+def trend_section_html(
+    records: list[dict],
+    metrics: list[str] | None = None,
+    limit: int = 12,
+    points: int = 48,
+    heading: str = "performance trends (ledger)",
+) -> str:
+    """Sparkline columns per metric, oldest left, newest highlighted.
+
+    With ``metrics`` unset, wall- and miss-like metric names are picked
+    (the per-table histories the ISSUE asks for), capped at ``limit``
+    in sorted-name order — a deterministic selection for a fixed
+    ledger.
+    """
+    if not records:
+        return ""
+    if metrics is None:
+        names = sorted({
+            name
+            for record in records
+            for name in record.get("metrics", {})
+        })
+        pattern = re.compile(r"(wall|miss|p50|p90|p99|latency)", re.I)
+        metrics = [n for n in names if pattern.search(n)][:limit]
+    parts = [f"<style>{_TREND_CSS}</style>", f"<h2>{_esc(heading)}</h2>"]
+    drawn = 0
+    for metric in metrics:
+        series = _series(records, metric)[-points:]
+        if len(series) < 2:
+            continue
+        values = [v for _, v in series]
+        low, high = min(values), max(values)
+        span = (high - low) or 1.0
+        bars = []
+        for position, (sha, value) in enumerate(series):
+            height = 4 + 36 * (value - low) / span
+            cls = "pt last" if position == len(series) - 1 else "pt"
+            bars.append(
+                f'<div class="{cls}" style="height:{height:.0f}px" '
+                f'title="{_esc(sha)}: {_fmt(value)}"></div>'
+            )
+        parts.append(
+            f'<div class="trend"><div class="tname">{_esc(metric)}'
+            f'<span class="trange">{_fmt(low)} … {_fmt(high)}, '
+            f'{len(series)} run(s), newest {_fmt(values[-1])}</span></div>'
+            f'<div class="spark">{"".join(bars)}</div></div>'
+        )
+        drawn += 1
+    if not drawn:
+        return ""
+    return "".join(parts)
+
+
+# -- the page --------------------------------------------------------------
+
+
+def render_dashboard(snapshot: dict) -> str:
+    """One self-contained dashboard page from a daemon snapshot.
+
+    ``snapshot`` keys (all optional unless noted): ``title``,
+    ``refresh_s``, ``uptime_s``, ``queue`` (the queue stats dict),
+    ``metrics`` (a :meth:`MetricsRegistry.to_dict` dump), ``recent``
+    (ticket status documents, newest first), ``ledger_records``.
+    """
+    title = snapshot.get("title", "repro experiment service")
+    refresh = int(snapshot.get("refresh_s", 3))
+    queue = snapshot.get("queue", {}) or {}
+    metrics = snapshot.get("metrics", {}) or {}
+    gauges = metrics.get("gauges", {}) or {}
+    counters = metrics.get("counters", {}) or {}
+    histograms = metrics.get("histograms", {}) or {}
+
+    parts: list[str] = []
+    parts.append(f"<h1>{_esc(title)}</h1>")
+    uptime = snapshot.get("uptime_s")
+    bits = [f"auto-refresh every {refresh}s"]
+    if uptime is not None:
+        bits.insert(0, f"up {uptime:.0f}s")
+    parts.append(f'<p class="meta">{_esc(" · ".join(bits))}</p>')
+
+    # Gauges: queue depth and in-flight lead; the rest of the registry
+    # gauges follow so new instrumentation shows up without edits here.
+    parts.append("<h2>service</h2>")
+    cards = [
+        _card("queue depth", queue.get(
+            "depth", gauges.get("service.queue_depth"))),
+        _card("in flight", queue.get(
+            "inflight", gauges.get("service.inflight"))),
+    ]
+    for key in ("accepted", "done", "failed", "coalesced"):
+        if key in queue:
+            cards.append(_card(key, queue[key]))
+    for name in sorted(gauges):
+        if name in ("service.queue_depth", "service.inflight"):
+            continue
+        cards.append(_card(name, gauges[name]))
+    parts.append(f'<div class="cards">{"".join(cards)}</div>')
+
+    if counters:
+        parts.append("<h2>counters</h2>")
+        rows = "".join(
+            f"<tr><td>{_esc(name)}</td>"
+            f'<td class="num">{counters[name]}</td></tr>'
+            for name in sorted(counters)
+        )
+        parts.append(
+            "<table><tr><th>counter</th><th>value</th></tr>"
+            f"{rows}</table>"
+        )
+
+    histogram_html = _histogram_rows(histograms)
+    if histogram_html:
+        parts.append("<h2>latency percentiles</h2>")
+        parts.append(histogram_html)
+
+    recent = snapshot.get("recent") or []
+    if recent:
+        parts.append("<h2>recent jobs</h2>")
+        rows = []
+        for ticket in recent:
+            state = str(ticket.get("state", "?"))
+            trace = ticket.get("trace") or ""
+            trace_cell = (
+                f"<code>{_esc(str(trace))}</code>" if trace else "–"
+            )
+            rows.append(
+                f"<tr><td><code>{_esc(str(ticket.get('id', '?')))}</code>"
+                f"</td><td>{_esc(str(ticket.get('kind', '?')))}</td>"
+                f'<td class="state-{_esc(state)}">{_esc(state)}</td>'
+                f'<td class="num">{_fmt(ticket.get("wall_s"))}</td>'
+                f"<td>{trace_cell}</td></tr>"
+            )
+        parts.append(
+            "<table><tr><th>ticket</th><th>kind</th><th>state</th>"
+            "<th>wall s</th><th>trace (repro trace &lt;id&gt;)</th></tr>"
+            + "".join(rows) + "</table>"
+        )
+
+    ledger_records = snapshot.get("ledger_records") or []
+    trends = trend_section_html(ledger_records)
+    if trends:
+        parts.append(trends)
+
+    return (
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">"
+        f'<meta http-equiv="refresh" content="{refresh}">'
+        f"<title>{_esc(title)}</title>"
+        f"<style>{_CSS}</style></head>\n<body>"
+        + "".join(parts)
+        + "</body></html>\n"
+    )

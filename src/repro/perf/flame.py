@@ -1,0 +1,170 @@
+"""Collapsed stacks → collapsed-stack text and a self-contained flamegraph.
+
+The text side speaks the Brendan Gregg convention — one
+``frame;frame;frame value`` line per stack, value in integer
+microseconds — so the output feeds any external flamegraph tooling
+unchanged.  The HTML side needs no tooling at all: one file, inline
+CSS, one inline ``<script>`` for click-to-zoom, no external assets
+(the PR 5 dashboard discipline; CI greps the output for ``http://``
+and ``<script src=`` and fails on either).
+
+Layout is an icicle: roots at the top, a frame's width proportional to
+its cumulative time within its parent.  Zooming a frame widens its
+ancestor chain to full width and hides the siblings; clicking the
+zoomed frame (or anywhere outside a frame) resets.
+"""
+
+from __future__ import annotations
+
+import html
+import zlib
+
+__all__ = ["render_flamegraph", "write_collapsed"]
+
+#: Frames narrower than this fraction of the root are dropped from the
+#: HTML (not the collapsed text) to bound the file size; the meta line
+#: says how many were folded away.
+_MIN_FRACTION = 0.001
+
+
+def write_collapsed(stacks: dict[str, float], path: str) -> None:
+    """One ``a;b;c value`` line per stack, value in microseconds."""
+    with open(path, "w") as handle:
+        for stack in sorted(stacks):
+            micros = int(round(stacks[stack] * 1e6))
+            if micros <= 0:
+                continue
+            handle.write(f"{stack} {micros}\n")
+
+
+class _Node:
+    __slots__ = ("name", "self_s", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.self_s = 0.0
+        self.children: dict[str, _Node] = {}
+
+    def cum(self) -> float:
+        return self.self_s + sum(c.cum() for c in self.children.values())
+
+
+def _build_tree(stacks: dict[str, float]) -> _Node:
+    root = _Node("all")
+    for stack in sorted(stacks):
+        node = root
+        for frame in stack.split(";"):
+            node = node.children.setdefault(frame, _Node(frame))
+        node.self_s += float(stacks[stack])
+    return root
+
+
+def _hue(name: str) -> int:
+    # Deterministic warm hue per frame name (builtin hash() is salted
+    # per process, which would re-colour the graph every run).
+    return zlib.crc32(name.encode()) % 55
+
+
+_CSS = """
+body { font: 13px/1.4 system-ui, sans-serif; margin: 1.2em;
+       background: #fafafa; color: #222; }
+h1 { font-size: 1.15em; margin: 0 0 .2em; }
+.meta { color: #666; margin: 0 0 1em; }
+#flame { border: 1px solid #ddd; background: #fff; padding: 2px; }
+.c { display: flex; width: 100%; }
+.f { overflow: hidden; white-space: nowrap; border: 1px solid #fff;
+     border-radius: 2px; cursor: pointer; min-width: 1px; }
+.f > .l { padding: 1px 4px; font-size: 11px; text-overflow: ellipsis;
+          overflow: hidden; display: block; }
+.f:hover { filter: brightness(1.08); }
+.f.zoom { width: 100% !important; }
+.f.hide { display: none; }
+"""
+
+_JS = """
+(function () {
+  var root = document.getElementById('flame');
+  var cur = null;
+  function reset() {
+    root.querySelectorAll('.f').forEach(function (e) {
+      e.classList.remove('hide', 'zoom');
+    });
+    cur = null;
+  }
+  root.addEventListener('click', function (ev) {
+    var f = ev.target.closest('.f');
+    if (!f || f === cur) { reset(); return; }
+    reset();
+    cur = f;
+    var n = f;
+    while (n && n !== root) {
+      if (n.classList && n.classList.contains('f')) {
+        n.classList.add('zoom');
+        var siblings = n.parentElement.children;
+        for (var i = 0; i < siblings.length; i++) {
+          var s = siblings[i];
+          if (s !== n && s.classList.contains('f')) {
+            s.classList.add('hide');
+          }
+        }
+      }
+      n = n.parentElement;
+    }
+  });
+})();
+"""
+
+
+def _render_node(node: _Node, parent_cum: float, root_cum: float,
+                 out: list[str], folded: list[int]) -> None:
+    cum = node.cum()
+    if root_cum > 0 and cum / root_cum < _MIN_FRACTION:
+        folded[0] += 1
+        return
+    width = 100.0 * cum / parent_cum if parent_cum > 0 else 100.0
+    label = html.escape(node.name)
+    pct = 100.0 * cum / root_cum if root_cum > 0 else 0.0
+    title = html.escape(
+        f"{node.name} — {cum:.4f}s total, {node.self_s:.4f}s self "
+        f"({pct:.1f}%)"
+    )
+    out.append(
+        f'<div class="f" style="width:{width:.3f}%;'
+        f'background:hsl({_hue(node.name)},72%,72%)" title="{title}">'
+        f'<span class="l">{label}</span>'
+    )
+    children = sorted(
+        node.children.values(), key=lambda c: (-c.cum(), c.name)
+    )
+    if children:
+        out.append('<div class="c">')
+        for child in children:
+            _render_node(child, cum, root_cum, out, folded)
+        out.append("</div>")
+    out.append("</div>")
+
+
+def render_flamegraph(
+    stacks: dict[str, float], title: str = "hot paths",
+) -> str:
+    """The whole flamegraph as one self-contained HTML page."""
+    root = _build_tree(stacks)
+    total = root.cum()
+    folded = [0]
+    body: list[str] = []
+    _render_node(root, total, total, body, folded)
+    meta = (
+        f"{total:.3f}s profiled · {len(stacks)} stack(s)"
+        + (f" · {folded[0]} narrow frame(s) folded" if folded[0] else "")
+        + " · click a frame to zoom, click it again to reset"
+    )
+    return (
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_CSS}</style></head>\n<body>"
+        f"<h1>{html.escape(title)}</h1>"
+        f"<p class=\"meta\">{html.escape(meta)}</p>"
+        '<div id="flame">' + "".join(body) + "</div>"
+        f"<script>{_JS}</script>"
+        "</body></html>\n"
+    )

@@ -1,0 +1,209 @@
+"""The regression sentinel: newest ledger record vs a rolling window.
+
+``repro perf check`` asks one question per metric: is the newest value
+outside ``median ± k·MAD`` of the window of runs before it, *in the
+direction that hurts*?  MAD (median absolute deviation) is the robust
+spread — one historical outlier widens it a little instead of dragging
+a mean around — and direction-awareness means a wall-time that got
+*faster* or a hit-rate that got *better* never trips the gate.
+
+Direction comes from the metric name: wall/miss/latency/traffic-like
+names regress upward, hit-rate-like names regress downward, and names
+the heuristic cannot place are watched both ways (either tail flags).
+
+A relative floor (``min_rel``, default 10%) keeps a near-constant
+window from flagging measurement jitter: with MAD ≈ 0 the tolerance is
+still ``min_rel · |median|``, so only a real move trips.
+
+Exit-code contract (what the CLI maps verdicts to): 0 = every metric
+ok, 1 = at least one regression, 2 = the check could not run (no
+ledger, too little history).
+"""
+
+from __future__ import annotations
+
+import re
+from statistics import median
+
+__all__ = [
+    "MetricVerdict",
+    "WindowReport",
+    "check_window",
+    "direction_for",
+]
+
+#: z-equivalent scale for MAD under normality; makes k comparable to
+#: "k sigmas".
+_MAD_SCALE = 1.4826
+
+#: Metrics matching these regress when they go UP.
+_UP_BAD = re.compile(
+    r"(wall|miss|latency|traffic|dur|seconds|_s\b|_s\.|_s_|time"
+    r"|p50|p90|p95|p99|bytes|evict|stall|overhead|queue_wait|exec)",
+)
+
+#: Metrics matching these regress when they go DOWN.
+_DOWN_BAD = re.compile(r"(hit_rate|hit_ratio|hitrate|throughput|_qps|_rps)")
+
+
+def direction_for(name: str) -> str:
+    """``"up"`` (higher is worse), ``"down"``, or ``"both"``."""
+    lowered = name.lower()
+    if _DOWN_BAD.search(lowered):
+        return "down"
+    if _UP_BAD.search(lowered):
+        return "up"
+    return "both"
+
+
+class MetricVerdict:
+    """One metric's comparison against its window."""
+
+    __slots__ = (
+        "name", "value", "median", "mad", "low", "high",
+        "direction", "status", "window",
+    )
+
+    def __init__(self, name, value, med, mad, low, high,
+                 direction, status, window):
+        self.name = name
+        self.value = value
+        self.median = med
+        self.mad = mad
+        self.low = low
+        self.high = high
+        self.direction = direction
+        self.status = status      # "ok" | "regression" | "improved" | "new"
+        self.window = window      # samples compared against
+
+    def to_dict(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+
+class WindowReport:
+    """Every metric verdict for one newest-vs-window check."""
+
+    def __init__(self, verdicts: list[MetricVerdict],
+                 newest: dict, compared: int) -> None:
+        self.verdicts = verdicts
+        self.newest = newest
+        self.compared = compared
+
+    @property
+    def regressions(self) -> list[MetricVerdict]:
+        return [v for v in self.verdicts if v.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        """The human-readable verdict table."""
+        lines = []
+        sha = self.newest.get("sha", "?")
+        label = self.newest.get("label", "?")
+        header = (
+            f"perf check — {sha} ({label}) vs window of "
+            f"{self.compared} run(s)"
+        )
+        lines.append(header)
+        lines.append("=" * len(header))
+        width = max((len(v.name) for v in self.verdicts), default=10)
+        width = min(width, 56)
+        order = {"regression": 0, "improved": 1, "new": 2, "ok": 3}
+        for v in sorted(
+            self.verdicts, key=lambda v: (order[v.status], v.name)
+        ):
+            tag = {
+                "regression": "REGRESSION",
+                "improved": "improved",
+                "new": "new",
+                "ok": "ok",
+            }[v.status]
+            if v.status == "new":
+                lines.append(
+                    f"  {tag:<10} {v.name:<{width}} {v.value:>12.6g}  "
+                    f"(no history)"
+                )
+            else:
+                arrow = {"up": "^bad", "down": "vbad", "both": "~"}
+                lines.append(
+                    f"  {tag:<10} {v.name:<{width}} {v.value:>12.6g}  "
+                    f"window median {v.median:.6g} "
+                    f"allowed [{v.low:.6g}, {v.high:.6g}] "
+                    f"({arrow[v.direction]})"
+                )
+        regressed = len(self.regressions)
+        lines.append(
+            f"{regressed} regression(s), "
+            f"{sum(1 for v in self.verdicts if v.status == 'improved')} "
+            f"improved, {len(self.verdicts)} metric(s) checked"
+        )
+        return "\n".join(lines)
+
+
+def check_window(
+    records: list[dict],
+    window: int = 8,
+    k: float = 3.0,
+    min_rel: float = 0.10,
+    min_history: int = 3,
+    metrics: list[str] | None = None,
+) -> WindowReport:
+    """Compare ``records[-1]`` against the up-to-``window`` runs before.
+
+    Raises :class:`ValueError` when there is no newest record or fewer
+    than ``min_history`` historical values exist for *every* metric —
+    the CLI maps that to exit 2 (cannot check), distinct from exit 1
+    (checked, regressed).
+    """
+    if not records:
+        raise ValueError("empty ledger: nothing to check")
+    newest = records[-1]
+    history = records[:-1][-window:]
+    if not history:
+        raise ValueError("no history: the newest record is the only one")
+
+    wanted = newest.get("metrics", {})
+    if metrics:
+        wanted = {k2: v for k2, v in wanted.items() if k2 in set(metrics)}
+
+    verdicts: list[MetricVerdict] = []
+    checked_any = False
+    for name in sorted(wanted):
+        value = wanted[name]
+        series = [
+            float(r["metrics"][name])
+            for r in history
+            if isinstance(r.get("metrics", {}).get(name), (int, float))
+            and not isinstance(r["metrics"][name], bool)
+        ]
+        if len(series) < min_history:
+            verdicts.append(MetricVerdict(
+                name, value, None, None, None, None,
+                direction_for(name), "new", len(series),
+            ))
+            continue
+        checked_any = True
+        med = median(series)
+        mad = median(abs(x - med) for x in series)
+        tolerance = max(k * _MAD_SCALE * mad, min_rel * abs(med))
+        low, high = med - tolerance, med + tolerance
+        direction = direction_for(name)
+        if direction == "up":
+            bad, good = value > high, value < low
+        elif direction == "down":
+            bad, good = value < low, value > high
+        else:
+            bad, good = (value > high or value < low), False
+        status = "regression" if bad else ("improved" if good else "ok")
+        verdicts.append(MetricVerdict(
+            name, value, med, mad, low, high, direction, status,
+            len(series),
+        ))
+    if not checked_any:
+        raise ValueError(
+            f"insufficient history: no metric has >= {min_history} "
+            f"prior samples in the window"
+        )
+    return WindowReport(verdicts, newest, len(history))

@@ -45,6 +45,12 @@ Endpoints
     the Python client sends).  Queue-depth and in-flight gauges are
     refreshed at scrape time; per-endpoint and per-job-kind latency
     histograms and journal fsync timings ride along.
+``GET /dashboard``
+    The live observability page: one self-contained auto-refreshing
+    HTML document (inline CSS, no scripts, no external assets) showing
+    queue/in-flight gauges, latency percentile bars, the recent-jobs
+    table with trace ids, and — when the daemon was started with
+    ``--ledger`` — perf-ledger trend sparklines.
 
 Tracing: ``POST /v1/jobs`` accepts an ``X-Repro-Trace`` header (a
 trace id, optionally ``-<parent span id>``); without one the daemon
@@ -125,12 +131,14 @@ class ExperimentService:
         job_timeout: float | None = None,
         watchdog_poll_s: float = 0.25,
         log_dir: str | None = None,
+        ledger: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.cache_dir = cache_dir
         self.jobs = jobs
         self.trace_dir = trace_dir
+        self.ledger_path = ledger
         self.registry = MetricsRegistry()
         self.log = EventLog(log_dir) if log_dir else NULL_LOG
         self.journal = (
@@ -501,6 +509,39 @@ class ExperimentService:
             snapshot
         )
 
+    def handle_dashboard(self) -> tuple[int, dict, str]:
+        """``GET /dashboard``: the live self-contained HTML view.
+
+        One page per request — queue/in-flight gauges, latency
+        percentile bars, the recent-jobs table (trace ids join to
+        ``repro trace``), and ledger trend sparklines when the daemon
+        was started with ``--ledger``.  Auto-refresh is a ``<meta>``
+        tag; no scripts, no external assets.
+        """
+        from repro.perf.dashboard import render_dashboard
+
+        stats = self.queue.stats()
+        self.registry.gauge("service.queue_depth").set(stats["queued"])
+        self.registry.gauge("service.inflight").set(stats["running"])
+        ledger_records: list[dict] = []
+        if self.ledger_path:
+            from repro.perf.ledger import LedgerError, PerfLedger
+
+            try:
+                ledger_records = PerfLedger(self.ledger_path).read().records
+            except LedgerError:
+                ledger_records = []     # a torn ledger never 500s the page
+        page = render_dashboard({
+            "title": f"repro experiment service — {self.host}:{self.port}",
+            "refresh_s": 3,
+            "uptime_s": time.time() - self.started_at,
+            "queue": stats,
+            "metrics": self.registry.to_dict(),
+            "recent": self.queue.recent(12),
+            "ledger_records": ledger_records,
+        })
+        return 200, {"Content-Type": "text/html; charset=utf-8"}, page
+
     def observe_http(self, endpoint: str, wall_s: float) -> None:
         """Per-endpoint HTTP latency, fed by the handler for every reply."""
         self.registry.histogram(
@@ -575,6 +616,9 @@ def _make_handler(service: ExperimentService):
                 self._timed(
                     "metrics", lambda: service.handle_metrics(accept)
                 )
+                return
+            if self.path == "/dashboard":
+                self._timed("dashboard", service.handle_dashboard)
                 return
             parts = [part for part in self.path.split("/") if part]
             if parts == ["v1", "recovery"]:

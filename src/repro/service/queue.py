@@ -499,6 +499,17 @@ class JobQueue:
         with self._lock:
             return self._tickets.get(ticket_id)
 
+    def recent(self, n: int = 10) -> list[dict]:
+        """The newest ``n`` tickets' status docs, newest first.
+
+        Feeds the ``/dashboard`` recent-jobs table; tickets are kept in
+        acceptance order, so the tail of the table is the tail of the
+        ticket map.
+        """
+        with self._lock:
+            tickets = list(self._tickets.values())[-n:]
+        return [ticket.status_doc() for ticket in reversed(tickets)]
+
     def stats(self) -> dict:
         """Queue-shape numbers for ``/healthz`` and the metrics gauges."""
         with self._lock:

@@ -117,6 +117,35 @@ class TestReportRendering:
         for banned in ("http://", "https://", "<script", "src=", "@import"):
             assert banned not in text
 
+    def test_html_ledger_trend_section_deterministic(
+        self, capsys, tmp_path, attributed_run
+    ):
+        from repro.perf.ledger import PerfLedger
+
+        ledger = PerfLedger(str(tmp_path / "led.jsonl"))
+        for index, wall in enumerate([1.0, 1.2, 1.1]):
+            ledger.append(f"sha{index}", "ci",
+                          {"observability.tables.table6.wall_s": wall})
+        out_a = str(tmp_path / "a.html")
+        out_b = str(tmp_path / "b.html")
+        for out_path in (out_a, out_b):
+            assert main([
+                "report", attributed_run, "--html", out_path,
+                "--ledger", ledger.path,
+            ]) == 0
+        text = open(out_a, encoding="utf-8").read()
+        assert "Performance trends (perf ledger)" in text
+        assert "observability.tables.table6.wall_s" in text
+        # Still self-contained with the trend section appended...
+        for banned in ("http://", "https://", "<script", "src="):
+            assert banned not in text
+        # ...and deterministic: a fixed ledger renders identical bytes.
+        assert text == open(out_b, encoding="utf-8").read()
+        # Without --ledger the section is absent.
+        plain = str(tmp_path / "plain.html")
+        assert main(["report", attributed_run, "--html", plain]) == 0
+        assert "perf ledger" not in open(plain, encoding="utf-8").read()
+
     def test_html_without_attribution_still_renders(self, capsys, tmp_path):
         run_path = str(tmp_path / "plain.jsonl")
         assert main([

@@ -204,6 +204,56 @@ class TestMetrics:
         main.merge({"histograms": {"h": {"count": 0, "sum": 0.0}}})
         assert main.histogram("h").count == 1
 
+    def test_empty_histogram_percentiles_are_none(self):
+        hist = Histogram("h")
+        for q in (0, 50, 90, 99, 100):
+            assert hist.percentile(q) is None
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] is None
+        assert summary["p90"] is None and summary["p99"] is None
+        assert summary["min"] is None and summary["max"] is None
+
+    def test_single_sample_histogram(self):
+        hist = Histogram("h")
+        hist.observe(0.25)
+        # Every quantile of one observation is that observation,
+        # clamped into [min, max] regardless of bucket midpoints.
+        for q in (0, 50, 90, 99, 100):
+            assert hist.percentile(q) == pytest.approx(0.25)
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert summary["sum"] == pytest.approx(0.25)
+        assert summary["mean"] == pytest.approx(0.25)
+        assert summary["min"] == summary["max"] == 0.25
+
+    def test_single_zero_sample_histogram(self):
+        hist = Histogram("h")
+        hist.observe(0.0)
+        assert hist.zeros == 1 and not hist.buckets
+        assert hist.percentile(50) == 0.0
+        assert hist.summary()["p99"] == 0.0
+
+    def test_legacy_reservoir_merges_into_empty_bucketed(self):
+        # A worker running the pre-bucket code ships a reservoir-style
+        # snapshot (markers, no buckets); folding it into a virgin
+        # bucketed histogram must reconstruct moments exactly and
+        # shape approximately — not crash, not zero out.
+        legacy = {
+            "count": 40, "sum": 200.0, "min": 1.0, "max": 9.0,
+            "mean": 5.0, "p50": 5.0, "p90": 9.0, "p99": 9.0,
+        }
+        hist = Histogram("h")
+        assert hist.count == 0
+        hist.merge_summary(legacy)
+        assert hist.count == 40
+        assert hist.total == pytest.approx(200.0)
+        assert hist.min == 1.0 and hist.max == 9.0
+        assert sum(hist.buckets.values()) + hist.zeros == 40
+        assert hist.percentile(50) == pytest.approx(5.0, rel=0.2)
+        summary = hist.summary()
+        assert summary["p99"] <= 9.0
+
 
 class TestRecorderRoundTrip:
     def test_jsonl_round_trip(self, tmp_path):

@@ -114,6 +114,85 @@ class TestValidation:
         assert DEFAULT_SLO["slo"] == "repro-slo-v1"
 
 
+class TestLedgerObjectives:
+    """SLO objectives that read the perf ledger instead of the snapshot."""
+
+    def _records(self, tmp_path, walls):
+        from repro.perf.ledger import PerfLedger
+
+        ledger = PerfLedger(str(tmp_path / "led.jsonl"))
+        for index, wall in enumerate(walls):
+            ledger.append(f"sha{index}", "ci", {"table6.wall_s": wall})
+        return ledger
+
+    def _slo(self, stat="last", maximum=2.0, window=8):
+        return {
+            "slo": "repro-slo-v1",
+            "objectives": [{
+                "name": "wall-budget",
+                "ledger": {"metric": "table6.wall_s", "stat": stat,
+                           "window": window},
+                "max": maximum,
+            }],
+        }
+
+    def test_last_and_median_stats(self, tmp_path):
+        ledger = self._records(tmp_path, [1.0, 1.5, 3.0])
+        records = ledger.read().records
+        result = evaluate_slo({}, slo=self._slo("last", maximum=2.0),
+                              ledger_records=records)[0]
+        assert result["status"] == "fail" and result["value"] == 3.0
+        result = evaluate_slo({}, slo=self._slo("median", maximum=2.0),
+                              ledger_records=records)[0]
+        assert result["status"] == "pass" and result["value"] == 1.5
+
+    def test_window_limits_history(self, tmp_path):
+        ledger = self._records(tmp_path, [9.0, 1.0, 1.0])
+        records = ledger.read().records
+        # window=2 excludes the ancient 9.0 spike from max.
+        result = evaluate_slo({}, slo=self._slo("max", maximum=2.0,
+                                                window=2),
+                              ledger_records=records)[0]
+        assert result["status"] == "pass"
+
+    def test_no_records_skips_with_note(self, tmp_path):
+        result = evaluate_slo({}, slo=self._slo(), ledger_records=None)[0]
+        assert result["status"] == "skipped"
+        assert "--ledger" in result["note"]
+
+    @pytest.mark.parametrize("bad", [
+        {"slo": "repro-slo-v1",
+         "objectives": [{"name": "x", "ledger": {"stat": "last"},
+                         "max": 1}]},
+        {"slo": "repro-slo-v1",
+         "objectives": [{"name": "x",
+                         "ledger": {"metric": "m", "stat": "p42"},
+                         "max": 1}]},
+        {"slo": "repro-slo-v1",
+         "objectives": [{"name": "x", "metric": "m", "stat": "p99",
+                         "ledger": {"metric": "m"}, "max": 1}]},
+    ])
+    def test_rejects_malformed_ledger_objectives(self, bad):
+        with pytest.raises(SloError):
+            evaluate_slo({}, slo=bad)
+
+    def test_cli_slo_check_with_ledger(self, tmp_path, capsys):
+        ledger = self._records(tmp_path, [1.0, 1.2])
+        snapshot = tmp_path / "snap.json"
+        snapshot.write_text(json.dumps(_snapshot()))
+        slo_path = tmp_path / "slo.json"
+        slo_path.write_text(json.dumps(self._slo("last", maximum=2.0)))
+        assert main(["slo", "check", str(snapshot),
+                     "--slo", str(slo_path),
+                     "--ledger", ledger.path]) == 0
+        assert "wall-budget" in capsys.readouterr().out
+        slo_path.write_text(json.dumps(self._slo("last", maximum=1.1)))
+        assert main(["slo", "check", str(snapshot),
+                     "--slo", str(slo_path),
+                     "--ledger", ledger.path]) == 1
+        capsys.readouterr()
+
+
 class TestSloCheckCommand:
     def test_exit_zero_on_pass_and_one_on_violation(self, tmp_path, capsys):
         good = tmp_path / "good.json"
